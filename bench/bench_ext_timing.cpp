@@ -1,0 +1,116 @@
+// Extension bench: parametric timing-variation faults and the role of L3.
+//
+// Sec. III lists neuron timing variations (threshold / leak / refractory
+// perturbations) as a fault class, and Sec. IV-C1 introduces L3 (temporal
+// diversity) specifically to expose them; the paper's Table II universe,
+// however, only contains the extreme faults. This bench enumerates the
+// *parametric* universe (threshold ±25%, leak ±20%, refractory +2) and the
+// int8 bit-flip synapse faults, and measures their detection by stimuli
+// generated with and without L3 — quantifying the paper's design rationale
+// on the fault class it was built for.
+#include "bench_common.hpp"
+
+#include "fault/campaign.hpp"
+#include "fault/coverage.hpp"
+#include "util/timer.hpp"
+
+using namespace snntest;
+
+namespace {
+
+struct Row {
+  std::string config;
+  double fc_threshold = 0.0;
+  double fc_leak = 0.0;
+  double fc_refractory = 0.0;
+  double fc_bitflip = 0.0;
+  double fc_all = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension: parametric timing faults vs loss L3",
+                      "Sec. III fault classes + Sec. IV-C1 rationale");
+
+  auto bundle = bench::get_bundle(zoo::BenchmarkId::kShd);
+  auto& net = bundle.network;
+
+  // Parametric-only universe.
+  fault::FaultUniverseConfig universe_cfg;
+  universe_cfg.neuron_dead = false;
+  universe_cfg.neuron_saturated = false;
+  universe_cfg.synapse_dead = false;
+  universe_cfg.synapse_saturated_positive = false;
+  universe_cfg.synapse_saturated_negative = false;
+  universe_cfg.neuron_threshold_variation = true;
+  universe_cfg.neuron_leak_variation = true;
+  universe_cfg.neuron_refractory_variation = true;
+  universe_cfg.synapse_bitflip = true;
+  universe_cfg.bitflip_bits = {6};
+  auto universe = fault::enumerate_faults(net, universe_cfg);
+  util::Rng rng(123);
+  auto faults = universe.size() > 1600 ? fault::sample_faults(universe, 1600, rng) : universe;
+  std::printf("parametric fault universe: %zu (simulating %zu)\n\n", universe.size(),
+              faults.size());
+
+  std::vector<Row> rows;
+  for (const bool use_l3 : {true, false}) {
+    std::printf("generating %s L3...\n", use_l3 ? "WITH" : "WITHOUT");
+    auto cfg = bench::testgen_config(zoo::BenchmarkId::kShd);
+    cfg.use_l3 = use_l3;
+    core::TestGenerator generator(net, cfg);
+    auto report = generator.generate();
+    const auto outcome =
+        fault::run_detection_campaign(net, report.stimulus.assemble(), faults);
+
+    Row row;
+    row.config = use_l3 ? "with L3 (temporal diversity)" : "without L3";
+    size_t det[5] = {0}, tot[5] = {0};
+    for (size_t j = 0; j < faults.size(); ++j) {
+      int bucket = -1;
+      switch (faults[j].kind) {
+        case fault::FaultKind::kNeuronThresholdVariation: bucket = 0; break;
+        case fault::FaultKind::kNeuronLeakVariation: bucket = 1; break;
+        case fault::FaultKind::kNeuronRefractoryVariation: bucket = 2; break;
+        case fault::FaultKind::kSynapseBitFlip: bucket = 3; break;
+        default: break;
+      }
+      if (bucket >= 0) {
+        ++tot[bucket];
+        det[bucket] += outcome.results[j].detected;
+      }
+      ++tot[4];
+      det[4] += outcome.results[j].detected;
+    }
+    auto frac = [&](int b) { return tot[b] ? static_cast<double>(det[b]) / tot[b] : 1.0; };
+    row.fc_threshold = frac(0);
+    row.fc_leak = frac(1);
+    row.fc_refractory = frac(2);
+    row.fc_bitflip = frac(3);
+    row.fc_all = frac(4);
+    rows.push_back(row);
+  }
+
+  util::TextTable table({"configuration", "FC threshold-var", "FC leak-var",
+                         "FC refractory-var", "FC bitflip", "FC all parametric"});
+  util::CsvWriter csv(bench::out_dir() + "/ext_timing.csv");
+  csv.write_row({"config", "fc_threshold", "fc_leak", "fc_refractory", "fc_bitflip", "fc_all"});
+  for (auto& r : rows) {
+    table.add_row({r.config, util::fmt_pct(r.fc_threshold), util::fmt_pct(r.fc_leak),
+                   util::fmt_pct(r.fc_refractory), util::fmt_pct(r.fc_bitflip),
+                   util::fmt_pct(r.fc_all)});
+    csv.write_row({r.config, util::CsvWriter::field(r.fc_threshold),
+                   util::CsvWriter::field(r.fc_leak), util::CsvWriter::field(r.fc_refractory),
+                   util::CsvWriter::field(r.fc_bitflip), util::CsvWriter::field(r.fc_all)});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("reading: parametric faults are much harder than the extreme ones — overall\n"
+              "FC sits far below the ~100%% critical coverage of Table III, exactly why the\n"
+              "paper singles this class out for dedicated losses. L3's per-bucket effect is\n"
+              "noisy at CPU scale (both stimuli already near-toggle every neuron); the\n"
+              "bucket-level spread in the CSV is the quantity to track when scaling up.\n"
+              "CSV: %s/ext_timing.csv\n",
+              bench::out_dir().c_str());
+  return 0;
+}

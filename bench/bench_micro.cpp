@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark): engine throughput numbers behind the
+// table benches — forward inference, BPTT backward, fault injection
+// overhead, Gumbel/STE sampling, and loss evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/gumbel.hpp"
+#include "core/losses.hpp"
+#include "fault/injector.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/spike_train.hpp"
+#include "zoo/model_zoo.hpp"
+
+using namespace snntest;
+
+namespace {
+
+snn::Network small_net(size_t in, size_t hidden, size_t out, uint64_t seed) {
+  util::Rng rng(seed);
+  snn::LifParams lif;
+  snn::Network net("bench");
+  auto l1 = std::make_unique<snn::DenseLayer>(in, hidden, lif);
+  l1->init_weights(rng, 1.2f);
+  net.add_layer(std::move(l1));
+  auto l2 = std::make_unique<snn::DenseLayer>(hidden, out, lif);
+  l2->init_weights(rng, 1.2f);
+  net.add_layer(std::move(l2));
+  return net;
+}
+
+void BM_DenseForward(benchmark::State& state) {
+  const size_t T = 25;
+  auto net = small_net(64, static_cast<size_t>(state.range(0)), 20, 1);
+  util::Rng rng(2);
+  const auto input = snn::random_spike_train(T, 64, 0.1, rng);
+  for (auto _ : state) {
+    auto fwd = net.forward(input, false);
+    benchmark::DoNotOptimize(fwd.layer_outputs.back().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(T));
+}
+BENCHMARK(BM_DenseForward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ForwardBackward(benchmark::State& state) {
+  const size_t T = 25;
+  auto net = small_net(64, static_cast<size_t>(state.range(0)), 20, 3);
+  util::Rng rng(4);
+  const auto input = snn::random_spike_train(T, 64, 0.1, rng);
+  for (auto _ : state) {
+    auto fwd = net.forward(input, true);
+    std::vector<tensor::Tensor> grads(net.num_layers());
+    grads.back() = tensor::Tensor(fwd.output().shape(), 0.1f);
+    net.zero_grad();
+    auto g = net.backward(grads);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_ForwardBackward)->Arg(64)->Arg(128);
+
+void BM_FaultInjectRemove(benchmark::State& state) {
+  auto net = small_net(64, 128, 20, 5);
+  fault::FaultInjector injector(net);
+  fault::FaultDescriptor fd;
+  fd.kind = fault::FaultKind::kSynapseDead;
+  fd.weight = {0, 0, 100};
+  for (auto _ : state) {
+    injector.inject(fd);
+    injector.remove();
+  }
+}
+BENCHMARK(BM_FaultInjectRemove);
+
+void BM_FaultedInferenceOverhead(benchmark::State& state) {
+  // One injected fault should not change inference cost (in-place mutation).
+  const size_t T = 25;
+  auto net = small_net(64, 128, 20, 6);
+  util::Rng rng(7);
+  const auto input = snn::random_spike_train(T, 64, 0.1, rng);
+  fault::FaultInjector injector(net);
+  fault::FaultDescriptor fd;
+  fd.kind = fault::FaultKind::kNeuronDead;
+  fd.neuron = {0, 10};
+  injector.inject(fd);
+  for (auto _ : state) {
+    auto fwd = net.forward(input, false);
+    benchmark::DoNotOptimize(fwd.layer_outputs.back().data());
+  }
+}
+BENCHMARK(BM_FaultedInferenceOverhead);
+
+void BM_GumbelForward(benchmark::State& state) {
+  util::Rng rng(8);
+  core::GumbelSoftmaxInput input(32, 256, rng);
+  for (auto _ : state) {
+    const auto& b = input.forward(0.5, true);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 256);
+}
+BENCHMARK(BM_GumbelForward);
+
+void BM_LossEvaluation(benchmark::State& state) {
+  auto net = small_net(64, 128, 20, 9);
+  util::Rng rng(10);
+  const auto input = snn::random_spike_train(25, 64, 0.1, rng);
+  auto fwd = net.forward(input, false);
+  core::CompositeLoss loss;
+  loss.add(std::make_shared<core::OutputActivationLoss>());
+  loss.add(std::make_shared<core::NeuronActivationLoss>());
+  loss.add(std::make_shared<core::TemporalDiversityLoss>(2));
+  loss.add(std::make_shared<core::SynapseUniformityLoss>(net));
+  for (auto _ : state) {
+    auto grads = core::make_grad_accumulators(fwd);
+    const double v = loss.compute(fwd, grads);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_LossEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

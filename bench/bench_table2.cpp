@@ -1,0 +1,130 @@
+// Table II — fault simulation results: critical vs benign fault counts per
+// benchmark and the cost of the full labelling campaign.
+//
+// Paper values (full universe, full dataset, A100): e.g. NMNIST 2922
+// critical + 658 benign neuron faults, 96.2k + 89.5k synapse faults,
+// ~5 days. We label a statistical sample of the universe against a dataset
+// subset and report (a) sampled counts, (b) the extrapolated full-universe
+// split, and (c) measured + extrapolated campaign time — reproducing the
+// paper's point that exhaustive labelling is prohibitively slow while the
+// *fractions* are stable under sampling.
+#include "bench_common.hpp"
+
+#include "fault/classifier.hpp"
+#include "util/timer.hpp"
+
+using namespace snntest;
+
+namespace {
+
+struct Table2Row {
+  size_t sampled_neuron_critical = 0, sampled_neuron_benign = 0;
+  size_t sampled_synapse_critical = 0, sampled_synapse_benign = 0;
+  size_t universe_neuron = 0, universe_synapse = 0;
+  size_t sampled = 0;
+  double seconds = 0.0;
+  double extrapolated_seconds = 0.0;
+};
+
+Table2Row run_benchmark(zoo::BenchmarkId id, size_t max_faults, size_t classify_samples) {
+  auto bundle = bench::get_bundle(id);
+  auto& net = bundle.network;
+  auto universe = fault::enumerate_faults(net);
+  auto faults = bench::sampled_faults(net, max_faults);
+
+  fault::ClassifierConfig cc;
+  cc.max_samples = classify_samples;
+  const auto outcome = fault::classify_faults(net, faults, *bundle.test, cc);
+
+  Table2Row row;
+  row.sampled = faults.size();
+  for (size_t j = 0; j < faults.size(); ++j) {
+    const bool neuron = faults[j].targets_neuron();
+    const bool critical = outcome.labels[j].critical;
+    if (neuron) {
+      (critical ? row.sampled_neuron_critical : row.sampled_neuron_benign)++;
+    } else {
+      (critical ? row.sampled_synapse_critical : row.sampled_synapse_benign)++;
+    }
+  }
+  row.universe_neuron = fault::count_neuron_faults(universe);
+  row.universe_synapse = fault::count_synapse_faults(universe);
+  row.seconds = outcome.elapsed_seconds;
+  row.extrapolated_seconds = faults.empty()
+                                 ? 0.0
+                                 : outcome.elapsed_seconds *
+                                       static_cast<double>(universe.size()) /
+                                       static_cast<double>(faults.size());
+  return row;
+}
+
+std::string extrapolate(size_t sampled_part, size_t sampled_total, size_t universe_total) {
+  if (sampled_total == 0) return "0";
+  const double fraction =
+      static_cast<double>(sampled_part) / static_cast<double>(sampled_total);
+  return util::fmt_count(static_cast<size_t>(fraction * static_cast<double>(universe_total)));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fault simulation results (critical/benign labelling)", "Table II");
+
+  // Sampling budgets per benchmark (single core): faults x dataset samples.
+  const size_t kFaults[3] = {800, 500, 800};
+  const size_t kSamples[3] = {24, 24, 24};
+
+  std::vector<Table2Row> rows;
+  for (size_t i = 0; i < bench::kAllBenchmarks.size(); ++i) {
+    std::printf("labelling %s (%zu sampled faults x %zu samples)...\n",
+                zoo::benchmark_name(bench::kAllBenchmarks[i]), kFaults[i], kSamples[i]);
+    rows.push_back(run_benchmark(bench::kAllBenchmarks[i], kFaults[i], kSamples[i]));
+  }
+
+  util::TextTable table({"", "NMNIST", "IBM-gesture", "SHD"});
+  util::CsvWriter csv(bench::out_dir() + "/table2.csv");
+  csv.write_row({"metric", "nmnist", "gesture", "shd"});
+  auto emit = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells = {name};
+    std::vector<std::string> csv_row = {name};
+    for (auto& r : rows) {
+      cells.push_back(getter(r));
+      csv_row.push_back(cells.back());
+    }
+    table.add_row(cells);
+    csv.write_row(csv_row);
+  };
+
+  emit("# Critical neuron faults (extrapolated)", [](Table2Row& r) {
+    const size_t neuron_sampled = r.sampled_neuron_critical + r.sampled_neuron_benign;
+    return extrapolate(r.sampled_neuron_critical, neuron_sampled, r.universe_neuron);
+  });
+  emit("# Benign neuron faults (extrapolated)", [](Table2Row& r) {
+    const size_t neuron_sampled = r.sampled_neuron_critical + r.sampled_neuron_benign;
+    return extrapolate(r.sampled_neuron_benign, neuron_sampled, r.universe_neuron);
+  });
+  emit("# Critical synapse faults (extrapolated)", [](Table2Row& r) {
+    const size_t syn_sampled = r.sampled_synapse_critical + r.sampled_synapse_benign;
+    return extrapolate(r.sampled_synapse_critical, syn_sampled, r.universe_synapse);
+  });
+  emit("# Benign synapse faults (extrapolated)", [](Table2Row& r) {
+    const size_t syn_sampled = r.sampled_synapse_critical + r.sampled_synapse_benign;
+    return extrapolate(r.sampled_synapse_benign, syn_sampled, r.universe_synapse);
+  });
+  emit("Sampled faults labelled", [](Table2Row& r) { return util::fmt_count(r.sampled); });
+  emit("Universe size", [](Table2Row& r) {
+    return util::fmt_count(r.universe_neuron + r.universe_synapse);
+  });
+  emit("Labelling time (sampled)",
+       [](Table2Row& r) { return util::format_duration(r.seconds); });
+  emit("Labelling time (extrapolated full universe, full criterion)",
+       [](Table2Row& r) { return util::format_duration(r.extrapolated_seconds); });
+
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("shape checks vs paper: a large benign population exists alongside the\n"
+              "critical one; extrapolated exhaustive labelling is orders of magnitude\n"
+              "slower than the proposed generation (compare bench_table3), which is the\n"
+              "motivation for circumventing fault simulation. CSV: %s/table2.csv\n",
+              bench::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Table IV — comparison with previous works on the NMNIST benchmark.
+//
+// Reimplements the three baseline families the paper compares against:
+//   [18] greedy dataset compaction, [20] random inputs, [17] adversarial
+// examples — all greedy + fault-simulation-in-the-loop — and contrasts them
+// with the proposed optimization on: test generation cost (number of fault
+// simulations / wall-clock), test duration in samples, and coverage of the
+// *critical* faults (the paper's primary target; benign coverage is a
+// bonus, Sec. III). Shape to match: the proposed test is several times
+// shorter for comparable critical coverage, and its generation cost does
+// not scale with the fault list.
+#include "bench_common.hpp"
+
+#include "baseline/adversarial_testgen.hpp"
+#include "baseline/greedy_dataset.hpp"
+#include "baseline/random_testgen.hpp"
+#include "fault/campaign.hpp"
+#include "fault/classifier.hpp"
+#include "fault/coverage.hpp"
+#include "util/timer.hpp"
+
+using namespace snntest;
+
+namespace {
+
+struct Table4Row {
+  std::string method;
+  std::string stimulus_type;
+  double gen_seconds = 0.0;
+  size_t fault_sims = 0;
+  double duration_samples = 0.0;
+  double fc_critical = 0.0;
+  double fc_overall = 0.0;
+};
+
+void score(Table4Row& row, const std::vector<fault::FaultDescriptor>& faults,
+           const std::vector<fault::DetectionResult>& results,
+           const std::vector<fault::FaultClassification>& labels) {
+  size_t cd = 0, ct = 0, ad = 0;
+  for (size_t j = 0; j < faults.size(); ++j) {
+    if (labels[j].critical) {
+      ++ct;
+      cd += results[j].detected;
+    }
+    ad += results[j].detected;
+  }
+  row.fc_critical = ct ? static_cast<double>(cd) / ct : 1.0;
+  row.fc_overall = faults.empty() ? 1.0 : static_cast<double>(ad) / faults.size();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Comparison with previous works (NMNIST)", "Table IV");
+
+  auto bundle = bench::get_bundle(zoo::BenchmarkId::kNmnist);
+  auto& net = bundle.network;
+  const size_t kFaultSample = 600;
+  auto faults = bench::sampled_faults(net, kFaultSample);
+  std::printf("shared fault list: %zu sampled faults (universe %zu)\n", faults.size(),
+              fault::enumerate_faults(net).size());
+
+  // Criticality labels shared by all methods (Sec. III criterion).
+  fault::ClassifierConfig cc;
+  cc.max_samples = 32;
+  const auto classes = fault::classify_faults(net, faults, *bundle.test, cc);
+  std::printf("critical faults in the sample: %zu / %zu\n\n", classes.critical_count(),
+              faults.size());
+
+  std::vector<Table4Row> rows;
+
+  // --- proposed method ---
+  {
+    std::printf("[1/4] proposed optimized test generation...\n");
+    core::TestGenerator generator(net, bench::testgen_config(zoo::BenchmarkId::kNmnist));
+    util::Timer timer;
+    auto report = generator.generate();
+    Table4Row row;
+    row.method = "This work (optimized)";
+    row.stimulus_type = "Optimized";
+    row.gen_seconds = timer.seconds();
+    row.fault_sims = 0;  // fault simulation is circumvented during generation
+    row.duration_samples = report.stimulus.duration_in_samples(bundle.steps_per_sample);
+    const auto outcome =
+        fault::run_detection_campaign(net, report.stimulus.assemble(), faults);
+    score(row, faults, outcome.results, classes.labels);
+    rows.push_back(row);
+  }
+
+  const baseline::GreedyConfig greedy_common;
+  auto run_baseline = [&](const baseline::BaselineResult& result, const char* type) {
+    Table4Row row;
+    row.method = result.method;
+    row.stimulus_type = type;
+    row.gen_seconds = result.generation_seconds;
+    row.fault_sims = result.fault_sims;
+    row.duration_samples = result.duration_in_samples(bundle.steps_per_sample);
+    const auto outcome = fault::run_detection_campaign(net, result.assemble(), faults);
+    score(row, faults, outcome.results, classes.labels);
+    rows.push_back(row);
+  };
+
+  {
+    std::printf("[2/4] greedy dataset compaction [18]...\n");
+    baseline::GreedyDatasetConfig cfg;
+    cfg.candidate_count = 40;
+    cfg.greedy = greedy_common;
+    run_baseline(baseline::greedy_dataset_testgen(net, faults, *bundle.test, cfg), "Dataset");
+  }
+  {
+    std::printf("[3/4] random test inputs [20]...\n");
+    baseline::RandomTestgenConfig cfg;
+    cfg.candidate_count = 40;
+    cfg.greedy = greedy_common;
+    run_baseline(baseline::random_testgen(net, faults, *bundle.test, cfg), "Random");
+  }
+  {
+    std::printf("[4/4] adversarial test patterns [17]...\n");
+    baseline::AdversarialConfig cfg;
+    cfg.candidate_count = 24;
+    cfg.ascent_steps = 30;
+    cfg.greedy = greedy_common;
+    run_baseline(baseline::adversarial_testgen(net, faults, *bundle.test, cfg), "Adversarial");
+  }
+
+  util::TextTable table({"Method", "Stimulus", "Gen. time", "Fault sims during gen.",
+                         "Test duration (samples)", "FC critical", "FC all"});
+  util::CsvWriter csv(bench::out_dir() + "/table4.csv");
+  csv.write_row({"method", "stimulus", "gen_seconds", "fault_sims", "duration_samples",
+                 "fc_critical", "fc_overall"});
+  for (auto& r : rows) {
+    table.add_row({r.method, r.stimulus_type, util::format_duration(r.gen_seconds),
+                   util::fmt_count(r.fault_sims), util::fmt_double(r.duration_samples, 2),
+                   util::fmt_pct(r.fc_critical), util::fmt_pct(r.fc_overall)});
+    csv.write_row({r.method, r.stimulus_type, util::CsvWriter::field(r.gen_seconds),
+                   util::CsvWriter::field(r.fault_sims),
+                   util::CsvWriter::field(r.duration_samples),
+                   util::CsvWriter::field(r.fc_critical),
+                   util::CsvWriter::field(r.fc_overall)});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "shape checks vs paper: the optimized test is several times shorter than every\n"
+      "baseline at comparable critical-fault coverage; baselines burn candidate x\n"
+      "fault simulations during generation (the cost that explodes with model size)\n"
+      "while the proposed method performs none. CSV: %s/table4.csv\n",
+      bench::out_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fault-injection walkthrough: inject one fault of every kind into a
+// trained SNN and show how the output spike train corrupts — the Eq. (3)
+// detection criterion made visible, including ASCII rasters of the golden
+// vs faulty output.
+//
+// Run:  ./build/examples/fault_injection_demo [--benchmark shd]
+#include <cstdio>
+
+#include "fault/injector.hpp"
+#include "snn/spike_train.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "zoo/model_zoo.hpp"
+
+using namespace snntest;
+
+int main(int argc, char** argv) {
+  util::CliParser cli({{"benchmark", "shd"}},
+                      "Inject one fault of each kind and visualize the output corruption.");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  auto bundle = zoo::load_or_train(zoo::parse_benchmark(cli.get("benchmark")));
+  auto& net = bundle.network;
+  const auto sample = bundle.test->get(0);
+  const auto golden = net.forward(sample.input);
+  std::printf("\ngolden prediction for sample 0 (label %zu): class %zu\n", sample.label,
+              golden.predicted_class());
+  std::printf("golden output raster (rows = classes, cols = time):\n%s\n",
+              snn::ascii_raster(golden.output(), 24, 64).c_str());
+
+  // One representative fault of every kind, all on layer 0 / output layer.
+  fault::FaultUniverseConfig universe_cfg;
+  universe_cfg.neuron_threshold_variation = true;
+  universe_cfg.neuron_leak_variation = true;
+  universe_cfg.neuron_refractory_variation = true;
+  universe_cfg.synapse_bitflip = true;
+
+  const auto stats = fault::compute_weight_stats(net);
+  fault::FaultInjector injector(net, stats);
+
+  std::vector<fault::FaultDescriptor> demos;
+  {
+    fault::FaultDescriptor f;
+    f.kind = fault::FaultKind::kNeuronDead;
+    f.neuron = {0, 3};
+    demos.push_back(f);
+    f.kind = fault::FaultKind::kNeuronSaturated;
+    f.neuron = {net.num_layers() - 1, 0};
+    demos.push_back(f);
+    f.kind = fault::FaultKind::kNeuronThresholdVariation;
+    f.neuron = {0, 5};
+    f.magnitude = 0.5f;
+    demos.push_back(f);
+    f = {};
+    f.kind = fault::FaultKind::kSynapseDead;
+    f.weight = {0, 0, 17};
+    demos.push_back(f);
+    f.kind = fault::FaultKind::kSynapseSaturatedPositive;
+    f.magnitude = 1.5f * stats[0].max_abs;
+    demos.push_back(f);
+    f.kind = fault::FaultKind::kSynapseBitFlip;
+    f.magnitude = 6;  // flip bit 6 of the int8 weight code
+    demos.push_back(f);
+  }
+
+  util::TextTable table({"fault", "output L1 diff", "detected", "prediction"});
+  for (const auto& fd : demos) {
+    fault::ScopedFault scoped(injector, fd);
+    const auto faulty = net.forward(sample.input);
+    const double l1 = snn::output_distance(golden.output(), faulty.output());
+    table.add_row({fd.to_string(), util::fmt_double(l1, 0), l1 > 0 ? "yes" : "no",
+                   std::to_string(faulty.predicted_class())});
+    if (fd.kind == fault::FaultKind::kNeuronSaturated) {
+      std::printf("output raster with %s:\n%s\n", fd.to_string().c_str(),
+                  snn::ascii_raster(faulty.output(), 24, 64).c_str());
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("note: a dataset sample often misses faults (low L1 diff) — that is exactly\n"
+              "why the paper optimizes a dedicated test stimulus.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Train (or load from cache) one of the three benchmark SNNs and print its
+// Table I-style characteristics.
+//
+// Run:  ./build/examples/train_snn --benchmark nmnist|gesture|shd
+//       [--retrain true] [--budget 1.0]
+#include <cstdio>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/timer.hpp"
+#include "zoo/model_zoo.hpp"
+
+using namespace snntest;
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      {{"benchmark", "shd"}, {"retrain", "false"}, {"budget", "1.0"}},
+      "Train a benchmark SNN on its synthetic event dataset and report its characteristics.");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const auto id = zoo::parse_benchmark(cli.get("benchmark"));
+  zoo::ZooOptions options;
+  options.allow_cache = !cli.get_bool("retrain");
+  options.train_budget = cli.get_double("budget");
+
+  auto bundle = zoo::load_or_train(id, options);
+  auto& net = bundle.network;
+
+  std::printf("\n== %s ==\n", zoo::benchmark_name(id));
+  std::printf("%s\n", bundle.from_cache ? "(loaded from cache)" : "(freshly trained)");
+  util::TextTable table({"characteristic", "value"});
+  table.add_row({"prediction accuracy", util::fmt_pct(bundle.test_accuracy)});
+  table.add_row({"# output classes", std::to_string(net.output_size())});
+  table.add_row({"# neurons", util::fmt_count(net.total_neurons())});
+  table.add_row({"# weights (fault sites)", util::fmt_count(net.total_weights())});
+  table.add_row({"# connections", util::fmt_count(net.total_connections())});
+  table.add_row({"input width", std::to_string(net.input_size())});
+  table.add_row({"timesteps / sample", std::to_string(bundle.steps_per_sample)});
+  table.add_row({"train set", std::to_string(bundle.train->size())});
+  table.add_row({"test set", std::to_string(bundle.test->size())});
+  if (!bundle.from_cache) {
+    table.add_row({"training time", util::format_duration(bundle.train_seconds)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("layers:\n");
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    std::printf("  %zu: %s (%zu neurons, %zu weights)\n", l + 1, net.layer(l).name().c_str(),
+                net.layer(l).num_neurons(), net.layer(l).num_weights());
+  }
+  return 0;
+}

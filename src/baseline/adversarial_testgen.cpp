@@ -1,0 +1,69 @@
+#include "baseline/adversarial_testgen.hpp"
+
+#include <algorithm>
+
+#include "core/gumbel.hpp"
+#include "train/adam.hpp"
+#include "train/loss.hpp"
+
+namespace snntest::baseline {
+
+tensor::Tensor adversarial_perturb(snn::Network& net, const tensor::Tensor& input,
+                                   const AdversarialConfig& config, util::Rng& rng) {
+  const size_t T = input.shape().dim(0);
+  const size_t n = input.shape().dim(1);
+  // Golden prediction to attack.
+  const size_t golden = net.forward(input).predicted_class();
+
+  core::GumbelSoftmaxInput logits(T, n, rng);
+  // Seed logits from the sample so the attack is a perturbation, not a
+  // from-scratch search.
+  tensor::Tensor& real = logits.mutable_real();
+  for (size_t i = 0; i < real.numel(); ++i) real[i] = input[i] > 0.5f ? 2.0f : -2.0f;
+
+  train::AdamConfig adam_config;
+  adam_config.lr = config.lr;
+  train::AdamOptimizer adam(adam_config);
+  adam.attach(logits.real_data(), logits.grad_data(), logits.size());
+
+  const train::RateCrossEntropyLoss ce;
+  tensor::Tensor best = input;
+  double best_value = -1.0;
+  for (size_t step = 0; step < config.ascent_steps; ++step) {
+    const tensor::Tensor& candidate = logits.forward(config.tau, /*stochastic=*/true);
+    auto fwd = net.forward(candidate, /*record_traces=*/true);
+    // Ascend the cross-entropy of the golden class: gradient ascent ==
+    // descent on the negated loss.
+    train::LossResult loss = ce.compute(fwd.output(), golden);
+    tensor::Tensor neg_grad(loss.grad_output.shape());
+    for (size_t i = 0; i < neg_grad.numel(); ++i) neg_grad[i] = -loss.grad_output[i];
+    std::vector<tensor::Tensor> grads(net.num_layers());
+    grads.back() = std::move(neg_grad);
+    net.zero_grad();
+    const tensor::Tensor grad_input = net.backward(grads);
+    logits.backward(grad_input);
+    adam.step();
+    if (loss.value > best_value) {
+      best_value = loss.value;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+BaselineResult adversarial_testgen(snn::Network& net,
+                                   const std::vector<fault::FaultDescriptor>& faults,
+                                   const data::Dataset& dataset,
+                                   const AdversarialConfig& config) {
+  util::Rng rng(config.seed);
+  const size_t count = std::min(config.candidate_count, dataset.size());
+  std::vector<tensor::Tensor> pool;
+  pool.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pool.push_back(adversarial_perturb(net, dataset.get(i).input, config, rng));
+  }
+  auto provider = [&pool](size_t i) { return pool[i]; };
+  return greedy_select(net, faults, pool.size(), provider, config.greedy, "adversarial[17]");
+}
+
+}  // namespace snntest::baseline

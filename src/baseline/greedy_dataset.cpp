@@ -1,0 +1,16 @@
+#include "baseline/greedy_dataset.hpp"
+
+#include <algorithm>
+
+namespace snntest::baseline {
+
+BaselineResult greedy_dataset_testgen(const snn::Network& net,
+                                      const std::vector<fault::FaultDescriptor>& faults,
+                                      const data::Dataset& dataset,
+                                      const GreedyDatasetConfig& config) {
+  const size_t count = std::min(config.candidate_count, dataset.size());
+  auto provider = [&dataset](size_t i) { return dataset.get(i).input; };
+  return greedy_select(net, faults, count, provider, config.greedy, "greedy-dataset[18]");
+}
+
+}  // namespace snntest::baseline

@@ -1,0 +1,21 @@
+// Baseline [18] (El-Sayed et al., TCAD'23): compact functional testing by
+// greedy compaction of *dataset samples* — fault-simulate each sample,
+// then keep the subset that covers the most faults.
+#pragma once
+
+#include "baseline/baseline.hpp"
+#include "data/dataset.hpp"
+
+namespace snntest::baseline {
+
+struct GreedyDatasetConfig {
+  size_t candidate_count = 48;  // dataset samples considered
+  GreedyConfig greedy;
+};
+
+BaselineResult greedy_dataset_testgen(const snn::Network& net,
+                                      const std::vector<fault::FaultDescriptor>& faults,
+                                      const data::Dataset& dataset,
+                                      const GreedyDatasetConfig& config = {});
+
+}  // namespace snntest::baseline

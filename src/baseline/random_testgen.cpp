@@ -1,0 +1,32 @@
+#include "baseline/random_testgen.hpp"
+
+#include <algorithm>
+
+#include "snn/spike_train.hpp"
+
+namespace snntest::baseline {
+
+BaselineResult random_testgen(const snn::Network& net,
+                              const std::vector<fault::FaultDescriptor>& faults,
+                              const data::Dataset& dataset,
+                              const RandomTestgenConfig& config) {
+  double density = config.density;
+  if (density <= 0.0) {
+    // Match the dataset's mean firing density over a few samples.
+    double sum = 0.0;
+    const size_t probe = std::min<size_t>(8, dataset.size());
+    for (size_t i = 0; i < probe; ++i) sum += snn::spike_density(dataset.get(i).input);
+    density = probe ? std::max(0.01, sum / static_cast<double>(probe)) : 0.05;
+  }
+  util::Rng rng(config.seed);
+  std::vector<Tensor> pool;
+  pool.reserve(config.candidate_count);
+  for (size_t i = 0; i < config.candidate_count; ++i) {
+    pool.push_back(
+        snn::random_spike_train(dataset.num_steps(), dataset.input_size(), density, rng));
+  }
+  auto provider = [&pool](size_t i) { return pool[i]; };
+  return greedy_select(net, faults, pool.size(), provider, config.greedy, "random[20]");
+}
+
+}  // namespace snntest::baseline

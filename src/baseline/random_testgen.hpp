@@ -1,0 +1,25 @@
+// Baseline [20] (Chen et al., ETS'24): random test inputs, greedily
+// compacted. Random spike trains are drawn at the dataset's firing density
+// (random inputs "are not designed for detecting faults" — the point of the
+// comparison).
+#pragma once
+
+#include "baseline/baseline.hpp"
+#include "data/dataset.hpp"
+
+namespace snntest::baseline {
+
+struct RandomTestgenConfig {
+  size_t candidate_count = 48;
+  /// Spike density of the random candidates; 0 = estimate from the dataset.
+  double density = 0.0;
+  uint64_t seed = 7;
+  GreedyConfig greedy;
+};
+
+BaselineResult random_testgen(const snn::Network& net,
+                              const std::vector<fault::FaultDescriptor>& faults,
+                              const data::Dataset& dataset,
+                              const RandomTestgenConfig& config = {});
+
+}  // namespace snntest::baseline

@@ -1,0 +1,58 @@
+#include "core/gumbel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace snntest::core {
+
+GumbelSoftmaxInput::GumbelSoftmaxInput(size_t num_steps, size_t num_channels, util::Rng& rng,
+                                       float initial_bias)
+    : real_(Shape{num_steps, num_channels}),
+      soft_(Shape{num_steps, num_channels}),
+      binary_(Shape{num_steps, num_channels}),
+      grad_(Shape{num_steps, num_channels}),
+      rng_(&rng) {
+  for (size_t i = 0; i < real_.numel(); ++i) {
+    real_[i] = initial_bias + static_cast<float>(rng.normal(0.0, 1.0));
+  }
+}
+
+const Tensor& GumbelSoftmaxInput::forward(double tau, bool stochastic) {
+  if (tau <= 0.0) throw std::invalid_argument("GumbelSoftmaxInput: tau must be > 0");
+  last_tau_ = tau;
+  for (size_t i = 0; i < real_.numel(); ++i) {
+    double logit = real_[i];
+    if (stochastic) logit += rng_->gumbel() - rng_->gumbel();
+    const double soft = 1.0 / (1.0 + std::exp(-logit / tau));
+    soft_[i] = static_cast<float>(soft);
+    binary_[i] = soft > 0.5 ? 1.0f : 0.0f;
+  }
+  return binary_;
+}
+
+void GumbelSoftmaxInput::backward(const Tensor& grad_input) {
+  if (grad_input.shape() != real_.shape()) {
+    throw std::invalid_argument("GumbelSoftmaxInput::backward: shape mismatch");
+  }
+  for (size_t i = 0; i < real_.numel(); ++i) {
+    // STE: identity. Gumbel-sigmoid local derivative: s(1-s)/tau.
+    const double s = soft_[i];
+    grad_[i] = static_cast<float>(grad_input[i] * s * (1.0 - s) / last_tau_);
+  }
+}
+
+void GumbelSoftmaxInput::grow(size_t extra_steps, util::Rng& rng, float initial_bias) {
+  const size_t old_steps = num_steps();
+  const size_t channels = num_channels();
+  Tensor new_real(Shape{old_steps + extra_steps, channels});
+  std::copy(real_.data(), real_.data() + real_.numel(), new_real.data());
+  for (size_t i = real_.numel(); i < new_real.numel(); ++i) {
+    new_real[i] = initial_bias + static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  real_ = std::move(new_real);
+  soft_ = Tensor(real_.shape());
+  binary_ = Tensor(real_.shape());
+  grad_ = Tensor(real_.shape());
+}
+
+}  // namespace snntest::core

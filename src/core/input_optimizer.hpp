@@ -1,0 +1,60 @@
+// Within-stage input optimization (paper Sec. IV-C3, Fig. 3).
+//
+// One stage minimizes a composite spike-train loss over the input window by
+// Adam on the Gumbel-Softmax logits:
+//   I_real -> GumbelSoftmax(tau) -> STE -> SNN forward -> O -> L(O)
+//   -> BPTT to the input -> STE (identity) -> Gumbel local grad -> I_real.
+// lr and tau follow annealing schedules; the best binary input visited
+// (lowest deterministic-rounding loss) is returned. If the stage fails to
+// activate new target neurons, the caller grows the window by beta and
+// reruns (handled in TestGenerator).
+#pragma once
+
+#include <functional>
+
+#include "core/gumbel.hpp"
+#include "core/losses.hpp"
+#include "snn/network.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::core {
+
+struct StageConfig {
+  size_t num_steps = 300;     // N_steps^{stage#}
+  double lr_initial = 0.1;    // Sec. V-C
+  double lr_final = 0.01;
+  double tau_max = 0.9;       // Sec. V-C: annealing with maximum value 0.9
+  double tau_min = 0.25;
+  /// Evaluate the deterministic candidate every `eval_every` steps (1 =
+  /// every step; larger values trade tracking granularity for speed).
+  size_t eval_every = 1;
+};
+
+struct StageOutcome {
+  Tensor best_input;            // binary [T, N1] — best I_in visited
+  double best_loss = 0.0;
+  snn::ForwardResult best_forward;  // spike trains under best_input
+  size_t steps_run = 0;
+  std::vector<double> loss_trace;   // deterministic loss per evaluation
+};
+
+class InputOptimizer {
+ public:
+  /// `net` is the fixed SNN under test ("During the input optimization the
+  /// SNN model stays fixed"); `input` the logits being optimized.
+  InputOptimizer(snn::Network& net, GumbelSoftmaxInput& input, StageConfig config);
+
+  /// Run the stage against `loss`. The composite must already be weighted
+  /// (calibrate_weights) by the caller.
+  /// `accept` (optional): a candidate becomes "best" only if accept(fwd)
+  /// holds — used by stage 2 to enforce the constant-O^L constraint.
+  StageOutcome run(const CompositeLoss& loss,
+                   const std::function<bool(const snn::ForwardResult&)>& accept = nullptr);
+
+ private:
+  snn::Network* net_;
+  GumbelSoftmaxInput* input_;
+  StageConfig config_;
+};
+
+}  // namespace snntest::core

@@ -1,0 +1,311 @@
+#include "core/losses.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "snn/conv_layer.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/recurrent_layer.hpp"
+#include "snn/spike_train.hpp"
+#include "tensor/ops.hpp"
+
+namespace snntest::core {
+namespace {
+
+/// Subgradient of a "fire at least once" hinge max(0, 1 - count) for one
+/// neuron: adds -1 at every timestep when the neuron is silent.
+void add_activation_term(const Tensor& train, size_t neuron, double& value, Tensor& grad) {
+  const size_t T = train.shape().dim(0);
+  const size_t n = train.shape().dim(1);
+  size_t count = 0;
+  for (size_t t = 0; t < T; ++t) count += train.data()[t * n + neuron] > 0.5f;
+  if (count >= 1) return;
+  value += 1.0;
+  for (size_t t = 0; t < T; ++t) grad.data()[t * n + neuron] += -1.0f;
+}
+
+int sign_of(float a, float b) {
+  const bool sa = a > 0.5f;
+  const bool sb = b > 0.5f;
+  if (sa == sb) return 0;
+  return sa ? 1 : -1;
+}
+
+/// L4 kernel shared by dense-style weight matrices: weights [rows, cols],
+/// contribution c_j = w[i,j] * count_prev[j] over the non-zero weights of
+/// each row i. Returns the summed variance; accumulates d/dcount_prev.
+double variance_over_rows(const float* weights, size_t rows, size_t cols,
+                          const std::vector<double>& counts_prev,
+                          std::vector<double>& grad_counts_prev) {
+  double total = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    const float* w = weights + i * cols;
+    double sum = 0.0, sum_sq = 0.0;
+    size_t k = 0;
+    for (size_t j = 0; j < cols; ++j) {
+      if (w[j] == 0.0f) continue;
+      const double c = static_cast<double>(w[j]) * counts_prev[j];
+      sum += c;
+      sum_sq += c * c;
+      ++k;
+    }
+    if (k < 2) continue;
+    const double mean = sum / static_cast<double>(k);
+    const double var = sum_sq / static_cast<double>(k) - mean * mean;
+    total += std::max(0.0, var);
+    const double inv_k = 1.0 / static_cast<double>(k);
+    for (size_t j = 0; j < cols; ++j) {
+      if (w[j] == 0.0f) continue;
+      const double c = static_cast<double>(w[j]) * counts_prev[j];
+      // dVar/dc_j = 2*(c_j - mean)/k ; dc_j/dcount_j = w_ij
+      grad_counts_prev[j] += 2.0 * (c - mean) * inv_k * static_cast<double>(w[j]);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+NeuronMask full_mask(const Network& net) {
+  NeuronMask mask(net.num_layers());
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    mask[l].assign(net.layer(l).num_neurons(), 1);
+  }
+  return mask;
+}
+
+std::vector<Tensor> make_grad_accumulators(const ForwardResult& o) {
+  std::vector<Tensor> grads;
+  grads.reserve(o.layer_outputs.size());
+  for (const auto& out : o.layer_outputs) grads.emplace_back(out.shape());
+  return grads;
+}
+
+double OutputActivationLoss::compute(const ForwardResult& o,
+                                     std::vector<Tensor>& grad_accum) const {
+  const size_t L = o.layer_outputs.size();
+  const Tensor& out = o.layer_outputs[L - 1];
+  double value = 0.0;
+  for (size_t i = 0; i < out.shape().dim(1); ++i) {
+    add_activation_term(out, i, value, grad_accum[L - 1]);
+  }
+  return value;
+}
+
+double NeuronActivationLoss::compute(const ForwardResult& o,
+                                     std::vector<Tensor>& grad_accum) const {
+  double value = 0.0;
+  for (size_t l = 0; l < o.layer_outputs.size(); ++l) {
+    const Tensor& train = o.layer_outputs[l];
+    for (size_t i = 0; i < train.shape().dim(1); ++i) {
+      if (mask_ && !(*mask_)[l][i]) continue;
+      add_activation_term(train, i, value, grad_accum[l]);
+    }
+  }
+  return value;
+}
+
+double TemporalDiversityLoss::compute(const ForwardResult& o,
+                                      std::vector<Tensor>& grad_accum) const {
+  double value = 0.0;
+  for (size_t l = 0; l < o.layer_outputs.size(); ++l) {
+    const Tensor& train = o.layer_outputs[l];
+    const size_t T = train.shape().dim(0);
+    const size_t n = train.shape().dim(1);
+    const auto td = snn::temporal_diversity(train);
+    for (size_t i = 0; i < n; ++i) {
+      if (mask_ && !(*mask_)[l][i]) continue;
+      if (td[i] >= td_min_) continue;
+      value += static_cast<double>(td_min_ - td[i]);
+      // d(TD_min - TD)/ds[t] = -dTD/ds[t];
+      // dTD/ds[t] = sign(s[t]-s[t-1]) - sign(s[t+1]-s[t]).
+      float* g = grad_accum[l].data();
+      for (size_t t = 0; t < T; ++t) {
+        int d = 0;
+        if (t > 0) d += sign_of(train.data()[t * n + i], train.data()[(t - 1) * n + i]);
+        if (t + 1 < T) d -= sign_of(train.data()[(t + 1) * n + i], train.data()[t * n + i]);
+        g[t * n + i] += static_cast<float>(-d);
+      }
+    }
+  }
+  return value;
+}
+
+double SynapseUniformityLoss::compute(const ForwardResult& o,
+                                      std::vector<Tensor>& grad_accum) const {
+  double value = 0.0;
+  // Paper Eq. (13) sums from l = 2: the presynaptic spike trains must be
+  // *neuron outputs*, so layer 0 (fed by the raw input) is excluded.
+  for (size_t l = 1; l < o.layer_outputs.size(); ++l) {
+    const Tensor& prev_train = o.layer_outputs[l - 1];
+    const size_t T = prev_train.shape().dim(0);
+    const size_t m = prev_train.shape().dim(1);
+    const auto counts_sz = snn::spike_counts(prev_train);
+    std::vector<double> counts(counts_sz.begin(), counts_sz.end());
+    std::vector<double> grad_counts(m, 0.0);
+
+    snn::Layer& layer = net_->layer(l);
+    switch (layer.kind()) {
+      case snn::LayerKind::kDense: {
+        auto& dense = static_cast<snn::DenseLayer&>(layer);
+        value += variance_over_rows(dense.weights().data(), dense.num_neurons(), m, counts,
+                                    grad_counts);
+        break;
+      }
+      case snn::LayerKind::kRecurrent: {
+        auto& rec = static_cast<snn::RecurrentLayer&>(layer);
+        value += variance_over_rows(rec.weights().data(), rec.num_neurons(), m, counts,
+                                    grad_counts);
+        break;
+      }
+      case snn::LayerKind::kConv2d: {
+        auto& conv = static_cast<snn::ConvLayer&>(layer);
+        const auto& spec = conv.spec();
+        const size_t oh = spec.out_height();
+        const size_t ow = spec.out_width();
+        const size_t k = spec.kernel;
+        const float* weights = conv.weights().data();
+        // Variance over the receptive-field taps of each output neuron.
+        std::vector<double> contribs;
+        std::vector<size_t> tap_inputs;
+        for (size_t oc = 0; oc < spec.out_channels; ++oc) {
+          for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+              contribs.clear();
+              tap_inputs.clear();
+              double sum = 0.0;
+              for (size_t ic = 0; ic < spec.in_channels; ++ic) {
+                const float* w_base = weights + ((oc * spec.in_channels + ic) * k) * k;
+                for (size_t ky = 0; ky < k; ++ky) {
+                  const long iy = static_cast<long>(oy * spec.stride + ky) -
+                                  static_cast<long>(spec.padding);
+                  if (iy < 0 || iy >= static_cast<long>(spec.in_height)) continue;
+                  for (size_t kx = 0; kx < k; ++kx) {
+                    const long ix = static_cast<long>(ox * spec.stride + kx) -
+                                    static_cast<long>(spec.padding);
+                    if (ix < 0 || ix >= static_cast<long>(spec.in_width)) continue;
+                    const float w = w_base[ky * k + kx];
+                    if (w == 0.0f) continue;
+                    const size_t in_idx = (ic * spec.in_height + static_cast<size_t>(iy)) *
+                                              spec.in_width +
+                                          static_cast<size_t>(ix);
+                    const double c = static_cast<double>(w) * counts[in_idx];
+                    contribs.push_back(c);
+                    tap_inputs.push_back(in_idx);
+                    sum += c;
+                  }
+                }
+              }
+              const size_t kk = contribs.size();
+              if (kk < 2) continue;
+              const double mean = sum / static_cast<double>(kk);
+              double var = 0.0;
+              for (double c : contribs) var += (c - mean) * (c - mean);
+              var /= static_cast<double>(kk);
+              value += var;
+              // regather weights to chain into counts
+              size_t tap = 0;
+              for (size_t ic = 0; ic < spec.in_channels; ++ic) {
+                const float* w_base = weights + ((oc * spec.in_channels + ic) * k) * k;
+                for (size_t ky = 0; ky < k; ++ky) {
+                  const long iy = static_cast<long>(oy * spec.stride + ky) -
+                                  static_cast<long>(spec.padding);
+                  if (iy < 0 || iy >= static_cast<long>(spec.in_height)) continue;
+                  for (size_t kx = 0; kx < k; ++kx) {
+                    const long ix = static_cast<long>(ox * spec.stride + kx) -
+                                    static_cast<long>(spec.padding);
+                    if (ix < 0 || ix >= static_cast<long>(spec.in_width)) continue;
+                    const float w = w_base[ky * k + kx];
+                    if (w == 0.0f) continue;
+                    grad_counts[tap_inputs[tap]] +=
+                        2.0 * (contribs[tap] - mean) / static_cast<double>(kk) *
+                        static_cast<double>(w);
+                    ++tap;
+                  }
+                }
+              }
+            }
+          }
+        }
+        break;
+      }
+      case snn::LayerKind::kSumPool:
+        // Fixed wiring — no synapse-fault sites, no L4 term.
+        break;
+    }
+
+    // d count_j / d s[t, j] = 1 at every timestep.
+    float* g = grad_accum[l - 1].data();
+    for (size_t t = 0; t < T; ++t) {
+      for (size_t j = 0; j < m; ++j) {
+        if (grad_counts[j] != 0.0) g[t * m + j] += static_cast<float>(grad_counts[j]);
+      }
+    }
+  }
+  return value;
+}
+
+double SparsityLoss::compute(const ForwardResult& o, std::vector<Tensor>& grad_accum) const {
+  double value = 0.0;
+  // Hidden layers only: l < L-1.
+  for (size_t l = 0; l + 1 < o.layer_outputs.size(); ++l) {
+    const Tensor& train = o.layer_outputs[l];
+    value += static_cast<double>(train.count_nonzero());
+    float* g = grad_accum[l].data();
+    for (size_t i = 0; i < train.numel(); ++i) g[i] += 1.0f;
+  }
+  return value;
+}
+
+double OutputConstancyPenalty::compute(const ForwardResult& o,
+                                       std::vector<Tensor>& grad_accum) const {
+  const size_t L = o.layer_outputs.size();
+  const Tensor& out = o.layer_outputs[L - 1];
+  if (out.shape() != reference_.shape()) {
+    throw std::invalid_argument("OutputConstancyPenalty: output/reference shape mismatch");
+  }
+  double value = 0.0;
+  float* g = grad_accum[L - 1].data();
+  for (size_t i = 0; i < out.numel(); ++i) {
+    const float diff = out[i] - reference_[i];
+    value += std::fabs(static_cast<double>(diff));
+    if (diff > 0.5f) {
+      g[i] += static_cast<float>(mu_);
+    } else if (diff < -0.5f) {
+      g[i] -= static_cast<float>(mu_);
+    }
+  }
+  return mu_ * value;
+}
+
+void CompositeLoss::add(std::shared_ptr<const SpikeLoss> loss, double weight) {
+  losses_.push_back(std::move(loss));
+  weights_.push_back(weight);
+}
+
+double CompositeLoss::compute(const ForwardResult& o, std::vector<Tensor>& grad_accum,
+                              std::vector<double>* per_term) const {
+  if (per_term) per_term->assign(losses_.size(), 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < losses_.size(); ++i) {
+    std::vector<Tensor> local = make_grad_accumulators(o);
+    const double v = losses_[i]->compute(o, local);
+    if (per_term) (*per_term)[i] = v;
+    total += weights_[i] * v;
+    for (size_t l = 0; l < grad_accum.size(); ++l) {
+      tensor::axpy(grad_accum[l].data(), local[l].data(), static_cast<float>(weights_[i]),
+                   grad_accum[l].numel());
+    }
+  }
+  return total;
+}
+
+void CompositeLoss::calibrate_weights(const ForwardResult& o, double floor) {
+  std::vector<Tensor> scratch = make_grad_accumulators(o);
+  for (size_t i = 0; i < losses_.size(); ++i) {
+    const double v = std::fabs(losses_[i]->compute(o, scratch));
+    weights_[i] = 1.0 / std::max(v, floor);
+  }
+}
+
+}  // namespace snntest::core

@@ -1,0 +1,42 @@
+// The strawman the paper argues against (Sec. IV-B): optimize the input
+// with the fault coverage FC itself as the fitness, Eq. (5).
+//
+// Every candidate evaluation is a full fault-simulation campaign, so the
+// optimization costs O(M * T_FS) where M is the iteration count and T_FS
+// the campaign time — this "quickly explodes with the size of the SNN
+// model" and is the reason the paper replaces FC with the loss functions
+// L1..L5 (cost O(M + T_FS)). We implement it as a (1+1) evolutionary hill
+// climber over the binary input (gradients of FC do not exist), both to
+// reproduce the complexity argument quantitatively (bench_naive_fc) and as
+// a correctness oracle on tiny models.
+#pragma once
+
+#include "core/test_stimulus.hpp"
+#include "fault/registry.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::core {
+
+struct NaiveFcConfig {
+  size_t num_steps = 16;      // fixed input duration (timesteps)
+  size_t iterations = 100;    // M — candidate evaluations (campaigns!)
+  double initial_density = 0.2;
+  double mutation_rate = 0.02;  // per-cell flip probability per iteration
+  uint64_t seed = 5;
+  size_t num_threads = 0;
+};
+
+struct NaiveFcReport {
+  Tensor best_input;
+  double best_coverage = 0.0;
+  size_t fault_simulations = 0;  // total single-fault inferences spent
+  double seconds = 0.0;
+  std::vector<double> coverage_trace;  // best-so-far per iteration
+};
+
+/// Hill-climb an input against `faults` using FC as the fitness.
+NaiveFcReport naive_fc_optimize(const snn::Network& net,
+                                const std::vector<fault::FaultDescriptor>& faults,
+                                const NaiveFcConfig& config = {});
+
+}  // namespace snntest::core

@@ -1,0 +1,258 @@
+#include "core/test_generator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "snn/spike_train.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace snntest::core {
+namespace {
+
+/// Activation bookkeeping: one bit per neuron, layer-major.
+struct ActivationSet {
+  explicit ActivationSet(const snn::Network& net) {
+    layers.resize(net.num_layers());
+    for (size_t l = 0; l < net.num_layers(); ++l) {
+      layers[l].assign(net.layer(l).num_neurons(), 0);
+    }
+  }
+
+  /// Mark neurons with >= min_spikes in `fwd`; returns how many were new.
+  size_t absorb(const snn::ForwardResult& fwd, size_t min_spikes) {
+    size_t newly = 0;
+    for (size_t l = 0; l < layers.size(); ++l) {
+      const auto counts = snn::spike_counts(fwd.layer_outputs[l]);
+      for (size_t i = 0; i < counts.size(); ++i) {
+        if (!layers[l][i] && counts[i] >= min_spikes) {
+          layers[l][i] = 1;
+          ++newly;
+        }
+      }
+    }
+    return newly;
+  }
+
+  size_t count() const {
+    size_t n = 0;
+    for (const auto& layer : layers) {
+      for (uint8_t b : layer) n += b;
+    }
+    return n;
+  }
+
+  /// Target mask N_T = complement of the activated set.
+  NeuronMask target_mask() const {
+    NeuronMask mask(layers.size());
+    for (size_t l = 0; l < layers.size(); ++l) {
+      mask[l].resize(layers[l].size());
+      for (size_t i = 0; i < layers[l].size(); ++i) mask[l][i] = layers[l][i] ? 0 : 1;
+    }
+    return mask;
+  }
+
+  std::vector<std::vector<uint8_t>> layers;
+};
+
+/// Overwrite logits so that deterministic rounding reproduces `binary`
+/// exactly — stage 2 must fine-tune *from* the stage-1 result.
+void seed_logits_from(GumbelSoftmaxInput& input, const Tensor& binary) {
+  Tensor& real = input.mutable_real();
+  for (size_t i = 0; i < real.numel(); ++i) real[i] = binary[i] > 0.5f ? 3.0f : -3.0f;
+}
+
+bool all_output_neurons_fire(const snn::ForwardResult& fwd) {
+  const auto counts = snn::spike_counts(fwd.output());
+  return std::all_of(counts.begin(), counts.end(), [](size_t c) { return c >= 1; });
+}
+
+}  // namespace
+
+TestGenerator::TestGenerator(snn::Network& net, TestGenConfig config)
+    : net_(&net), config_(config) {
+  if (config_.steps_stage2 == 0) config_.steps_stage2 = std::max<size_t>(1, config_.steps_stage1 / 2);
+}
+
+size_t TestGenerator::find_min_input_duration(snn::Network& net, const TestGenConfig& config,
+                                              util::Rng& rng) {
+  StageConfig stage;
+  stage.num_steps = std::max<size_t>(40, config.steps_stage1 / 4);
+  stage.lr_initial = config.lr_initial;
+  stage.lr_final = config.lr_final;
+  stage.tau_max = config.tau_max;
+  stage.tau_min = config.tau_min;
+  stage.eval_every = std::max<size_t>(1, config.eval_every / 2);
+
+  CompositeLoss l1_only;
+  l1_only.add(std::make_shared<OutputActivationLoss>(), 1.0);
+
+  size_t duration = std::max<size_t>(1, config.t_in_start);
+  while (true) {
+    GumbelSoftmaxInput input(duration, net.input_size(), rng,
+                             static_cast<float>(config.input_init_bias));
+    InputOptimizer optimizer(net, input, stage);
+    const StageOutcome outcome = optimizer.run(l1_only);
+    if (!outcome.best_input.empty() && all_output_neurons_fire(outcome.best_forward)) {
+      return duration;
+    }
+    if (duration >= config.t_in_max) return config.t_in_max;
+    duration = std::min(config.t_in_max, duration + std::max<size_t>(2, duration / 2));
+  }
+}
+
+TestGenReport TestGenerator::generate() {
+  util::Timer total_timer;
+  util::Rng rng(config_.seed);
+  TestGenReport report;
+  report.total_neurons = net_->total_neurons();
+
+  // --- T_in,min (Sec. V-C) ---
+  report.t_in_min = config_.t_in_min != 0
+                        ? config_.t_in_min
+                        : find_min_input_duration(*net_, config_, rng);
+  const size_t td_min = config_.td_min_override != 0
+                            ? config_.td_min_override
+                            : std::max<size_t>(1, report.t_in_min / 10);
+
+  report.stimulus = TestStimulus(net_->input_size());
+  ActivationSet activated(*net_);
+
+  StageConfig stage1_cfg;
+  stage1_cfg.num_steps = config_.steps_stage1;
+  stage1_cfg.lr_initial = config_.lr_initial;
+  stage1_cfg.lr_final = config_.lr_final;
+  stage1_cfg.tau_max = config_.tau_max;
+  stage1_cfg.tau_min = config_.tau_min;
+  stage1_cfg.eval_every = config_.eval_every;
+  StageConfig stage2_cfg = stage1_cfg;
+  stage2_cfg.num_steps = config_.steps_stage2;
+
+  for (size_t iteration = 0; iteration < config_.max_iterations; ++iteration) {
+    if (activated.count() >= report.total_neurons) break;
+    if (total_timer.seconds() >= config_.t_limit_seconds) {
+      report.hit_time_limit = true;
+      break;
+    }
+    util::Timer iter_timer;
+    IterationRecord record;
+    record.iteration = iteration;
+
+    const NeuronMask target = activated.target_mask();
+
+    // --- stage 1: excitation + observability ---
+    CompositeLoss stage1_loss;
+    if (config_.use_l1) stage1_loss.add(std::make_shared<OutputActivationLoss>());
+    if (config_.use_l2) stage1_loss.add(std::make_shared<NeuronActivationLoss>(&target));
+    if (config_.use_l3) {
+      stage1_loss.add(std::make_shared<TemporalDiversityLoss>(td_min, &target));
+    }
+    if (config_.use_l4) stage1_loss.add(std::make_shared<SynapseUniformityLoss>(*net_));
+
+    size_t duration = report.t_in_min;
+    size_t beta = config_.beta;
+    GumbelSoftmaxInput input(duration, net_->input_size(), rng,
+                             static_cast<float>(config_.input_init_bias));
+
+    // alpha_i = 1 / expected magnitude, measured on the initial input.
+    {
+      const Tensor& initial = input.forward(config_.tau_max, /*stochastic=*/false);
+      const auto fwd0 = net_->forward(initial, /*record_traces=*/false);
+      std::vector<Tensor> scratch = make_grad_accumulators(fwd0);
+      (void)scratch;
+      stage1_loss.calibrate_weights(fwd0);
+    }
+
+    StageOutcome stage1;
+    for (size_t growth = 0;; ++growth) {
+      InputOptimizer optimizer(*net_, input, stage1_cfg);
+      stage1 = optimizer.run(stage1_loss);
+      // Did this candidate activate anything new?
+      ActivationSet probe = activated;
+      const size_t newly =
+          stage1.best_input.empty()
+              ? 0
+              : probe.absorb(stage1.best_forward, config_.activation_min_spikes);
+      if (newly > 0 || growth >= config_.max_growths_per_iteration) {
+        record.growths = growth;
+        break;
+      }
+      // Sec. IV-C3: no new neuron activated -> extend the window by beta
+      // (doubling each time) and rerun the stage.
+      input.grow(beta, rng, static_cast<float>(config_.input_init_bias));
+      duration += beta;
+      beta *= 2;
+      if (total_timer.seconds() >= config_.t_limit_seconds) break;
+    }
+    if (stage1.best_input.empty()) {
+      // Optimization produced nothing usable this iteration; stop rather
+      // than emit a broken chunk.
+      report.hit_time_limit = total_timer.seconds() >= config_.t_limit_seconds;
+      break;
+    }
+    record.duration_steps = stage1.best_input.shape().dim(0);
+    record.stage1_loss = stage1.best_loss;
+
+    Tensor chunk = stage1.best_input;
+    snn::ForwardResult chunk_fwd = stage1.best_forward;
+
+    // --- stage 2: spike sparsification under constant O^L ---
+    if (config_.enable_stage2 && config_.steps_stage2 > 0) {
+      seed_logits_from(input, chunk);
+      const Tensor reference = chunk_fwd.output();
+      CompositeLoss stage2_loss;
+      stage2_loss.add(std::make_shared<SparsityLoss>());
+      stage2_loss.add(std::make_shared<OutputConstancyPenalty>(reference, config_.constancy_mu));
+      {
+        const Tensor& start = input.forward(config_.tau_max, /*stochastic=*/false);
+        const auto fwd0 = net_->forward(start, /*record_traces=*/false);
+        stage2_loss.calibrate_weights(fwd0);
+      }
+      auto accept = [&reference](const snn::ForwardResult& fwd) {
+        return snn::output_distance(fwd.output(), reference) == 0.0;
+      };
+      InputOptimizer optimizer(*net_, input, stage2_cfg);
+      const StageOutcome stage2 = optimizer.run(stage2_loss, accept);
+      if (!stage2.best_input.empty()) {
+        // Keep the sparsified input only if it does not lose activations —
+        // stage 2 trims excess spikes but must not undo stage 1's work.
+        ActivationSet probe = activated;
+        const size_t newly_s2 = probe.absorb(stage2.best_forward, config_.activation_min_spikes);
+        ActivationSet probe1 = activated;
+        const size_t newly_s1 = probe1.absorb(chunk_fwd, config_.activation_min_spikes);
+        if (newly_s2 >= newly_s1) {
+          chunk = stage2.best_input;
+          chunk_fwd = stage2.best_forward;
+          record.stage2_accepted = true;
+        }
+        record.stage2_loss = stage2.best_loss;
+      }
+    }
+
+    record.newly_activated = activated.absorb(chunk_fwd, config_.activation_min_spikes);
+    record.total_activated = activated.count();
+    record.seconds = iter_timer.seconds();
+    report.stimulus.add_chunk(std::move(chunk));
+    report.iterations.push_back(record);
+
+    if (config_.verbose) {
+      SNNTEST_LOG_INFO(
+          "testgen iter %zu: T=%zu, +%zu neurons (%zu/%zu), stage1 loss %.3f%s (%s)",
+          iteration, record.duration_steps, record.newly_activated, record.total_activated,
+          report.total_neurons, record.stage1_loss,
+          record.stage2_accepted ? ", stage2 ok" : "",
+          util::format_duration(record.seconds).c_str());
+    }
+    if (record.newly_activated == 0) {
+      // The remaining neurons are unreachable (e.g. receptive fields outside
+      // active input, dead weights): further iterations would loop forever.
+      break;
+    }
+  }
+
+  report.activated_neurons = activated.count();
+  report.runtime_seconds = total_timer.seconds();
+  return report;
+}
+
+}  // namespace snntest::core

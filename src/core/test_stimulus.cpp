@@ -1,0 +1,128 @@
+#include "core/test_stimulus.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "snn/spike_train.hpp"
+#include "util/serialize.hpp"
+
+namespace snntest::core {
+namespace {
+constexpr uint32_t kMagic = 0x53544D53;  // "STMS"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+void TestStimulus::add_chunk(Tensor chunk) {
+  if (chunk.shape().rank() != 2) {
+    throw std::invalid_argument("TestStimulus::add_chunk: chunk must be [T, N]");
+  }
+  if (num_channels_ == 0) num_channels_ = chunk.shape().dim(1);
+  if (chunk.shape().dim(1) != num_channels_) {
+    throw std::invalid_argument("TestStimulus::add_chunk: channel-count mismatch");
+  }
+  chunks_.push_back(std::move(chunk));
+}
+
+size_t TestStimulus::total_steps() const {
+  // Eq. (8): every chunk except the last is followed by an equal-length
+  // sleep separator.
+  size_t steps = 0;
+  for (size_t j = 0; j < chunks_.size(); ++j) {
+    steps += chunks_[j].shape().dim(0);
+    if (j + 1 < chunks_.size()) steps += chunks_[j].shape().dim(0);
+  }
+  return steps;
+}
+
+size_t TestStimulus::chunk_steps() const {
+  size_t steps = 0;
+  for (const auto& c : chunks_) steps += c.shape().dim(0);
+  return steps;
+}
+
+Tensor TestStimulus::assemble() const {
+  if (chunks_.empty()) throw std::logic_error("TestStimulus::assemble: no chunks");
+  std::vector<Tensor> parts;
+  parts.reserve(2 * chunks_.size() - 1);
+  for (size_t j = 0; j < chunks_.size(); ++j) {
+    parts.push_back(chunks_[j]);
+    if (j + 1 < chunks_.size()) {
+      parts.push_back(snn::zero_train(chunks_[j].shape().dim(0), num_channels_));
+    }
+  }
+  return snn::concat_time(parts);
+}
+
+double TestStimulus::duration_in_samples(size_t steps_per_sample) const {
+  if (steps_per_sample == 0) throw std::invalid_argument("duration_in_samples: zero divisor");
+  return static_cast<double>(chunk_steps()) / static_cast<double>(steps_per_sample);
+}
+
+double TestStimulus::total_duration_in_samples(size_t steps_per_sample) const {
+  if (steps_per_sample == 0) throw std::invalid_argument("duration_in_samples: zero divisor");
+  return static_cast<double>(total_steps()) / static_cast<double>(steps_per_sample);
+}
+
+double TestStimulus::spike_density() const {
+  size_t ones = 0;
+  size_t cells = 0;
+  for (const auto& c : chunks_) {
+    ones += c.count_nonzero();
+    cells += c.numel();
+  }
+  // separators are all zero but occupy time
+  const size_t sep_cells = (total_steps() - chunk_steps()) * num_channels_;
+  cells += sep_cells;
+  return cells == 0 ? 0.0 : static_cast<double>(ones) / static_cast<double>(cells);
+}
+
+void TestStimulus::save(std::ostream& os) const {
+  util::write_magic(os, kMagic, kVersion);
+  util::write_u64(os, num_channels_);
+  util::write_u32(os, static_cast<uint32_t>(chunks_.size()));
+  for (const auto& c : chunks_) {
+    util::write_u64(os, c.shape().dim(0));
+    // bit-pack the binary chunk (the on-chip storage format)
+    const size_t bits = c.numel();
+    std::vector<uint8_t> packed((bits + 7) / 8, 0);
+    for (size_t i = 0; i < bits; ++i) {
+      if (c[i] > 0.5f) packed[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+    util::write_u8_vector(os, packed);
+  }
+}
+
+void TestStimulus::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("TestStimulus::save: cannot open " + path);
+  save(os);
+}
+
+TestStimulus TestStimulus::load(std::istream& is) {
+  util::check_magic(is, kMagic, kVersion);
+  TestStimulus stimulus;
+  stimulus.num_channels_ = util::read_u64(is);
+  const uint32_t count = util::read_u32(is);
+  for (uint32_t j = 0; j < count; ++j) {
+    const size_t steps = util::read_u64(is);
+    const auto packed = util::read_u8_vector(is);
+    Tensor chunk(Shape{steps, stimulus.num_channels_});
+    const size_t bits = chunk.numel();
+    if (packed.size() != (bits + 7) / 8) {
+      throw std::runtime_error("TestStimulus::load: packed size mismatch");
+    }
+    for (size_t i = 0; i < bits; ++i) {
+      chunk[i] = (packed[i / 8] >> (i % 8)) & 1u ? 1.0f : 0.0f;
+    }
+    stimulus.chunks_.push_back(std::move(chunk));
+  }
+  return stimulus;
+}
+
+TestStimulus TestStimulus::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("TestStimulus::load: cannot open " + path);
+  return load(is);
+}
+
+}  // namespace snntest::core

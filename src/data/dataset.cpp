@@ -1,0 +1,42 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace snntest::data {
+
+DatasetSlice::DatasetSlice(std::shared_ptr<const Dataset> base, size_t offset, size_t count)
+    : base_(std::move(base)), offset_(offset), count_(count) {
+  if (!base_) throw std::invalid_argument("DatasetSlice: null base");
+  if (offset_ + count_ > base_->size()) {
+    throw std::out_of_range("DatasetSlice: range exceeds base dataset size");
+  }
+}
+
+std::string DatasetSlice::name() const {
+  return base_->name() + "[" + std::to_string(offset_) + ":" +
+         std::to_string(offset_ + count_) + "]";
+}
+
+Sample DatasetSlice::get(size_t index) const {
+  if (index >= count_) throw std::out_of_range("DatasetSlice::get: index out of range");
+  return base_->get(offset_ + index);
+}
+
+TrainTestSplit split(std::shared_ptr<const Dataset> base, size_t train_count, size_t test_count) {
+  TrainTestSplit out;
+  out.train = std::make_shared<DatasetSlice>(base, 0, train_count);
+  out.test = std::make_shared<DatasetSlice>(base, train_count, test_count);
+  return out;
+}
+
+std::vector<size_t> label_histogram(const Dataset& ds) {
+  std::vector<size_t> hist(ds.num_classes(), 0);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const size_t label = ds.get(i).label;
+    if (label >= hist.size()) throw std::logic_error("label_histogram: label out of range");
+    ++hist[label];
+  }
+  return hist;
+}
+
+}  // namespace snntest::data

@@ -1,0 +1,70 @@
+// Dataset abstraction for spiking samples.
+//
+// The paper's benchmarks are event datasets (NMNIST, IBM DVS128 Gesture,
+// SHD). A sample is a binary spatio-temporal spike tensor [T, N1] plus a
+// class label. Synthetic replacements (DESIGN.md §2.2) generate samples
+// deterministically from (dataset seed, sample index), so a "dataset" has
+// no backing storage and is cheap to pass around.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace snntest::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Sample {
+  Tensor input;  // [T, input_size], values in {0, 1}
+  size_t label = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual std::string name() const = 0;
+  virtual size_t size() const = 0;
+  virtual size_t num_classes() const = 0;
+  /// Width of one input frame (N^1 in the paper's notation).
+  virtual size_t input_size() const = 0;
+  /// Timesteps per sample (T_in * f).
+  virtual size_t num_steps() const = 0;
+
+  virtual Sample get(size_t index) const = 0;
+};
+
+/// A contiguous index-range view (train/test split of a generated dataset).
+class DatasetSlice final : public Dataset {
+ public:
+  DatasetSlice(std::shared_ptr<const Dataset> base, size_t offset, size_t count);
+
+  std::string name() const override;
+  size_t size() const override { return count_; }
+  size_t num_classes() const override { return base_->num_classes(); }
+  size_t input_size() const override { return base_->input_size(); }
+  size_t num_steps() const override { return base_->num_steps(); }
+  Sample get(size_t index) const override;
+
+ private:
+  std::shared_ptr<const Dataset> base_;
+  size_t offset_;
+  size_t count_;
+};
+
+struct TrainTestSplit {
+  std::shared_ptr<Dataset> train;
+  std::shared_ptr<Dataset> test;
+};
+
+/// Split a dataset into a leading train part and trailing test part.
+TrainTestSplit split(std::shared_ptr<const Dataset> base, size_t train_count, size_t test_count);
+
+/// Histogram of labels — used by tests to check class balance.
+std::vector<size_t> label_histogram(const Dataset& ds);
+
+}  // namespace snntest::data

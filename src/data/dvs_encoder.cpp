@@ -1,0 +1,32 @@
+#include "data/dvs_encoder.hpp"
+
+namespace snntest::data {
+
+tensor::Tensor dvs_encode(const DvsConfig& config,
+                          const std::function<void(size_t, std::vector<uint8_t>&)>& frame,
+                          util::Rng& rng) {
+  const size_t pixels = config.height * config.width;
+  tensor::Tensor events(tensor::Shape{config.num_steps, 2 * pixels});
+  std::vector<uint8_t> prev(pixels, 0);
+  std::vector<uint8_t> cur(pixels, 0);
+  // The scene before t=0 is taken as the t=0 frame, so the first timestep
+  // carries only noise (a real DVS emits nothing for a static scene).
+  frame(0, prev);
+  for (size_t t = 0; t < config.num_steps; ++t) {
+    frame(t, cur);
+    float* row = events.row(t);
+    for (size_t p = 0; p < pixels; ++p) {
+      const bool on_event = cur[p] && !prev[p];
+      const bool off_event = !cur[p] && prev[p];
+      if (on_event && !rng.bernoulli(config.event_dropout)) row[p] = 1.0f;
+      if (off_event && !rng.bernoulli(config.event_dropout)) row[pixels + p] = 1.0f;
+      // background activity
+      if (rng.bernoulli(config.noise_density)) row[p] = 1.0f;
+      if (rng.bernoulli(config.noise_density)) row[pixels + p] = 1.0f;
+    }
+    std::swap(prev, cur);
+  }
+  return events;
+}
+
+}  // namespace snntest::data

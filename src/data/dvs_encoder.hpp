@@ -1,0 +1,36 @@
+// Dynamic-Vision-Sensor event simulation (internal helper).
+//
+// NMNIST and IBM DVS128 Gesture were both captured with a DVS: a pixel emits
+// an ON event when its brightness rises and an OFF event when it falls. We
+// reproduce that encoding from synthetic binary animation frames — events
+// are the frame-to-frame differences, with polarity channels laid out
+// channel-major: [polarity(2), H, W] flattened per timestep, ON = channel 0,
+// OFF = channel 1. Sensor imperfections are modelled with per-event dropout
+// and background noise events, which is what makes two samples of the same
+// class differ.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::data {
+
+struct DvsConfig {
+  size_t height = 16;
+  size_t width = 16;
+  size_t num_steps = 20;
+  double event_dropout = 0.15;  // probability a real event is lost
+  double noise_density = 0.004; // probability of a spurious event per pixel/step/polarity
+};
+
+/// `frame(t, mask)` must fill `mask` (H*W bytes) with the binary scene at
+/// time t. Returns the event tensor [T, 2*H*W].
+tensor::Tensor dvs_encode(const DvsConfig& config,
+                          const std::function<void(size_t, std::vector<uint8_t>&)>& frame,
+                          util::Rng& rng);
+
+}  // namespace snntest::data

@@ -1,0 +1,92 @@
+#include "data/synthetic_gesture.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace snntest::data {
+namespace {
+
+void draw_disc(std::vector<uint8_t>& mask, size_t height, size_t width, double cx, double cy,
+               double radius) {
+  const double r2 = radius * radius;
+  const long y0 = static_cast<long>(std::floor(cy - radius));
+  const long y1 = static_cast<long>(std::ceil(cy + radius));
+  for (long y = y0; y <= y1; ++y) {
+    if (y < 0 || y >= static_cast<long>(height)) continue;
+    for (long x = static_cast<long>(std::floor(cx - radius));
+         x <= static_cast<long>(std::ceil(cx + radius)); ++x) {
+      if (x < 0 || x >= static_cast<long>(width)) continue;
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      if (dx * dx + dy * dy <= r2) {
+        mask[static_cast<size_t>(y) * width + static_cast<size_t>(x)] = 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticGesture::SyntheticGesture(SyntheticGestureConfig config) : config_(config) {
+  if (config.height < 16 || config.width < 16) {
+    throw std::invalid_argument("SyntheticGesture: retina too small");
+  }
+}
+
+Sample SyntheticGesture::get(size_t index) const {
+  if (index >= config_.count) throw std::out_of_range("SyntheticGesture::get: bad index");
+  const size_t gesture = index % num_classes();
+  util::Rng rng(config_.seed * 0x9E3779B97F4A7C15ull + index * 0xBF58476D1CE4E5B9ull + 1);
+
+  const double H = static_cast<double>(config_.height);
+  const double W = static_cast<double>(config_.width);
+  const double cx0 = W / 2.0 + rng.uniform(-2.0, 2.0);
+  const double cy0 = H / 2.0 + rng.uniform(-2.0, 2.0);
+  const double speed = rng.uniform(0.35, 0.6);            // px per step
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double radius = rng.uniform(2.2, 3.2);
+  const double orbit_r = rng.uniform(4.5, 6.5);
+  const double omega = rng.uniform(0.25, 0.4);            // rad per step
+
+  DvsConfig dvs;
+  dvs.height = config_.height;
+  dvs.width = config_.width;
+  dvs.num_steps = config_.num_steps;
+  dvs.event_dropout = config_.event_dropout;
+  dvs.noise_density = config_.noise_density;
+
+  auto frame = [&](size_t t, std::vector<uint8_t>& mask) {
+    mask.assign(config_.height * config_.width, 0);
+    const double time = static_cast<double>(t);
+    if (gesture < 8) {
+      // translation along one of 8 compass directions, wrapping around
+      const double angle = static_cast<double>(gesture) * std::numbers::pi / 4.0;
+      double cx = cx0 + std::cos(angle) * speed * time;
+      double cy = cy0 + std::sin(angle) * speed * time;
+      cx = std::fmod(std::fmod(cx, W) + W, W);
+      cy = std::fmod(std::fmod(cy, H) + H, H);
+      draw_disc(mask, config_.height, config_.width, cx, cy, radius);
+    } else if (gesture == 8 || gesture == 9) {
+      // two-blob orbit, CW vs CCW
+      const double dir = gesture == 8 ? 1.0 : -1.0;
+      const double theta = phase + dir * omega * time;
+      for (int k = 0; k < 2; ++k) {
+        const double a = theta + k * std::numbers::pi;
+        draw_disc(mask, config_.height, config_.width, cx0 + orbit_r * std::cos(a),
+                  cy0 + orbit_r * std::sin(a), radius * 0.9);
+      }
+    } else {
+      // pulsating blob: radius breathes between 1.5 and ~6 px
+      const double breathe = 3.5 + 2.5 * std::sin(phase + 2.0 * omega * time);
+      draw_disc(mask, config_.height, config_.width, cx0, cy0, std::max(1.5, breathe));
+    }
+  };
+
+  Sample sample;
+  sample.input = dvs_encode(dvs, frame, rng);
+  sample.label = gesture;
+  return sample;
+}
+
+}  // namespace snntest::data

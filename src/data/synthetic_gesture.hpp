@@ -1,0 +1,44 @@
+// Synthetic IBM DVS128 Gesture stand-in (DESIGN.md §2.2).
+//
+// The real dataset contains 11 hand/arm gestures seen by a DVS. We keep the
+// structure — 11 classes of characteristic *motion patterns* on a 2-polarity
+// retina — with synthetic scenes: classes 0-7 are a blob translating in one
+// of 8 compass directions, 8/9 are clockwise / counter-clockwise orbits
+// (arm roll analogue), and 10 is an expand-contract pulsation (clap
+// analogue). Per-sample speed/phase/position jitter plays the role of the
+// 29 subjects and 3 lighting conditions.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "data/dvs_encoder.hpp"
+
+namespace snntest::data {
+
+struct SyntheticGestureConfig {
+  size_t count = 528;  // divisible by 11 keeps classes balanced
+  size_t height = 24;
+  size_t width = 24;
+  size_t num_steps = 30;
+  uint64_t seed = 202;
+  double event_dropout = 0.2;
+  double noise_density = 0.003;
+};
+
+class SyntheticGesture final : public Dataset {
+ public:
+  explicit SyntheticGesture(SyntheticGestureConfig config = {});
+
+  std::string name() const override { return "synthetic-dvs-gesture"; }
+  size_t size() const override { return config_.count; }
+  size_t num_classes() const override { return 11; }
+  size_t input_size() const override { return 2 * config_.height * config_.width; }
+  size_t num_steps() const override { return config_.num_steps; }
+  Sample get(size_t index) const override;
+
+  const SyntheticGestureConfig& config() const { return config_; }
+
+ private:
+  SyntheticGestureConfig config_;
+};
+
+}  // namespace snntest::data

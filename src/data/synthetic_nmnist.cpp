@@ -1,0 +1,102 @@
+#include "data/synthetic_nmnist.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace snntest::data {
+namespace {
+
+// Seven-segment encoding per digit; segments: 0=top, 1=top-right, 2=bottom-
+// right, 3=bottom, 4=bottom-left, 5=top-left, 6=middle.
+constexpr std::array<uint8_t, 10> kSegments = {
+    0b0111111,  // 0
+    0b0000110,  // 1
+    0b1011011,  // 2
+    0b1001111,  // 3
+    0b1100110,  // 4
+    0b1101101,  // 5
+    0b1111101,  // 6
+    0b0000111,  // 7
+    0b1111111,  // 8
+    0b1101111,  // 9
+};
+
+void fill_rect(std::vector<uint8_t>& mask, size_t height, size_t width, long x0, long y0, long x1,
+               long y1) {
+  for (long y = y0; y <= y1; ++y) {
+    if (y < 0 || y >= static_cast<long>(height)) continue;
+    for (long x = x0; x <= x1; ++x) {
+      if (x < 0 || x >= static_cast<long>(width)) continue;
+      mask[static_cast<size_t>(y) * width + static_cast<size_t>(x)] = 1;
+    }
+  }
+}
+
+}  // namespace
+
+void render_seven_segment(size_t digit, long dx, long dy, size_t height, size_t width,
+                          std::vector<uint8_t>& mask) {
+  if (digit > 9) throw std::invalid_argument("render_seven_segment: digit must be 0-9");
+  mask.assign(height * width, 0);
+  // Glyph box ~ 8 wide x 12 tall, anchored near the canvas center.
+  const long gx = static_cast<long>(width) / 2 - 4 + dx;
+  const long gy = static_cast<long>(height) / 2 - 6 + dy;
+  const long w = 7;   // glyph width - 1
+  const long h = 11;  // glyph height - 1
+  const uint8_t segs = kSegments[digit];
+  // horizontal segments: 2px thick bars
+  if (segs & (1u << 0)) fill_rect(mask, height, width, gx, gy, gx + w, gy + 1);          // top
+  if (segs & (1u << 6)) fill_rect(mask, height, width, gx, gy + h / 2, gx + w, gy + h / 2 + 1);
+  if (segs & (1u << 3)) fill_rect(mask, height, width, gx, gy + h - 1, gx + w, gy + h);  // bottom
+  // vertical segments
+  if (segs & (1u << 5)) fill_rect(mask, height, width, gx, gy, gx + 1, gy + h / 2);          // TL
+  if (segs & (1u << 1)) fill_rect(mask, height, width, gx + w - 1, gy, gx + w, gy + h / 2);  // TR
+  if (segs & (1u << 4)) fill_rect(mask, height, width, gx, gy + h / 2, gx + 1, gy + h);      // BL
+  if (segs & (1u << 2)) fill_rect(mask, height, width, gx + w - 1, gy + h / 2, gx + w, gy + h);
+}
+
+SyntheticNmnist::SyntheticNmnist(SyntheticNmnistConfig config) : config_(config) {
+  if (config.height < 14 || config.width < 10) {
+    throw std::invalid_argument("SyntheticNmnist: canvas too small for the glyph");
+  }
+}
+
+Sample SyntheticNmnist::get(size_t index) const {
+  if (index >= config_.count) throw std::out_of_range("SyntheticNmnist::get: bad index");
+  const size_t digit = index % num_classes();
+  util::Rng rng(config_.seed * 0x9E3779B97F4A7C15ull + index * 0xD1B54A32D192ED03ull + 1);
+  // Per-sample saccade: a triangular camera path visiting three offsets, as
+  // in NMNIST's three saccades.
+  const long base_dx = rng.uniform_int(-2, 2);
+  const long base_dy = rng.uniform_int(-1, 1);
+  const std::array<std::pair<long, long>, 4> waypoints = {
+      std::pair<long, long>{0, 0}, {2, 1}, {0, 2}, {-2, 0}};
+
+  DvsConfig dvs;
+  dvs.height = config_.height;
+  dvs.width = config_.width;
+  dvs.num_steps = config_.num_steps;
+  dvs.event_dropout = config_.event_dropout;
+  dvs.noise_density = config_.noise_density;
+
+  const size_t T = config_.num_steps;
+  auto frame = [&](size_t t, std::vector<uint8_t>& mask) {
+    // piecewise-linear interpolation along the saccade path
+    const double progress = static_cast<double>(t) / static_cast<double>(T) * 3.0;
+    const size_t seg = std::min<size_t>(2, static_cast<size_t>(progress));
+    const double frac = progress - static_cast<double>(seg);
+    const long dx = base_dx + waypoints[seg].first +
+                    static_cast<long>(frac * static_cast<double>(waypoints[seg + 1].first -
+                                                                 waypoints[seg].first));
+    const long dy = base_dy + waypoints[seg].second +
+                    static_cast<long>(frac * static_cast<double>(waypoints[seg + 1].second -
+                                                                 waypoints[seg].second));
+    render_seven_segment(digit, dx, dy, config_.height, config_.width, mask);
+  };
+  Sample sample;
+  sample.input = dvs_encode(dvs, frame, rng);
+  sample.label = digit;
+  return sample;
+}
+
+}  // namespace snntest::data

@@ -1,0 +1,48 @@
+// Synthetic NMNIST stand-in (DESIGN.md §2.2).
+//
+// NMNIST is MNIST viewed by a saccading DVS: each sample is an event stream
+// of a digit shape sweeping through small camera motions. We reproduce that
+// structure with seven-segment digit glyphs rendered on a 16x16 canvas and
+// animated along a triangular saccade path; the DVS encoder turns the
+// animation into ON/OFF polarity events. Labels are the digits 0-9 and are
+// exactly class-balanced (label = index mod 10).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "data/dvs_encoder.hpp"
+
+namespace snntest::data {
+
+struct SyntheticNmnistConfig {
+  size_t count = 1024;
+  size_t height = 16;
+  size_t width = 16;
+  size_t num_steps = 20;
+  uint64_t seed = 101;
+  double event_dropout = 0.15;
+  double noise_density = 0.004;
+};
+
+class SyntheticNmnist final : public Dataset {
+ public:
+  explicit SyntheticNmnist(SyntheticNmnistConfig config = {});
+
+  std::string name() const override { return "synthetic-nmnist"; }
+  size_t size() const override { return config_.count; }
+  size_t num_classes() const override { return 10; }
+  size_t input_size() const override { return 2 * config_.height * config_.width; }
+  size_t num_steps() const override { return config_.num_steps; }
+  Sample get(size_t index) const override;
+
+  const SyntheticNmnistConfig& config() const { return config_; }
+
+ private:
+  SyntheticNmnistConfig config_;
+};
+
+/// Render digit `d` (0-9) as a seven-segment glyph into `mask` (H*W) at
+/// integer offset (dx, dy). Exposed for tests.
+void render_seven_segment(size_t digit, long dx, long dy, size_t height, size_t width,
+                          std::vector<uint8_t>& mask);
+
+}  // namespace snntest::data

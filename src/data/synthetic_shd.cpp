@@ -1,0 +1,64 @@
+#include "data/synthetic_shd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace snntest::data {
+
+SyntheticShd::SyntheticShd(SyntheticShdConfig config) : config_(config) {
+  if (config.channels < 8) throw std::invalid_argument("SyntheticShd: too few channels");
+  if (config.num_steps < 5) throw std::invalid_argument("SyntheticShd: too few steps");
+}
+
+std::vector<SyntheticShd::Trajectory> SyntheticShd::class_template(size_t label) const {
+  // The template is a function of (dataset seed, label) only, so every
+  // sample of a class shares its formants — that is what makes the class.
+  util::Rng rng(config_.seed * 0xD1B54A32D192ED03ull + label * 0x9E3779B97F4A7C15ull + 7);
+  std::vector<Trajectory> trajectories(3);
+  const double C = static_cast<double>(config_.channels);
+  const double T = static_cast<double>(config_.num_steps);
+  for (auto& tr : trajectories) {
+    tr.start_channel = rng.uniform(0.1 * C, 0.9 * C);
+    tr.slope = rng.uniform(-0.6 * C / T, 0.6 * C / T);
+    tr.curvature = rng.uniform(-0.3 * C / (T * T), 0.3 * C / (T * T));
+  }
+  return trajectories;
+}
+
+Sample SyntheticShd::get(size_t index) const {
+  if (index >= config_.count) throw std::out_of_range("SyntheticShd::get: bad index");
+  const size_t label = index % num_classes();
+  util::Rng rng(config_.seed * 0x94D049BB133111EBull + index * 0xBF58476D1CE4E5B9ull + 3);
+
+  const auto trajectories = class_template(label);
+  // per-sample articulation jitter
+  const double channel_shift = rng.uniform(-2.0, 2.0);
+  const double time_stretch = rng.uniform(0.9, 1.1);
+  const long onset = rng.uniform_int(0, 2);
+
+  Sample sample;
+  sample.input = Tensor(Shape{config_.num_steps, config_.channels});
+  const long C = static_cast<long>(config_.channels);
+  for (size_t t = 0; t < config_.num_steps; ++t) {
+    float* row = sample.input.row(t);
+    const double tau = (static_cast<double>(t) - static_cast<double>(onset)) * time_stretch;
+    if (tau >= 0.0) {
+      for (const auto& tr : trajectories) {
+        if (!rng.bernoulli(config_.spike_probability)) continue;
+        const double c =
+            tr.start_channel + channel_shift + tr.slope * tau + tr.curvature * tau * tau;
+        const long ch = std::lround(c) + rng.uniform_int(-1, 1);  // 1-channel spread
+        if (ch >= 0 && ch < C) row[ch] = 1.0f;
+      }
+    }
+    for (long ch = 0; ch < C; ++ch) {
+      if (rng.bernoulli(config_.noise_density)) row[ch] = 1.0f;
+    }
+  }
+  sample.label = label;
+  return sample;
+}
+
+}  // namespace snntest::data

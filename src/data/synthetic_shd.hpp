@@ -1,0 +1,50 @@
+// Synthetic Spiking Heidelberg Digits stand-in (DESIGN.md §2.2).
+//
+// SHD converts spoken digits (German + English) into spike trains over 700
+// cochlear channels. We keep the structure — spatio-temporal formant
+// trajectories over a bank of frequency channels — at 64 channels: each of
+// the 20 classes ("zero".."nine" x 2 languages) is a fixed set of 3 chirp
+// trajectories (start channel, slope, curvature) drawn once from a
+// class-seeded generator; per-sample jitter shifts channels and stretches
+// time, and Bernoulli noise models spontaneous cochlear activity.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace snntest::data {
+
+struct SyntheticShdConfig {
+  size_t count = 1000;  // divisible by 20 keeps classes balanced
+  size_t channels = 64;
+  size_t num_steps = 25;
+  uint64_t seed = 303;
+  double spike_probability = 0.85;  // per trajectory per step
+  double noise_density = 0.006;
+};
+
+class SyntheticShd final : public Dataset {
+ public:
+  explicit SyntheticShd(SyntheticShdConfig config = {});
+
+  std::string name() const override { return "synthetic-shd"; }
+  size_t size() const override { return config_.count; }
+  size_t num_classes() const override { return 20; }
+  size_t input_size() const override { return config_.channels; }
+  size_t num_steps() const override { return config_.num_steps; }
+  Sample get(size_t index) const override;
+
+  const SyntheticShdConfig& config() const { return config_; }
+
+ private:
+  struct Trajectory {
+    double start_channel;
+    double slope;      // channels per step
+    double curvature;  // channels per step^2
+  };
+
+  std::vector<Trajectory> class_template(size_t label) const;
+
+  SyntheticShdConfig config_;
+};
+
+}  // namespace snntest::data

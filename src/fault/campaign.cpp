@@ -1,0 +1,74 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "snn/spike_train.hpp"
+#include "util/timer.hpp"
+
+namespace snntest::fault {
+
+size_t CampaignOutcome::detected_count() const {
+  size_t n = 0;
+  for (const auto& r : results) n += r.detected;
+  return n;
+}
+
+CampaignOutcome run_detection_campaign(const snn::Network& net, const tensor::Tensor& stimulus,
+                                       const std::vector<FaultDescriptor>& faults,
+                                       const CampaignConfig& config) {
+  util::Timer timer;
+  CampaignOutcome outcome;
+  outcome.results.resize(faults.size());
+
+  // Golden response (fault-free reference O^L of Eq. (3)).
+  snn::Network golden_net(net);
+  const auto golden = golden_net.forward(stimulus, /*record_traces=*/false);
+  const auto golden_counts = golden.output_counts();
+  const auto& golden_output = golden.output();
+  const auto stats = compute_weight_stats(golden_net);
+
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t workers = config.num_threads == 0 ? hw : config.num_threads;
+  std::atomic<size_t> done{0};
+
+  auto simulate_range = [&](snn::Network& worker_net, size_t begin, size_t end) {
+    FaultInjector injector(worker_net, stats);
+    for (size_t j = begin; j < end; ++j) {
+      ScopedFault scoped(injector, faults[j]);
+      const auto faulty = worker_net.forward(stimulus, /*record_traces=*/false);
+      DetectionResult& r = outcome.results[j];
+      r.output_l1 = snn::output_distance(golden_output, faulty.output());
+      r.detected = r.output_l1 > 0.0;
+      const auto counts = faulty.output_counts();
+      r.class_count_diff.resize(counts.size());
+      for (size_t c = 0; c < counts.size(); ++c) {
+        r.class_count_diff[c] = static_cast<long>(counts[c]) - static_cast<long>(golden_counts[c]);
+      }
+      const size_t completed = done.fetch_add(1) + 1;
+      if (config.progress) config.progress(completed, faults.size());
+    }
+  };
+
+  if (workers <= 1 || faults.size() < 2 * workers) {
+    snn::Network worker_net(net);
+    simulate_range(worker_net, 0, faults.size());
+  } else {
+    util::ThreadPool pool(workers);
+    const size_t chunk = (faults.size() + workers - 1) / workers;
+    std::vector<snn::Network> worker_nets(workers, net);
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t begin = w * chunk;
+      const size_t end = std::min(faults.size(), begin + chunk);
+      if (begin >= end) break;
+      pool.submit([&, w, begin, end] { simulate_range(worker_nets[w], begin, end); });
+    }
+    pool.wait_idle();
+  }
+
+  outcome.elapsed_seconds = timer.seconds();
+  return outcome;
+}
+
+}  // namespace snntest::fault

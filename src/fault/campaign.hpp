@@ -1,0 +1,48 @@
+// Fault-simulation campaign: sequential single-fault injection + inference,
+// parallelized across worker threads (each worker owns a network clone).
+//
+// Two campaign flavours mirror the paper:
+//  * run_detection_campaign — the Eq. (3)/(4) experiment: apply one test
+//    stimulus to the golden and each faulty network and compare output
+//    spike trains (L1 > 0 -> detected). This is T_FS in Sec. IV-B.
+//  * classify (see classifier.hpp) — the Table II experiment labelling
+//    faults critical/benign over a dataset.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snntest::fault {
+
+struct DetectionResult {
+  bool detected = false;
+  /// ||O^L - O^L(f)||_1 — output spike-train corruption magnitude (Fig. 9).
+  double output_l1 = 0.0;
+  /// Per-class |count - golden count| differences (signed: faulty - golden).
+  std::vector<long> class_count_diff;
+};
+
+struct CampaignConfig {
+  size_t num_threads = 0;  // 0 = hardware concurrency
+  /// Progress callback (completed, total); called from worker threads.
+  std::function<void(size_t, size_t)> progress;
+};
+
+struct CampaignOutcome {
+  std::vector<DetectionResult> results;  // parallel to the fault list
+  double elapsed_seconds = 0.0;
+  size_t detected_count() const;
+};
+
+/// Simulate every fault in `faults` against `stimulus` and report detection
+/// per Eq. (3). `net` must be fault-free; it is not modified (workers use
+/// clones).
+CampaignOutcome run_detection_campaign(const snn::Network& net, const tensor::Tensor& stimulus,
+                                       const std::vector<FaultDescriptor>& faults,
+                                       const CampaignConfig& config = {});
+
+}  // namespace snntest::fault

@@ -1,0 +1,91 @@
+#include "fault/classifier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace snntest::fault {
+
+size_t ClassificationOutcome::critical_count() const {
+  size_t n = 0;
+  for (const auto& l : labels) n += l.critical;
+  return n;
+}
+
+ClassificationOutcome classify_faults(const snn::Network& net,
+                                      const std::vector<FaultDescriptor>& faults,
+                                      const data::Dataset& dataset,
+                                      const ClassifierConfig& config) {
+  util::Timer timer;
+  ClassificationOutcome outcome;
+  outcome.labels.resize(faults.size());
+
+  const size_t n_samples =
+      config.max_samples == 0 ? dataset.size() : std::min(config.max_samples, dataset.size());
+
+  // Materialize the evaluation samples and the golden predictions once.
+  std::vector<data::Sample> samples;
+  samples.reserve(n_samples);
+  for (size_t i = 0; i < n_samples; ++i) samples.push_back(dataset.get(i));
+
+  snn::Network golden_net(net);
+  std::vector<size_t> golden_pred(n_samples);
+  size_t golden_correct = 0;
+  for (size_t i = 0; i < n_samples; ++i) {
+    golden_pred[i] = golden_net.forward(samples[i].input).predicted_class(config.decoding);
+    golden_correct += golden_pred[i] == samples[i].label;
+  }
+  outcome.golden_accuracy =
+      n_samples ? static_cast<double>(golden_correct) / static_cast<double>(n_samples) : 0.0;
+
+  const auto stats = compute_weight_stats(golden_net);
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t workers = config.num_threads == 0 ? hw : config.num_threads;
+  std::atomic<size_t> done{0};
+
+  auto classify_range = [&](snn::Network& worker_net, size_t begin, size_t end) {
+    FaultInjector injector(worker_net, stats);
+    for (size_t j = begin; j < end; ++j) {
+      ScopedFault scoped(injector, faults[j]);
+      FaultClassification& label = outcome.labels[j];
+      size_t faulty_correct = 0;
+      for (size_t i = 0; i < n_samples; ++i) {
+        const size_t pred = worker_net.forward(samples[i].input).predicted_class(config.decoding);
+        if (pred != golden_pred[i]) {
+          label.critical = true;
+          ++label.prediction_changes;
+        }
+        faulty_correct += pred == samples[i].label;
+      }
+      const double faulty_acc =
+          n_samples ? static_cast<double>(faulty_correct) / static_cast<double>(n_samples) : 0.0;
+      label.accuracy_drop = std::max(0.0, outcome.golden_accuracy - faulty_acc);
+      const size_t completed = done.fetch_add(1) + 1;
+      if (config.progress) config.progress(completed, faults.size());
+    }
+  };
+
+  if (workers <= 1 || faults.size() < 2 * workers) {
+    snn::Network worker_net(net);
+    classify_range(worker_net, 0, faults.size());
+  } else {
+    util::ThreadPool pool(workers);
+    const size_t chunk = (faults.size() + workers - 1) / workers;
+    std::vector<snn::Network> worker_nets(workers, net);
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t begin = w * chunk;
+      const size_t end = std::min(faults.size(), begin + chunk);
+      if (begin >= end) break;
+      pool.submit([&, w, begin, end] { classify_range(worker_nets[w], begin, end); });
+    }
+    pool.wait_idle();
+  }
+
+  outcome.elapsed_seconds = timer.seconds();
+  return outcome;
+}
+
+}  // namespace snntest::fault

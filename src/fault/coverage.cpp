@@ -1,0 +1,61 @@
+#include "fault/coverage.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace snntest::fault {
+
+std::string CoverageReport::to_string() const {
+  std::ostringstream os;
+  os << "FC critical neuron:  " << util::fmt_pct(critical_neuron.coverage()) << " ("
+     << critical_neuron.detected << "/" << critical_neuron.total << ")\n"
+     << "FC critical synapse: " << util::fmt_pct(critical_synapse.coverage()) << " ("
+     << critical_synapse.detected << "/" << critical_synapse.total << ")\n"
+     << "FC benign neuron:    " << util::fmt_pct(benign_neuron.coverage()) << " ("
+     << benign_neuron.detected << "/" << benign_neuron.total << ")\n"
+     << "FC benign synapse:   " << util::fmt_pct(benign_synapse.coverage()) << " ("
+     << benign_synapse.detected << "/" << benign_synapse.total << ")\n"
+     << "FC overall:          " << util::fmt_pct(overall.coverage()) << " (" << overall.detected
+     << "/" << overall.total << ")\n"
+     << "max escape accuracy drop: " << util::fmt_pct(max_escape_accuracy_drop_neuron)
+     << " (neuron), " << util::fmt_pct(max_escape_accuracy_drop_synapse) << " (synapse)\n";
+  return os.str();
+}
+
+CoverageReport build_coverage_report(const std::vector<FaultDescriptor>& faults,
+                                     const std::vector<DetectionResult>& detections,
+                                     const std::vector<FaultClassification>& labels) {
+  if (faults.size() != detections.size() || faults.size() != labels.size()) {
+    throw std::invalid_argument("build_coverage_report: array size mismatch");
+  }
+  CoverageReport report;
+  for (size_t j = 0; j < faults.size(); ++j) {
+    const bool neuron = faults[j].targets_neuron();
+    const bool critical = labels[j].critical;
+    const bool detected = detections[j].detected;
+    CoverageCell& cell = neuron ? (critical ? report.critical_neuron : report.benign_neuron)
+                                : (critical ? report.critical_synapse : report.benign_synapse);
+    ++cell.total;
+    cell.detected += detected;
+    ++report.overall.total;
+    report.overall.detected += detected;
+    if (critical && !detected) {
+      double& worst = neuron ? report.max_escape_accuracy_drop_neuron
+                             : report.max_escape_accuracy_drop_synapse;
+      worst = std::max(worst, labels[j].accuracy_drop);
+    }
+  }
+  return report;
+}
+
+double fault_coverage(const std::vector<DetectionResult>& detections) {
+  if (detections.empty()) return 1.0;
+  size_t detected = 0;
+  for (const auto& d : detections) detected += d.detected;
+  return static_cast<double>(detected) / static_cast<double>(detections.size());
+}
+
+}  // namespace snntest::fault

@@ -1,0 +1,136 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "snn/conv_layer.hpp"
+
+namespace snntest::fault {
+namespace {
+
+float* weight_slot(snn::Network& net, const snn::WeightRef& ref) {
+  auto params = net.layer(ref.layer).params();
+  if (ref.param >= params.size()) throw std::out_of_range("FaultInjector: bad param index");
+  if (ref.index >= params[ref.param].size) throw std::out_of_range("FaultInjector: bad weight index");
+  return params[ref.param].value + ref.index;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(snn::Network& net, std::vector<LayerWeightStats> stats)
+    : net_(&net), stats_(std::move(stats)) {
+  if (stats_.size() != net.num_layers()) {
+    throw std::invalid_argument("FaultInjector: stats/layer count mismatch");
+  }
+}
+
+FaultInjector::FaultInjector(snn::Network& net)
+    : FaultInjector(net, compute_weight_stats(net)) {}
+
+FaultInjector::~FaultInjector() { remove(); }
+
+void FaultInjector::inject(const FaultDescriptor& fault) {
+  if (active_) throw std::logic_error("FaultInjector: a fault is already active");
+  if (fault.targets_neuron()) {
+    snn::LifBank& lif = net_->layer(fault.neuron.layer).lif();
+    const size_t i = fault.neuron.index;
+    if (i >= lif.size()) throw std::out_of_range("FaultInjector: bad neuron index");
+    saved_neuron_ = {lif.thresholds()[i], lif.leaks()[i], lif.refractories()[i], lif.modes()[i]};
+    switch (fault.kind) {
+      case FaultKind::kNeuronDead:
+        lif.modes()[i] = snn::NeuronMode::kDead;
+        break;
+      case FaultKind::kNeuronSaturated:
+        lif.modes()[i] = snn::NeuronMode::kSaturated;
+        break;
+      case FaultKind::kNeuronThresholdVariation:
+        lif.thresholds()[i] =
+            std::max(1e-3f, saved_neuron_.threshold * (1.0f + fault.magnitude));
+        break;
+      case FaultKind::kNeuronLeakVariation:
+        lif.leaks()[i] = std::clamp(saved_neuron_.leak * (1.0f + fault.magnitude), 0.01f, 1.0f);
+        break;
+      case FaultKind::kNeuronRefractoryVariation:
+        lif.refractories()[i] =
+            std::max(0, saved_neuron_.refractory + static_cast<int>(fault.magnitude));
+        break;
+      default:
+        throw std::logic_error("FaultInjector: kind/target mismatch");
+    }
+  } else if (fault.connection_granularity) {
+    snn::Layer& layer = net_->layer(fault.connection.layer);
+    if (layer.kind() != snn::LayerKind::kConv2d) {
+      throw std::logic_error("FaultInjector: connection faults target conv layers");
+    }
+    auto& conv = static_cast<snn::ConvLayer&>(layer);
+    if (conv.connection_override_active()) {
+      throw std::logic_error("FaultInjector: connection override already active");
+    }
+    const float stored =
+        conv.connection_weight(fault.connection.out_index, fault.connection.in_index);
+    float value = stored;
+    switch (fault.kind) {
+      case FaultKind::kSynapseDead:
+        value = 0.0f;
+        break;
+      case FaultKind::kSynapseSaturatedPositive:
+        value = std::fabs(fault.magnitude);
+        break;
+      case FaultKind::kSynapseSaturatedNegative:
+        value = -std::fabs(fault.magnitude);
+        break;
+      case FaultKind::kSynapseBitFlip: {
+        const float scale = stats_[fault.connection.layer].quant_scale;
+        value = bitflip_weight(stored, scale, static_cast<int>(fault.magnitude));
+        break;
+      }
+      default:
+        throw std::logic_error("FaultInjector: kind/target mismatch");
+    }
+    conv.set_connection_override(fault.connection.out_index, fault.connection.in_index, value);
+  } else {
+    float* slot = weight_slot(*net_, fault.weight);
+    saved_weight_ = *slot;
+    switch (fault.kind) {
+      case FaultKind::kSynapseDead:
+        *slot = 0.0f;
+        break;
+      case FaultKind::kSynapseSaturatedPositive:
+        *slot = std::fabs(fault.magnitude);
+        break;
+      case FaultKind::kSynapseSaturatedNegative:
+        *slot = -std::fabs(fault.magnitude);
+        break;
+      case FaultKind::kSynapseBitFlip: {
+        const float scale = stats_[fault.weight.layer].quant_scale;
+        *slot = bitflip_weight(saved_weight_, scale, static_cast<int>(fault.magnitude));
+        break;
+      }
+      default:
+        throw std::logic_error("FaultInjector: kind/target mismatch");
+    }
+  }
+  active_ = fault;
+}
+
+void FaultInjector::remove() {
+  if (!active_) return;
+  const FaultDescriptor& fault = *active_;
+  if (fault.targets_neuron()) {
+    snn::LifBank& lif = net_->layer(fault.neuron.layer).lif();
+    const size_t i = fault.neuron.index;
+    lif.thresholds()[i] = saved_neuron_.threshold;
+    lif.leaks()[i] = saved_neuron_.leak;
+    lif.refractories()[i] = saved_neuron_.refractory;
+    lif.modes()[i] = saved_neuron_.mode;
+  } else if (fault.connection_granularity) {
+    static_cast<snn::ConvLayer&>(net_->layer(fault.connection.layer))
+        .clear_connection_override();
+  } else {
+    *weight_slot(*net_, fault.weight) = saved_weight_;
+  }
+  active_.reset();
+}
+
+}  // namespace snntest::fault

@@ -1,0 +1,68 @@
+// Fault injection into a live Network (the SpikeFI-equivalent substrate).
+//
+// Injection mutates the network in place — a weight value or a per-neuron
+// parameter/mode in the target layer's LifBank — and records exactly what
+// it changed so removal is a perfect restore. `ScopedFault` is the RAII
+// form used by campaign workers: inject on construction, restore on scope
+// exit, so a worker can sweep thousands of faults over one network clone.
+#pragma once
+
+#include <optional>
+
+#include "fault/fault.hpp"
+#include "fault/registry.hpp"
+
+namespace snntest::fault {
+
+class FaultInjector {
+ public:
+  /// `stats` must come from compute_weight_stats on the same (fault-free)
+  /// network — bit-flip faults need the layer quantization scale.
+  FaultInjector(snn::Network& net, std::vector<LayerWeightStats> stats);
+  /// Convenience: computes the stats itself.
+  explicit FaultInjector(snn::Network& net);
+
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Apply `fault`. Exactly one fault can be active at a time (the paper's
+  /// single-fault assumption); injecting while active throws.
+  void inject(const FaultDescriptor& fault);
+
+  /// Restore the saved state. No-op if nothing is active.
+  void remove();
+
+  bool active() const { return active_.has_value(); }
+  const FaultDescriptor* active_fault() const { return active_ ? &*active_ : nullptr; }
+
+ private:
+  struct SavedNeuron {
+    float threshold;
+    float leak;
+    int refractory;
+    snn::NeuronMode mode;
+  };
+
+  snn::Network* net_;
+  std::vector<LayerWeightStats> stats_;
+  std::optional<FaultDescriptor> active_;
+  SavedNeuron saved_neuron_{};
+  float saved_weight_ = 0.0f;
+};
+
+/// RAII single-fault scope.
+class ScopedFault {
+ public:
+  ScopedFault(FaultInjector& injector, const FaultDescriptor& fault) : injector_(injector) {
+    injector_.inject(fault);
+  }
+  ~ScopedFault() { injector_.remove(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultInjector& injector_;
+};
+
+}  // namespace snntest::fault

@@ -1,0 +1,152 @@
+#include "fault/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "snn/conv_layer.hpp"
+
+namespace snntest::fault {
+
+std::vector<LayerWeightStats> compute_weight_stats(snn::Network& net) {
+  std::vector<LayerWeightStats> stats(net.num_layers());
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    float max_abs = 0.0f;
+    for (const snn::ParamView& p : net.layer(l).params()) {
+      for (size_t i = 0; i < p.size; ++i) max_abs = std::max(max_abs, std::fabs(p.value[i]));
+    }
+    stats[l].max_abs = max_abs;
+    stats[l].quant_scale = std::max(max_abs, 1e-6f);
+  }
+  return stats;
+}
+
+std::vector<FaultDescriptor> enumerate_faults(snn::Network& net,
+                                              const FaultUniverseConfig& config) {
+  std::vector<FaultDescriptor> faults;
+  const auto stats = compute_weight_stats(net);
+
+  // --- neuron faults, layer-major ---
+  for (const snn::NeuronRef& n : net.all_neurons()) {
+    auto push_neuron = [&](FaultKind kind, float magnitude) {
+      FaultDescriptor f;
+      f.kind = kind;
+      f.neuron = n;
+      f.magnitude = magnitude;
+      faults.push_back(f);
+    };
+    if (config.neuron_dead) push_neuron(FaultKind::kNeuronDead, 0.0f);
+    if (config.neuron_saturated) push_neuron(FaultKind::kNeuronSaturated, 0.0f);
+    if (config.neuron_threshold_variation) {
+      push_neuron(FaultKind::kNeuronThresholdVariation, +config.threshold_delta);
+      push_neuron(FaultKind::kNeuronThresholdVariation, -config.threshold_delta);
+    }
+    if (config.neuron_leak_variation) {
+      push_neuron(FaultKind::kNeuronLeakVariation, +config.leak_delta);
+      push_neuron(FaultKind::kNeuronLeakVariation, -config.leak_delta);
+    }
+    if (config.neuron_refractory_variation) {
+      push_neuron(FaultKind::kNeuronRefractoryVariation,
+                  static_cast<float>(config.refractory_extra_steps));
+    }
+  }
+
+  // --- synapse faults over every stored weight ---
+  for (const snn::WeightRef& w : net.all_weights()) {
+    const bool conv = net.layer(w.layer).kind() == snn::LayerKind::kConv2d;
+    const float sat = config.saturation_factor * stats[w.layer].max_abs;
+    auto push_weight = [&](FaultKind kind, float magnitude) {
+      FaultDescriptor f;
+      f.kind = kind;
+      f.weight = w;
+      f.magnitude = magnitude;
+      faults.push_back(f);
+    };
+    // With connection granularity requested, conv dead/saturated faults are
+    // emitted per connection below; bit-flips remain weight-memory faults.
+    if (!(conv && config.conv_connection_granularity)) {
+      if (config.synapse_dead) push_weight(FaultKind::kSynapseDead, 0.0f);
+      if (config.synapse_saturated_positive) {
+        push_weight(FaultKind::kSynapseSaturatedPositive, sat);
+      }
+      if (config.synapse_saturated_negative) {
+        push_weight(FaultKind::kSynapseSaturatedNegative, sat);
+      }
+    }
+    if (config.synapse_bitflip) {
+      for (int bit : config.bitflip_bits) {
+        push_weight(FaultKind::kSynapseBitFlip, static_cast<float>(bit));
+      }
+    }
+  }
+
+  // --- per-connection conv synapse faults (optional) ---
+  if (config.conv_connection_granularity) {
+    for (size_t l = 0; l < net.num_layers(); ++l) {
+      if (net.layer(l).kind() != snn::LayerKind::kConv2d) continue;
+      const auto& conv = static_cast<const snn::ConvLayer&>(net.layer(l));
+      const auto& spec = conv.spec();
+      const float sat = config.saturation_factor * stats[l].max_abs;
+      const size_t oh = spec.out_height();
+      const size_t ow = spec.out_width();
+      for (size_t oc = 0; oc < spec.out_channels; ++oc) {
+        for (size_t oy = 0; oy < oh; ++oy) {
+          for (size_t ox = 0; ox < ow; ++ox) {
+            const size_t out_index = (oc * oh + oy) * ow + ox;
+            for (size_t ic = 0; ic < spec.in_channels; ++ic) {
+              for (size_t ky = 0; ky < spec.kernel; ++ky) {
+                const long iy = static_cast<long>(oy * spec.stride + ky) -
+                                static_cast<long>(spec.padding);
+                if (iy < 0 || iy >= static_cast<long>(spec.in_height)) continue;
+                for (size_t kx = 0; kx < spec.kernel; ++kx) {
+                  const long ix = static_cast<long>(ox * spec.stride + kx) -
+                                  static_cast<long>(spec.padding);
+                  if (ix < 0 || ix >= static_cast<long>(spec.in_width)) continue;
+                  const size_t in_index =
+                      (ic * spec.in_height + static_cast<size_t>(iy)) * spec.in_width +
+                      static_cast<size_t>(ix);
+                  auto push_conn = [&](FaultKind kind, float magnitude) {
+                    FaultDescriptor f;
+                    f.kind = kind;
+                    f.connection_granularity = true;
+                    f.connection = {l, out_index, in_index};
+                    f.magnitude = magnitude;
+                    faults.push_back(f);
+                  };
+                  if (config.synapse_dead) push_conn(FaultKind::kSynapseDead, 0.0f);
+                  if (config.synapse_saturated_positive) {
+                    push_conn(FaultKind::kSynapseSaturatedPositive, sat);
+                  }
+                  if (config.synapse_saturated_negative) {
+                    push_conn(FaultKind::kSynapseSaturatedNegative, sat);
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<FaultDescriptor> sample_faults(const std::vector<FaultDescriptor>& universe, size_t k,
+                                           util::Rng& rng) {
+  const auto indices = rng.sample_without_replacement(universe.size(), k);
+  std::vector<FaultDescriptor> sampled;
+  sampled.reserve(indices.size());
+  for (size_t i : indices) sampled.push_back(universe[i]);
+  return sampled;
+}
+
+size_t count_neuron_faults(const std::vector<FaultDescriptor>& faults) {
+  return static_cast<size_t>(
+      std::count_if(faults.begin(), faults.end(),
+                    [](const FaultDescriptor& f) { return f.targets_neuron(); }));
+}
+
+size_t count_synapse_faults(const std::vector<FaultDescriptor>& faults) {
+  return faults.size() - count_neuron_faults(faults);
+}
+
+}  // namespace snntest::fault

@@ -1,0 +1,70 @@
+// Fault-universe enumeration (the {f_j} of Sec. IV-A).
+//
+// Enumerates every fault of the configured kinds over every neuron and
+// stored weight of a network, in a stable deterministic order; also
+// supports unbiased random sampling of the universe (statistical fault
+// sampling, used to bound single-core campaign times — DESIGN.md §2.4).
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::fault {
+
+struct FaultUniverseConfig {
+  // Default universe matches the paper's Table II composition.
+  bool neuron_dead = true;
+  bool neuron_saturated = true;
+  bool synapse_dead = true;
+  bool synapse_saturated_positive = true;
+  bool synapse_saturated_negative = true;
+
+  // Extended (parametric) faults, off by default.
+  bool neuron_threshold_variation = false;
+  bool neuron_leak_variation = false;
+  bool neuron_refractory_variation = false;
+  bool synapse_bitflip = false;
+
+  /// Relative deltas used for the parametric variations; both +delta and
+  /// -delta instances are generated for threshold/leak.
+  float threshold_delta = 0.25f;
+  float leak_delta = 0.2f;
+  int refractory_extra_steps = 2;
+  /// Saturated weight magnitude = factor * max |w| of the layer's weights.
+  float saturation_factor = 1.5f;
+  /// Bits to flip (int8 weight memory); 7 is the sign bit.
+  std::vector<int> bitflip_bits = {6};
+
+  /// When true, conv-layer synapse faults are enumerated per physical
+  /// connection (paper's Table I convention) instead of per stored weight
+  /// (weight-memory granularity, DESIGN.md §2.5). Dense/recurrent layers
+  /// are per-weight either way (the two coincide). Bit-flips stay at
+  /// weight granularity — they model the weight memory itself.
+  bool conv_connection_granularity = false;
+};
+
+/// Layer-wise weight statistics used to place saturation outliers.
+struct LayerWeightStats {
+  float max_abs = 0.0f;   // over all stored weights of the layer
+  float quant_scale = 0.0f;  // int8 full-scale (== max_abs, floored to eps)
+};
+
+std::vector<LayerWeightStats> compute_weight_stats(snn::Network& net);
+
+/// Enumerate the full fault universe in deterministic order: all neuron
+/// faults layer-major, then all synapse faults layer/param-major.
+std::vector<FaultDescriptor> enumerate_faults(snn::Network& net,
+                                              const FaultUniverseConfig& config = {});
+
+/// Uniformly sample `k` faults without replacement (k >= universe size
+/// returns the whole universe, order shuffled).
+std::vector<FaultDescriptor> sample_faults(const std::vector<FaultDescriptor>& universe, size_t k,
+                                           util::Rng& rng);
+
+/// Partition helpers for reporting.
+size_t count_neuron_faults(const std::vector<FaultDescriptor>& faults);
+size_t count_synapse_faults(const std::vector<FaultDescriptor>& faults);
+
+}  // namespace snntest::fault

@@ -1,0 +1,202 @@
+#include "snn/conv_layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace snntest::snn {
+
+ConvLayer::ConvLayer(Conv2dSpec spec, LifParams params)
+    : spec_(spec),
+      lif_(spec.output_size(), params),
+      weights_(spec.weight_count(), 0.0f),
+      weight_grads_(spec.weight_count(), 0.0f) {
+  if (spec.kernel == 0 || spec.stride == 0) {
+    throw std::invalid_argument("ConvLayer: kernel and stride must be > 0");
+  }
+  if (spec.in_height + 2 * spec.padding < spec.kernel ||
+      spec.in_width + 2 * spec.padding < spec.kernel) {
+    throw std::invalid_argument("ConvLayer: kernel larger than padded input");
+  }
+}
+
+std::string ConvLayer::name() const {
+  return "conv(" + std::to_string(spec_.in_channels) + "x" + std::to_string(spec_.in_height) +
+         "x" + std::to_string(spec_.in_width) + "->" + std::to_string(spec_.out_channels) + "x" +
+         std::to_string(spec_.out_height()) + "x" + std::to_string(spec_.out_width()) + ",k" +
+         std::to_string(spec_.kernel) + ",s" + std::to_string(spec_.stride) + ")";
+}
+
+size_t ConvLayer::num_connections() const {
+  // Every (output position, kernel tap) pair that lands inside the input is
+  // one physical connection. Padding taps connect to nothing.
+  size_t count = 0;
+  const size_t oh = spec_.out_height();
+  const size_t ow = spec_.out_width();
+  for (size_t oy = 0; oy < oh; ++oy) {
+    for (size_t ox = 0; ox < ow; ++ox) {
+      for (size_t ky = 0; ky < spec_.kernel; ++ky) {
+        const long iy = static_cast<long>(oy * spec_.stride + ky) - static_cast<long>(spec_.padding);
+        if (iy < 0 || iy >= static_cast<long>(spec_.in_height)) continue;
+        for (size_t kx = 0; kx < spec_.kernel; ++kx) {
+          const long ix =
+              static_cast<long>(ox * spec_.stride + kx) - static_cast<long>(spec_.padding);
+          if (ix < 0 || ix >= static_cast<long>(spec_.in_width)) continue;
+          ++count;
+        }
+      }
+    }
+  }
+  return count * spec_.out_channels * spec_.in_channels;
+}
+
+void ConvLayer::init_weights(util::Rng& rng, float gain) {
+  const float fan_in = static_cast<float>(spec_.in_channels * spec_.kernel * spec_.kernel);
+  const float bound = gain * lif_.defaults().threshold * 3.0f / std::sqrt(fan_in);
+  for (auto& w : weights_) w = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void ConvLayer::conv_forward_frame(const float* in, float* syn) const {
+  const size_t oh = spec_.out_height();
+  const size_t ow = spec_.out_width();
+  const size_t k = spec_.kernel;
+  for (size_t oc = 0; oc < spec_.out_channels; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (size_t ic = 0; ic < spec_.in_channels; ++ic) {
+          const float* w_base = weights_.data() + ((oc * spec_.in_channels + ic) * k) * k;
+          const float* in_base = in + ic * spec_.in_height * spec_.in_width;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const long iy =
+                static_cast<long>(oy * spec_.stride + ky) - static_cast<long>(spec_.padding);
+            if (iy < 0 || iy >= static_cast<long>(spec_.in_height)) continue;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const long ix =
+                  static_cast<long>(ox * spec_.stride + kx) - static_cast<long>(spec_.padding);
+              if (ix < 0 || ix >= static_cast<long>(spec_.in_width)) continue;
+              acc += static_cast<double>(w_base[ky * k + kx]) *
+                     in_base[iy * static_cast<long>(spec_.in_width) + ix];
+            }
+          }
+        }
+        syn[(oc * oh + oy) * ow + ox] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+void ConvLayer::conv_backward_frame(const float* in, const float* grad_syn, float* grad_in) {
+  const size_t oh = spec_.out_height();
+  const size_t ow = spec_.out_width();
+  const size_t k = spec_.kernel;
+  for (size_t oc = 0; oc < spec_.out_channels; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        const float g = grad_syn[(oc * oh + oy) * ow + ox];
+        if (g == 0.0f) continue;
+        for (size_t ic = 0; ic < spec_.in_channels; ++ic) {
+          float* wg_base = weight_grads_.data() + ((oc * spec_.in_channels + ic) * k) * k;
+          const float* w_base = weights_.data() + ((oc * spec_.in_channels + ic) * k) * k;
+          const float* in_base = in + ic * spec_.in_height * spec_.in_width;
+          float* gin_base = grad_in + ic * spec_.in_height * spec_.in_width;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const long iy =
+                static_cast<long>(oy * spec_.stride + ky) - static_cast<long>(spec_.padding);
+            if (iy < 0 || iy >= static_cast<long>(spec_.in_height)) continue;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const long ix =
+                  static_cast<long>(ox * spec_.stride + kx) - static_cast<long>(spec_.padding);
+              if (ix < 0 || ix >= static_cast<long>(spec_.in_width)) continue;
+              const long in_idx = iy * static_cast<long>(spec_.in_width) + ix;
+              wg_base[ky * k + kx] += g * in_base[in_idx];
+              gin_base[in_idx] += g * w_base[ky * k + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+size_t ConvLayer::tap_index(size_t out_index, size_t in_index) const {
+  const size_t oh = spec_.out_height();
+  const size_t ow = spec_.out_width();
+  if (out_index >= spec_.output_size() || in_index >= spec_.input_size()) {
+    throw std::invalid_argument("ConvLayer: connection index out of range");
+  }
+  const size_t oc = out_index / (oh * ow);
+  const size_t oy = (out_index / ow) % oh;
+  const size_t ox = out_index % ow;
+  const size_t ic = in_index / (spec_.in_height * spec_.in_width);
+  const size_t iy = (in_index / spec_.in_width) % spec_.in_height;
+  const size_t ix = in_index % spec_.in_width;
+  const long ky = static_cast<long>(iy) + static_cast<long>(spec_.padding) -
+                  static_cast<long>(oy * spec_.stride);
+  const long kx = static_cast<long>(ix) + static_cast<long>(spec_.padding) -
+                  static_cast<long>(ox * spec_.stride);
+  if (ky < 0 || kx < 0 || ky >= static_cast<long>(spec_.kernel) ||
+      kx >= static_cast<long>(spec_.kernel)) {
+    throw std::invalid_argument("ConvLayer: neurons are not connected");
+  }
+  return ((oc * spec_.in_channels + ic) * spec_.kernel + static_cast<size_t>(ky)) *
+             spec_.kernel +
+         static_cast<size_t>(kx);
+}
+
+float ConvLayer::connection_weight(size_t out_index, size_t in_index) const {
+  return weights_[tap_index(out_index, in_index)];
+}
+
+void ConvLayer::set_connection_override(size_t out_index, size_t in_index, float new_weight) {
+  const float stored = connection_weight(out_index, in_index);
+  override_.out_index = out_index;
+  override_.in_index = in_index;
+  override_.delta = new_weight - stored;
+  override_.active = true;
+}
+
+void ConvLayer::clear_connection_override() { override_.active = false; }
+
+Tensor ConvLayer::forward(const Tensor& in, bool record_traces) {
+  if (in.shape().rank() != 2 || in.shape().dim(1) != spec_.input_size()) {
+    throw std::invalid_argument("ConvLayer::forward: expected [T, " +
+                                std::to_string(spec_.input_size()) + "], got " +
+                                in.shape().to_string());
+  }
+  const size_t T = in.shape().dim(0);
+  Tensor out(Shape{T, lif_.size()});
+  lif_.begin_run(T, record_traces);
+  std::vector<float> syn(lif_.size());
+  for (size_t t = 0; t < T; ++t) {
+    conv_forward_frame(in.row(t), syn.data());
+    if (override_.active) {
+      // connection-granularity fault: adjust exactly one synapse's effect
+      syn[override_.out_index] += override_.delta * in.row(t)[override_.in_index];
+    }
+    lif_.step(syn.data(), out.row(t));
+  }
+  if (record_traces) saved_input_ = in;
+  return out;
+}
+
+Tensor ConvLayer::backward(const Tensor& grad_out) {
+  const size_t T = grad_out.shape().dim(0);
+  if (saved_input_.empty() || saved_input_.shape().dim(0) != T) {
+    throw std::logic_error("ConvLayer::backward without matching recorded forward");
+  }
+  Tensor grad_syn(Shape{T, lif_.size()});
+  lif_.backward(grad_out.data(), T, surrogate_, grad_syn.data());
+  Tensor grad_in(Shape{T, spec_.input_size()});
+  for (size_t t = 0; t < T; ++t) {
+    conv_backward_frame(saved_input_.row(t), grad_syn.row(t), grad_in.row(t));
+  }
+  return grad_in;
+}
+
+std::vector<ParamView> ConvLayer::params() {
+  return {{weights_.data(), weight_grads_.data(), weights_.size(), "kernel"}};
+}
+
+std::unique_ptr<Layer> ConvLayer::clone() const { return std::make_unique<ConvLayer>(*this); }
+
+}  // namespace snntest::snn

@@ -1,0 +1,95 @@
+// 2-D convolutional spiking layer.
+//
+// Feature maps are flattened channel-major: index = (c*H + y)*W + x.
+// Weights are stored [C_out, C_in, K, K] flat; one stored weight is one
+// fault-injection site (weight-memory granularity, see DESIGN.md §2.5),
+// while num_connections() reports the unrolled per-connection count used by
+// the paper's Table I.
+#pragma once
+
+#include "snn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::snn {
+
+struct Conv2dSpec {
+  size_t in_channels = 1;
+  size_t in_height = 1;
+  size_t in_width = 1;
+  size_t out_channels = 1;
+  size_t kernel = 3;
+  size_t stride = 1;
+  size_t padding = 0;
+
+  size_t out_height() const { return (in_height + 2 * padding - kernel) / stride + 1; }
+  size_t out_width() const { return (in_width + 2 * padding - kernel) / stride + 1; }
+  size_t input_size() const { return in_channels * in_height * in_width; }
+  size_t output_size() const { return out_channels * out_height() * out_width(); }
+  size_t weight_count() const { return out_channels * in_channels * kernel * kernel; }
+};
+
+class ConvLayer final : public Layer {
+ public:
+  ConvLayer(Conv2dSpec spec, LifParams params);
+
+  void init_weights(util::Rng& rng, float gain = 1.0f);
+
+  LayerKind kind() const override { return LayerKind::kConv2d; }
+  std::string name() const override;
+  size_t num_inputs() const override { return spec_.input_size(); }
+  size_t num_neurons() const override { return lif_.size(); }
+  size_t num_weights() const override { return weights_.size(); }
+  size_t num_connections() const override;
+
+  Tensor forward(const Tensor& in, bool record_traces) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  std::vector<ParamView> params() override;
+  LifBank& lif() override { return lif_; }
+  const LifBank& lif() const override { return lif_; }
+  std::unique_ptr<Layer> clone() const override;
+
+  const Conv2dSpec& spec() const { return spec_; }
+  std::vector<float>& weights() { return weights_; }
+  const std::vector<float>& weights() const { return weights_; }
+
+  // --- per-connection fault support ---
+  // The paper's Table I counts synapses as *connections*; a physical
+  // connection fault in a conv accelerator affects one (output position,
+  // kernel tap) pair rather than the shared stored weight. At most one
+  // override is active (single-fault assumption); it replaces the effective
+  // weight of the connection from flattened input `in_index` to output
+  // neuron `out_index` during forward only.
+
+  /// Stored kernel weight serving connection (out_index, in_index).
+  /// Throws std::invalid_argument if the pair is not connected.
+  float connection_weight(size_t out_index, size_t in_index) const;
+  void set_connection_override(size_t out_index, size_t in_index, float new_weight);
+  void clear_connection_override();
+  bool connection_override_active() const { return override_.active; }
+
+ private:
+  /// syn frame (length output_size) from one input spike frame.
+  void conv_forward_frame(const float* in, float* syn) const;
+  /// Scatter grad_syn into grad_in and weight grads for one timestep.
+  void conv_backward_frame(const float* in, const float* grad_syn, float* grad_in);
+
+  struct ConnectionOverride {
+    size_t out_index = 0;
+    size_t in_index = 0;
+    float delta = 0.0f;  // effective weight - stored weight
+    bool active = false;
+  };
+
+  /// Kernel-tap index serving (out_index, in_index), or throws.
+  size_t tap_index(size_t out_index, size_t in_index) const;
+
+  Conv2dSpec spec_;
+  LifBank lif_;
+  std::vector<float> weights_;
+  std::vector<float> weight_grads_;
+  Tensor saved_input_;
+  ConnectionOverride override_;
+};
+
+}  // namespace snntest::snn

@@ -1,0 +1,87 @@
+// Abstract spiking layer.
+//
+// A layer maps an input spike train [T, num_inputs] to an output spike train
+// [T, num_neurons] by computing per-timestep synaptic currents from its
+// weights and feeding them through a LifBank. It owns trainable weights and
+// their gradients, and exposes both to the optimizer (training) and to the
+// fault injector (synapse faults mutate weights in place; neuron faults
+// mutate the LifBank's per-neuron vectors).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snn/neuron.hpp"
+#include "snn/surrogate.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snntest::snn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+enum class LayerKind : uint8_t {
+  kDense = 0,
+  kConv2d = 1,
+  kSumPool = 2,
+  kRecurrent = 3,
+};
+
+/// A view over one trainable parameter array of a layer.
+struct ParamView {
+  float* value = nullptr;
+  float* grad = nullptr;
+  size_t size = 0;
+  const char* name = "";
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Width of one input frame (number of presynaptic channels).
+  virtual size_t num_inputs() const = 0;
+  /// Number of neurons (width of one output frame).
+  virtual size_t num_neurons() const = 0;
+
+  /// Trainable weight count (synapse-memory fault universe of this layer).
+  virtual size_t num_weights() const = 0;
+  /// Fan-out synapse-connection count (paper's Table I convention); for
+  /// dense layers equals num_weights, for conv layers counts every reuse.
+  virtual size_t num_connections() const = 0;
+
+  /// Forward over a full window. `in` is [T, num_inputs] with values {0,1}.
+  /// Returns the spike train [T, num_neurons]. When `record_traces`, keeps
+  /// everything needed for a subsequent backward().
+  virtual Tensor forward(const Tensor& in, bool record_traces) = 0;
+
+  /// BPTT through the recorded window. `grad_out` is dL/d(output spikes),
+  /// [T, num_neurons]. Accumulates weight gradients and returns
+  /// dL/d(input spikes) [T, num_inputs].
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<ParamView> params() = 0;
+  void zero_grad() {
+    for (ParamView p : params()) std::fill(p.grad, p.grad + p.size, 0.0f);
+  }
+
+  /// The LIF population of this layer (never null for the provided layers).
+  virtual LifBank& lif() = 0;
+  virtual const LifBank& lif() const = 0;
+
+  /// Deep copy (used by parallel fault-simulation workers).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  SurrogateConfig& surrogate() { return surrogate_; }
+  const SurrogateConfig& surrogate() const { return surrogate_; }
+
+ protected:
+  SurrogateConfig surrogate_{};
+};
+
+}  // namespace snntest::snn

@@ -1,0 +1,134 @@
+#include "snn/neuron.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace snntest::snn {
+
+LifBank::LifBank(size_t n, LifParams defaults)
+    : n_(n),
+      defaults_(defaults),
+      threshold_(n, defaults.threshold),
+      leak_(n, defaults.leak),
+      refractory_(n, defaults.refractory),
+      mode_(n, NeuronMode::kNormal),
+      u_(n, defaults.reset_potential),
+      refrac_left_(n, 0) {
+  if (defaults.threshold <= 0.0f) throw std::invalid_argument("LifParams: threshold must be > 0");
+  if (defaults.leak <= 0.0f || defaults.leak > 1.0f) {
+    throw std::invalid_argument("LifParams: leak must be in (0, 1]");
+  }
+  if (defaults.refractory < 0) throw std::invalid_argument("LifParams: refractory must be >= 0");
+}
+
+void LifBank::restore_defaults() {
+  for (size_t i = 0; i < n_; ++i) {
+    threshold_[i] = defaults_.threshold;
+    leak_[i] = defaults_.leak;
+    refractory_[i] = defaults_.refractory;
+    mode_[i] = NeuronMode::kNormal;
+  }
+}
+
+void LifBank::begin_run(size_t num_steps, bool record_traces) {
+  std::fill(u_.begin(), u_.end(), defaults_.reset_potential);
+  std::fill(refrac_left_.begin(), refrac_left_.end(), 0);
+  t_ = 0;
+  planned_steps_ = num_steps;
+  recording_ = record_traces;
+  if (record_traces) {
+    trace_u_pre_.assign(num_steps * n_, 0.0f);
+    trace_spike_.assign(num_steps * n_, 0);
+    trace_integrated_.assign(num_steps * n_, 0);
+  } else {
+    trace_u_pre_.clear();
+    trace_spike_.clear();
+    trace_integrated_.clear();
+  }
+}
+
+void LifBank::step(const float* syn, float* spikes_out) {
+  assert(t_ < planned_steps_ && "LifBank::step beyond planned run length");
+  const size_t base = t_ * n_;
+  for (size_t i = 0; i < n_; ++i) {
+    float spike = 0.0f;
+    bool integrated = false;
+    float u_pre = u_[i];
+    switch (mode_[i]) {
+      case NeuronMode::kDead:
+        // Dead neuron halts propagation: no output ever. Membrane is left
+        // untouched — the hardware cell produces no events either way.
+        break;
+      case NeuronMode::kSaturated:
+        // Saturated neuron fires non-stop even with zero input (Sec. III).
+        spike = 1.0f;
+        break;
+      case NeuronMode::kNormal: {
+        if (refrac_left_[i] > 0) {
+          // Refractory: incoming spikes are dropped, membrane stays at reset.
+          --refrac_left_[i];
+          u_[i] = defaults_.reset_potential;
+        } else {
+          integrated = true;
+          u_pre = leak_[i] * u_[i] + syn[i];
+          if (u_pre >= threshold_[i]) {
+            spike = 1.0f;
+            u_[i] = defaults_.reset_potential;
+            refrac_left_[i] = refractory_[i];
+          } else {
+            u_[i] = u_pre;
+          }
+        }
+        break;
+      }
+    }
+    spikes_out[i] = spike;
+    if (recording_) {
+      trace_u_pre_[base + i] = u_pre;
+      trace_spike_[base + i] = spike > 0.5f ? 1 : 0;
+      trace_integrated_[base + i] = integrated ? 1 : 0;
+    }
+  }
+  ++t_;
+}
+
+LifBank::Backward::Backward(const LifBank& bank, const SurrogateConfig& surrogate,
+                            size_t num_steps)
+    : bank_(bank), surrogate_(surrogate), num_steps_(num_steps), carry_(bank.size(), 0.0f) {
+  if (!bank.recording_ || bank.t_ < num_steps) {
+    throw std::logic_error("LifBank backward requires a recorded forward run");
+  }
+}
+
+void LifBank::Backward::step(size_t t, const float* grad_spike_t, float* grad_syn_t) {
+  const size_t n = bank_.n_;
+  const size_t base = t * n;
+  for (size_t i = 0; i < n; ++i) {
+    if (!bank_.trace_integrated_[base + i]) {
+      // Refractory / faulted step: no synaptic integration happened and the
+      // membrane was held at reset, so the chain through time is cut.
+      grad_syn_t[i] = 0.0f;
+      carry_[i] = 0.0f;
+      continue;
+    }
+    const float u_pre = bank_.trace_u_pre_[base + i];
+    const float surr = surrogate_derivative(surrogate_, u_pre - bank_.threshold_[i]);
+    const float spiked = bank_.trace_spike_[base + i] ? 1.0f : 0.0f;
+    // dL/du_pre[t] = dL/ds[t] * surrogate + dL/du_post[t] * (1 - s[t])
+    // (reset is detached: the u_post -> reset branch carries no gradient).
+    const float g_u_pre = grad_spike_t[i] * surr + carry_[i] * (1.0f - spiked);
+    grad_syn_t[i] = g_u_pre;  // du_pre/dsyn = 1
+    // into u_post[t-1]: du_pre[t]/du_post[t-1] = leak
+    carry_[i] = bank_.leak_[i] * g_u_pre;
+  }
+}
+
+void LifBank::backward(const float* grad_spikes, size_t num_steps,
+                       const SurrogateConfig& surrogate, float* grad_syn) const {
+  Backward bw(*this, surrogate, num_steps);
+  for (size_t t = num_steps; t-- > 0;) {
+    bw.step(t, grad_spikes + t * n_, grad_syn + t * n_);
+  }
+}
+
+}  // namespace snntest::snn

@@ -1,0 +1,172 @@
+#include "snn/serialization.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "snn/conv_layer.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/pool_layer.hpp"
+#include "snn/recurrent_layer.hpp"
+#include "util/serialize.hpp"
+
+namespace snntest::snn {
+namespace {
+
+constexpr uint32_t kMagic = 0x534E4E54;  // "SNNT"
+constexpr uint32_t kVersion = 2;
+
+void write_lif_params(std::ostream& os, const LifParams& p) {
+  util::write_f32(os, p.threshold);
+  util::write_f32(os, p.leak);
+  util::write_u32(os, static_cast<uint32_t>(p.refractory));
+  util::write_f32(os, p.reset_potential);
+}
+
+LifParams read_lif_params(std::istream& is) {
+  LifParams p;
+  p.threshold = util::read_f32(is);
+  p.leak = util::read_f32(is);
+  p.refractory = static_cast<int>(util::read_u32(is));
+  p.reset_potential = util::read_f32(is);
+  return p;
+}
+
+std::vector<float> copy_param(Layer& layer, size_t param_index) {
+  auto params = layer.params();
+  const ParamView& p = params.at(param_index);
+  return std::vector<float>(p.value, p.value + p.size);
+}
+
+void load_param(Layer& layer, size_t param_index, const std::vector<float>& data) {
+  auto params = layer.params();
+  ParamView& p = params.at(param_index);
+  if (p.size != data.size()) throw std::runtime_error("load_network: weight size mismatch");
+  std::copy(data.begin(), data.end(), p.value);
+}
+
+}  // namespace
+
+void save_network(const Network& net, std::ostream& os) {
+  util::write_magic(os, kMagic, kVersion);
+  util::write_string(os, net.name());
+  util::write_u32(os, static_cast<uint32_t>(net.num_layers()));
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    // Serialization reads weights through the non-const params() view.
+    Layer& layer = const_cast<Network&>(net).layer(l);
+    util::write_u32(os, static_cast<uint32_t>(layer.kind()));
+    write_lif_params(os, layer.lif().defaults());
+    const SurrogateConfig& sg = layer.surrogate();
+    util::write_u32(os, static_cast<uint32_t>(sg.kind));
+    util::write_f32(os, sg.alpha);
+    switch (layer.kind()) {
+      case LayerKind::kDense: {
+        util::write_u64(os, layer.num_inputs());
+        util::write_u64(os, layer.num_neurons());
+        util::write_f32_vector(os, copy_param(layer, 0));
+        break;
+      }
+      case LayerKind::kConv2d: {
+        const auto& spec = static_cast<ConvLayer&>(layer).spec();
+        util::write_u64(os, spec.in_channels);
+        util::write_u64(os, spec.in_height);
+        util::write_u64(os, spec.in_width);
+        util::write_u64(os, spec.out_channels);
+        util::write_u64(os, spec.kernel);
+        util::write_u64(os, spec.stride);
+        util::write_u64(os, spec.padding);
+        util::write_f32_vector(os, copy_param(layer, 0));
+        break;
+      }
+      case LayerKind::kSumPool: {
+        const auto& spec = static_cast<SumPoolLayer&>(layer).spec();
+        util::write_u64(os, spec.channels);
+        util::write_u64(os, spec.in_height);
+        util::write_u64(os, spec.in_width);
+        util::write_u64(os, spec.window);
+        break;
+      }
+      case LayerKind::kRecurrent: {
+        util::write_u64(os, layer.num_inputs());
+        util::write_u64(os, layer.num_neurons());
+        util::write_f32_vector(os, copy_param(layer, 0));
+        util::write_f32_vector(os, copy_param(layer, 1));
+        break;
+      }
+    }
+  }
+}
+
+void save_network(const Network& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_network: cannot open " + path);
+  save_network(net, os);
+}
+
+Network load_network(std::istream& is) {
+  util::check_magic(is, kMagic, kVersion);
+  Network net(util::read_string(is));
+  const uint32_t num_layers = util::read_u32(is);
+  for (uint32_t l = 0; l < num_layers; ++l) {
+    const auto kind = static_cast<LayerKind>(util::read_u32(is));
+    const LifParams params = read_lif_params(is);
+    SurrogateConfig sg;
+    sg.kind = static_cast<SurrogateKind>(util::read_u32(is));
+    sg.alpha = util::read_f32(is);
+    std::unique_ptr<Layer> layer;
+    switch (kind) {
+      case LayerKind::kDense: {
+        const size_t in = util::read_u64(is);
+        const size_t out = util::read_u64(is);
+        auto dense = std::make_unique<DenseLayer>(in, out, params);
+        load_param(*dense, 0, util::read_f32_vector(is));
+        layer = std::move(dense);
+        break;
+      }
+      case LayerKind::kConv2d: {
+        Conv2dSpec spec;
+        spec.in_channels = util::read_u64(is);
+        spec.in_height = util::read_u64(is);
+        spec.in_width = util::read_u64(is);
+        spec.out_channels = util::read_u64(is);
+        spec.kernel = util::read_u64(is);
+        spec.stride = util::read_u64(is);
+        spec.padding = util::read_u64(is);
+        auto conv = std::make_unique<ConvLayer>(spec, params);
+        load_param(*conv, 0, util::read_f32_vector(is));
+        layer = std::move(conv);
+        break;
+      }
+      case LayerKind::kSumPool: {
+        SumPoolSpec spec;
+        spec.channels = util::read_u64(is);
+        spec.in_height = util::read_u64(is);
+        spec.in_width = util::read_u64(is);
+        spec.window = util::read_u64(is);
+        layer = std::make_unique<SumPoolLayer>(spec, params);
+        break;
+      }
+      case LayerKind::kRecurrent: {
+        const size_t in = util::read_u64(is);
+        const size_t out = util::read_u64(is);
+        auto rec = std::make_unique<RecurrentLayer>(in, out, params);
+        load_param(*rec, 0, util::read_f32_vector(is));
+        load_param(*rec, 1, util::read_f32_vector(is));
+        layer = std::move(rec);
+        break;
+      }
+      default:
+        throw std::runtime_error("load_network: unknown layer kind");
+    }
+    layer->surrogate() = sg;
+    net.add_layer(std::move(layer));
+  }
+  return net;
+}
+
+Network load_network(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_network: cannot open " + path);
+  return load_network(is);
+}
+
+}  // namespace snntest::snn

@@ -1,0 +1,23 @@
+// Network persistence.
+//
+// Trained benchmark models are cached on disk (examples/benches train once
+// and reuse); generated test stimuli are stored separately (see
+// core/test_stimulus.hpp) — the paper's in-field use case stores the compact
+// test on-chip (Sec. I).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "snn/network.hpp"
+
+namespace snntest::snn {
+
+void save_network(const Network& net, std::ostream& os);
+void save_network(const Network& net, const std::string& path);
+
+/// Throws std::runtime_error on a malformed or version-mismatched stream.
+Network load_network(std::istream& is);
+Network load_network(const std::string& path);
+
+}  // namespace snntest::snn

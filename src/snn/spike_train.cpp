@@ -1,0 +1,106 @@
+#include "snn/spike_train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace snntest::snn {
+namespace {
+
+void require_train(const Tensor& t, const char* what) {
+  if (t.shape().rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": spike train must be rank-2 [T, N]");
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> spike_counts(const Tensor& train) {
+  require_train(train, "spike_counts");
+  const size_t T = train.shape().dim(0);
+  const size_t n = train.shape().dim(1);
+  std::vector<size_t> counts(n, 0);
+  for (size_t t = 0; t < T; ++t) {
+    const float* row = train.data() + t * n;
+    for (size_t i = 0; i < n; ++i) counts[i] += row[i] > 0.5f;
+  }
+  return counts;
+}
+
+std::vector<size_t> temporal_diversity(const Tensor& train) {
+  require_train(train, "temporal_diversity");
+  const size_t T = train.shape().dim(0);
+  const size_t n = train.shape().dim(1);
+  std::vector<size_t> td(n, 0);
+  for (size_t t = 1; t < T; ++t) {
+    const float* prev = train.data() + (t - 1) * n;
+    const float* cur = train.data() + t * n;
+    for (size_t i = 0; i < n; ++i) td[i] += (cur[i] > 0.5f) != (prev[i] > 0.5f);
+  }
+  return td;
+}
+
+double activation_fraction(const Tensor& train, size_t min_spikes) {
+  const auto counts = spike_counts(train);
+  if (counts.empty()) return 0.0;
+  size_t active = 0;
+  for (size_t c : counts) active += c >= min_spikes;
+  return static_cast<double>(active) / static_cast<double>(counts.size());
+}
+
+size_t total_spikes(const Tensor& train) { return train.count_nonzero(); }
+
+double spike_density(const Tensor& train) {
+  if (train.numel() == 0) return 0.0;
+  return static_cast<double>(train.count_nonzero()) / static_cast<double>(train.numel());
+}
+
+Tensor random_spike_train(size_t num_steps, size_t num_neurons, double density, util::Rng& rng) {
+  Tensor train(Shape{num_steps, num_neurons});
+  float* data = train.data();
+  for (size_t i = 0; i < train.numel(); ++i) data[i] = rng.bernoulli(density) ? 1.0f : 0.0f;
+  return train;
+}
+
+Tensor concat_time(const std::vector<Tensor>& trains) {
+  if (trains.empty()) throw std::invalid_argument("concat_time: empty list");
+  const size_t n = trains.front().shape().dim(1);
+  size_t total_steps = 0;
+  for (const auto& t : trains) {
+    require_train(t, "concat_time");
+    if (t.shape().dim(1) != n) throw std::invalid_argument("concat_time: width mismatch");
+    total_steps += t.shape().dim(0);
+  }
+  Tensor out(Shape{total_steps, n});
+  size_t offset = 0;
+  for (const auto& t : trains) {
+    std::copy(t.data(), t.data() + t.numel(), out.data() + offset);
+    offset += t.numel();
+  }
+  return out;
+}
+
+Tensor zero_train(size_t num_steps, size_t num_neurons) {
+  return Tensor(Shape{num_steps, num_neurons});
+}
+
+double output_distance(const Tensor& a, const Tensor& b) { return tensor::l1_distance(a, b); }
+
+std::string ascii_raster(const Tensor& train, size_t max_neurons, size_t max_steps) {
+  require_train(train, "ascii_raster");
+  const size_t T = std::min(train.shape().dim(0), max_steps);
+  const size_t n = std::min(train.shape().dim(1), max_neurons);
+  std::string out;
+  out.reserve((T + 1) * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t t = 0; t < T; ++t) {
+      out.push_back(train.at(t, i) > 0.5f ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace snntest::snn

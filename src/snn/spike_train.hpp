@@ -1,0 +1,53 @@
+// Spike-train utilities shared by the loss functions, the fault-coverage
+// evaluation and the benches.
+//
+// A spike train is a binary Tensor [T, N] time-major (Sec. IV-A: I(i,j)=1
+// iff neuron i receives/emits a spike at time t_j).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::snn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Per-neuron spike counts |O^{l,i}| of one train [T, N] -> length N.
+std::vector<size_t> spike_counts(const Tensor& train);
+
+/// Temporal diversity TD of each neuron (Eq. (11)): number of 0<->1 state
+/// changes of its output over the window.
+std::vector<size_t> temporal_diversity(const Tensor& train);
+
+/// Fraction of neurons with >= min_spikes spikes.
+double activation_fraction(const Tensor& train, size_t min_spikes = 1);
+
+/// Total spikes in the train.
+size_t total_spikes(const Tensor& train);
+
+/// Mean firing density: spikes / (T*N).
+double spike_density(const Tensor& train);
+
+/// Random Bernoulli spike train (used by the random-input baseline [20] and
+/// by tests).
+Tensor random_spike_train(size_t num_steps, size_t num_neurons, double density, util::Rng& rng);
+
+/// Concatenate trains along time; all must share N.
+Tensor concat_time(const std::vector<Tensor>& trains);
+
+/// Zero train ("sleep" input 0^j of Eq. (7)).
+Tensor zero_train(size_t num_steps, size_t num_neurons);
+
+/// L1 distance between two output trains (Eq. (3) detection criterion).
+double output_distance(const Tensor& a, const Tensor& b);
+
+/// ASCII raster ('.' = silent, '#' = spike) for small trains — used by the
+/// figure benches for qualitative snapshots. Rows are neurons, columns time.
+std::string ascii_raster(const Tensor& train, size_t max_neurons = 32, size_t max_steps = 80);
+
+}  // namespace snntest::snn

@@ -1,0 +1,25 @@
+#include "snn/surrogate.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace snntest::snn {
+
+float surrogate_derivative(const SurrogateConfig& config, float x) {
+  switch (config.kind) {
+    case SurrogateKind::kFastSigmoid: {
+      const float d = config.alpha * std::fabs(x) + 1.0f;
+      return 1.0f / (d * d);
+    }
+    case SurrogateKind::kAtan: {
+      const float z = 0.5f * std::numbers::pi_v<float> * config.alpha * x;
+      return 0.5f * config.alpha / (1.0f + z * z);
+    }
+    case SurrogateKind::kRectangular: {
+      return std::fabs(x) < 1.0f / config.alpha ? 0.5f * config.alpha : 0.0f;
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace snntest::snn

@@ -1,0 +1,28 @@
+// Surrogate gradients for the non-differentiable spike function.
+//
+// The spike is a Heaviside step s = H(u - θ); its derivative is replaced by
+// a smooth pseudo-derivative during backpropagation, exactly as done by
+// SLAYER-style surrogate-gradient training (paper Sec. IV-C3: "the same
+// backpropagation pipeline that is used during the training of the SNN").
+#pragma once
+
+#include <cstdint>
+
+namespace snntest::snn {
+
+enum class SurrogateKind : uint8_t {
+  kFastSigmoid,  // 1 / (alpha*|x| + 1)^2            (Zenke & Ganguli)
+  kAtan,         // 1 / (1 + (pi*alpha*x/2)^2) * alpha/2
+  kRectangular,  // alpha/2 within |x| < 1/alpha, else 0
+};
+
+struct SurrogateConfig {
+  SurrogateKind kind = SurrogateKind::kFastSigmoid;
+  /// Slope/steepness of the pseudo-derivative around the threshold.
+  float alpha = 2.0f;
+};
+
+/// Pseudo-derivative dH/dx evaluated at x = u - threshold.
+float surrogate_derivative(const SurrogateConfig& config, float x);
+
+}  // namespace snntest::snn

@@ -1,0 +1,81 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace snntest::tensor {
+
+void matvec_accumulate(const float* a, size_t rows, size_t cols, const float* x, float* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    double acc = 0.0;
+    for (size_t c = 0; c < cols; ++c) acc += static_cast<double>(row[c]) * x[c];
+    y[r] += static_cast<float>(acc);
+  }
+}
+
+void matvec_transpose_accumulate(const float* a, size_t rows, size_t cols, const float* x,
+                                 float* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float xr = x[r];
+    if (xr == 0.0f) continue;  // spike frames are sparse; skip silent rows
+    const float* row = a + r * cols;
+    for (size_t c = 0; c < cols; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void outer_accumulate(float* a, size_t rows, size_t cols, const float* u, const float* v,
+                      float alpha) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float ur = alpha * u[r];
+    if (ur == 0.0f) continue;
+    float* row = a + r * cols;
+    for (size_t c = 0; c < cols; ++c) row[c] += ur * v[c];
+  }
+}
+
+void add(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void axpy(float* a, const float* b, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] += s * b[i];
+}
+
+void scale(float* a, float s, size_t n) {
+  for (size_t i = 0; i < n; ++i) a[i] *= s;
+}
+
+double dot(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return acc;
+}
+
+void clamp(float* a, size_t n, float lo, float hi) {
+  for (size_t i = 0; i < n; ++i) a[i] = std::min(hi, std::max(lo, a[i]));
+}
+
+double l1_distance(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("l1_distance: shape mismatch " + a.shape().to_string() + " vs " +
+                                b.shape().to_string());
+  }
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a.numel(); ++i) acc += std::fabs(static_cast<double>(pa[i]) - pb[i]);
+  return acc;
+}
+
+size_t argmax(const float* a, size_t n) {
+  if (n == 0) throw std::logic_error("argmax on empty range");
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace snntest::tensor

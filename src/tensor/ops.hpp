@@ -1,0 +1,44 @@
+// Free-function numeric kernels on raw float spans.
+//
+// The hot loops of the SNN engine (synaptic integration, BPTT accumulation)
+// operate on per-timestep frames; these helpers keep those loops in one
+// audited place. All functions are bounds-unchecked in release builds —
+// callers pass sizes that come from validated Shape objects.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace snntest::tensor {
+
+/// y += A x, with A stored row-major [rows, cols]: y[r] += sum_c A[r,c]*x[c].
+void matvec_accumulate(const float* a, size_t rows, size_t cols, const float* x, float* y);
+
+/// y += A^T x: y[c] += sum_r A[r,c]*x[r].
+void matvec_transpose_accumulate(const float* a, size_t rows, size_t cols, const float* x,
+                                 float* y);
+
+/// Rank-1 update: A[r,c] += alpha * u[r] * v[c].
+void outer_accumulate(float* a, size_t rows, size_t cols, const float* u, const float* v,
+                      float alpha);
+
+/// out[i] = a[i] + b[i].
+void add(const float* a, const float* b, float* out, size_t n);
+/// a[i] += s * b[i].
+void axpy(float* a, const float* b, float s, size_t n);
+/// a[i] *= s.
+void scale(float* a, float s, size_t n);
+/// dot product with double accumulation.
+double dot(const float* a, const float* b, size_t n);
+
+/// Elementwise clamp into [lo, hi].
+void clamp(float* a, size_t n, float lo, float hi);
+
+/// L1 distance between two equal-shape tensors: sum |a - b|.
+double l1_distance(const Tensor& a, const Tensor& b);
+
+/// Index of maximum element (first on ties).
+size_t argmax(const float* a, size_t n);
+
+}  // namespace snntest::tensor

@@ -1,0 +1,69 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace snntest::tensor {
+
+size_t Shape::numel() const {
+  size_t n = 1;
+  for (size_t d : dims_) n *= d;
+  return dims_.empty() ? 0 : n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_.numel(), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)), data_(shape_.numel(), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_.numel() != data_.size()) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_.to_string());
+  }
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::reshape(Shape new_shape) {
+  if (new_shape.numel() != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch (" +
+                                shape_.to_string() + " -> " + new_shape.to_string() + ")");
+  }
+  shape_ = std::move(new_shape);
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+float Tensor::max_value() const {
+  if (data_.empty()) throw std::logic_error("Tensor::max_value on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min_value() const {
+  if (data_.empty()) throw std::logic_error("Tensor::min_value on empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+size_t Tensor::count_nonzero() const {
+  size_t n = 0;
+  for (float v : data_) n += (v > 0.5f);
+  return n;
+}
+
+}  // namespace snntest::tensor

@@ -1,0 +1,117 @@
+// Dense row-major float tensor.
+//
+// This is deliberately a small, concrete class rather than a general
+// autodiff framework: the SNN engine implements backward passes by hand
+// (layer-wise BPTT, Sec. IV of the paper relies on "the same backpropagation
+// pipeline that is used during the training of the SNN"), so all the tensor
+// has to do is own contiguous storage and provide shape-checked indexing.
+//
+// Conventions used across the codebase:
+//  * Spike trains are stored time-major as [T, N] (one frame of N neuron
+//    values per timestep) so a single timestep is a contiguous slice.
+//  * Spatial feature maps are flattened channel-major: index =
+//    (c * height + y) * width + x.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace snntest::tensor {
+
+/// Shape of a tensor: up to 4 dimensions, stored explicitly.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<size_t> dims) : dims_(std::move(dims)) {}
+
+  size_t rank() const { return dims_.size(); }
+  size_t dim(size_t i) const {
+    assert(i < dims_.size());
+    return dims_[i];
+  }
+  size_t numel() const;
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  const std::vector<size_t>& dims() const { return dims_; }
+  std::string to_string() const;
+
+ private:
+  std::vector<size_t> dims_;
+};
+
+/// Contiguous row-major float tensor with value semantics.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+
+  const Shape& shape() const { return shape_; }
+  size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D indexing for [rows, cols] tensors (e.g. spike trains [T, N]).
+  float& at(size_t r, size_t c) {
+    assert(shape_.rank() == 2);
+    assert(r < shape_.dim(0) && c < shape_.dim(1));
+    return data_[r * shape_.dim(1) + c];
+  }
+  float at(size_t r, size_t c) const {
+    assert(shape_.rank() == 2);
+    assert(r < shape_.dim(0) && c < shape_.dim(1));
+    return data_[r * shape_.dim(1) + c];
+  }
+
+  /// Pointer to row `r` of a rank-2 tensor (a timestep frame).
+  float* row(size_t r) {
+    assert(shape_.rank() == 2 && r < shape_.dim(0));
+    return data_.data() + r * shape_.dim(1);
+  }
+  const float* row(size_t r) const {
+    assert(shape_.rank() == 2 && r < shape_.dim(0));
+    return data_.data() + r * shape_.dim(1);
+  }
+
+  void fill(float v);
+
+  /// Reshape in place; the number of elements must not change.
+  void reshape(Shape new_shape);
+
+  /// Sum of all elements (double accumulator for stability).
+  double sum() const;
+  float max_value() const;
+  float min_value() const;
+
+  /// Count of elements > 0.5 — spike count for binary tensors.
+  size_t count_nonzero() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace snntest::tensor

@@ -1,0 +1,61 @@
+#include "train/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "snn/network.hpp"
+
+namespace snntest::train {
+
+AdamOptimizer::AdamOptimizer(AdamConfig config) : config_(config) {
+  if (config.lr <= 0) throw std::invalid_argument("AdamConfig: lr must be > 0");
+  if (config.beta1 < 0 || config.beta1 >= 1 || config.beta2 < 0 || config.beta2 >= 1) {
+    throw std::invalid_argument("AdamConfig: betas must be in [0, 1)");
+  }
+}
+
+void AdamOptimizer::attach(float* value, const float* grad, size_t size) {
+  slots_.push_back(Slot{value, grad, size, std::vector<float>(size, 0.0f),
+                        std::vector<float>(size, 0.0f)});
+}
+
+void AdamOptimizer::attach(snn::Network& net) {
+  for (const snn::ParamView& p : net.params()) attach(p.value, p.grad, p.size);
+}
+
+void AdamOptimizer::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (Slot& slot : slots_) {
+    double clip_scale = 1.0;
+    if (config_.grad_clip_norm > 0.0) {
+      double norm_sq = 0.0;
+      for (size_t i = 0; i < slot.size; ++i) {
+        norm_sq += static_cast<double>(slot.grad[i]) * slot.grad[i];
+      }
+      const double norm = std::sqrt(norm_sq);
+      if (norm > config_.grad_clip_norm) clip_scale = config_.grad_clip_norm / norm;
+    }
+    for (size_t i = 0; i < slot.size; ++i) {
+      const double g = slot.grad[i] * clip_scale;
+      slot.m[i] = static_cast<float>(config_.beta1 * slot.m[i] + (1.0 - config_.beta1) * g);
+      slot.v[i] = static_cast<float>(config_.beta2 * slot.v[i] + (1.0 - config_.beta2) * g * g);
+      const double m_hat = slot.m[i] / bc1;
+      const double v_hat = slot.v[i] / bc2;
+      double update = config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+      if (config_.weight_decay > 0.0) update += config_.lr * config_.weight_decay * slot.value[i];
+      slot.value[i] = static_cast<float>(slot.value[i] - update);
+    }
+  }
+}
+
+void AdamOptimizer::reset_moments() {
+  t_ = 0;
+  for (Slot& slot : slots_) {
+    std::fill(slot.m.begin(), slot.m.end(), 0.0f);
+    std::fill(slot.v.begin(), slot.v.end(), 0.0f);
+  }
+}
+
+}  // namespace snntest::train

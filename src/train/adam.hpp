@@ -1,0 +1,64 @@
+// Adam optimizer (Kingma & Ba) over externally owned parameter arrays.
+//
+// The same optimizer drives both SNN training and the paper's input
+// optimization (Sec. IV-C3: "gradient descent-based Adam optimizer with
+// adaptive learning rate lr"). Parameters are attached as raw views so the
+// optimizer composes with network ParamViews as well as with the flat
+// I_real tensor of the test generator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "snn/layer.hpp"
+
+namespace snntest::snn {
+class Network;
+}
+
+namespace snntest::train {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;  // decoupled (AdamW-style) if nonzero
+  /// If > 0, clip each attached slot's gradient to this L2 norm before use.
+  double grad_clip_norm = 0.0;
+};
+
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(AdamConfig config = {});
+
+  /// Attach a parameter array; `value` and `grad` must outlive the optimizer.
+  void attach(float* value, const float* grad, size_t size);
+  /// Attach every parameter of a network.
+  void attach(snn::Network& net);
+
+  /// Apply one update using current gradients.
+  void step();
+
+  /// Reset first/second moment estimates and the step counter.
+  void reset_moments();
+
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+  size_t steps_taken() const { return t_; }
+
+ private:
+  struct Slot {
+    float* value;
+    const float* grad;
+    size_t size;
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+
+  AdamConfig config_;
+  std::vector<Slot> slots_;
+  size_t t_ = 0;
+};
+
+}  // namespace snntest::train

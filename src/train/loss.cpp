@@ -1,0 +1,78 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace snntest::train {
+namespace {
+
+std::vector<double> count_spikes(const Tensor& output, size_t& T, size_t& n) {
+  if (output.shape().rank() != 2) {
+    throw std::invalid_argument("loss: output spike train must be [T, N]");
+  }
+  T = output.shape().dim(0);
+  n = output.shape().dim(1);
+  std::vector<double> counts(n, 0.0);
+  for (size_t t = 0; t < T; ++t) {
+    const float* row = output.data() + t * n;
+    for (size_t i = 0; i < n; ++i) counts[i] += row[i] > 0.5f ? 1.0 : 0.0;
+  }
+  return counts;
+}
+
+}  // namespace
+
+LossResult SpikeCountLoss::compute(const Tensor& output_spikes, size_t label) const {
+  size_t T = 0, n = 0;
+  const auto counts = count_spikes(output_spikes, T, n);
+  if (label >= n) throw std::invalid_argument("SpikeCountLoss: label out of range");
+  LossResult result;
+  result.grad_output = Tensor(output_spikes.shape());
+  std::vector<double> grad_per_count(n);
+  const double dt = static_cast<double>(T);
+  for (size_t i = 0; i < n; ++i) {
+    const double target = (i == label ? target_true_ : target_false_) * dt;
+    const double diff = counts[i] - target;
+    result.value += diff * diff / dt;
+    // d(diff^2/T)/dcount = 2*diff/T ; count = sum_t s[t] so the gradient is
+    // uniform across timesteps.
+    grad_per_count[i] = 2.0 * diff / dt;
+  }
+  for (size_t t = 0; t < T; ++t) {
+    float* row = result.grad_output.data() + t * n;
+    for (size_t i = 0; i < n; ++i) row[i] = static_cast<float>(grad_per_count[i]);
+  }
+  return result;
+}
+
+LossResult RateCrossEntropyLoss::compute(const Tensor& output_spikes, size_t label) const {
+  size_t T = 0, n = 0;
+  const auto counts = count_spikes(output_spikes, T, n);
+  if (label >= n) throw std::invalid_argument("RateCrossEntropyLoss: label out of range");
+  // logits and a numerically stable softmax
+  std::vector<double> logits(n);
+  double max_logit = -1e300;
+  for (size_t i = 0; i < n; ++i) {
+    logits[i] = scale_ * counts[i] / static_cast<double>(T);
+    max_logit = std::max(max_logit, logits[i]);
+  }
+  double denom = 0.0;
+  for (size_t i = 0; i < n; ++i) denom += std::exp(logits[i] - max_logit);
+  LossResult result;
+  result.value = -(logits[label] - max_logit) + std::log(denom);
+  result.grad_output = Tensor(output_spikes.shape());
+  std::vector<double> grad_per_count(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double softmax = std::exp(logits[i] - max_logit) / denom;
+    const double g_logit = softmax - (i == label ? 1.0 : 0.0);
+    grad_per_count[i] = g_logit * scale_ / static_cast<double>(T);
+  }
+  for (size_t t = 0; t < T; ++t) {
+    float* row = result.grad_output.data() + t * n;
+    for (size_t i = 0; i < n; ++i) row[i] = static_cast<float>(grad_per_count[i]);
+  }
+  return result;
+}
+
+}  // namespace snntest::train

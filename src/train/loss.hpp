@@ -1,0 +1,51 @@
+// Training losses on output spike trains (rate decoding).
+//
+// Two standard choices for surrogate-gradient SNN training:
+//  * SpikeCountLoss — SLAYER-style MSE between per-class output spike counts
+//    and target counts (high for the true class, low for the rest). Robust
+//    and what we default to for the benchmark models.
+//  * RateCrossEntropyLoss — softmax cross-entropy over spike counts.
+//
+// Both return the scalar loss and the gradient dL/dO^L as a [T, N_L] tensor
+// that feeds Network::backward.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace snntest::train {
+
+using tensor::Tensor;
+
+struct LossResult {
+  double value = 0.0;
+  Tensor grad_output;  // [T, N_L]
+};
+
+class SpikeCountLoss {
+ public:
+  /// `target_true` / `target_false` are desired spike counts for the correct
+  /// and incorrect classes, as fractions of the window length T.
+  SpikeCountLoss(double target_true_fraction = 0.5, double target_false_fraction = 0.05)
+      : target_true_(target_true_fraction), target_false_(target_false_fraction) {}
+
+  LossResult compute(const Tensor& output_spikes, size_t label) const;
+
+ private:
+  double target_true_;
+  double target_false_;
+};
+
+class RateCrossEntropyLoss {
+ public:
+  /// `scale` converts spike counts to logits (logit_i = scale * count_i / T).
+  explicit RateCrossEntropyLoss(double scale = 4.0) : scale_(scale) {}
+
+  LossResult compute(const Tensor& output_spikes, size_t label) const;
+
+ private:
+  double scale_;
+};
+
+}  // namespace snntest::train

@@ -1,0 +1,24 @@
+#include "train/metrics.hpp"
+
+#include <algorithm>
+
+namespace snntest::train {
+
+EvalResult evaluate(snn::Network& net, const data::Dataset& ds, size_t max_samples) {
+  EvalResult result;
+  const size_t n = max_samples == 0 ? ds.size() : std::min(max_samples, ds.size());
+  result.confusion.assign(ds.num_classes(), std::vector<size_t>(ds.num_classes(), 0));
+  for (size_t i = 0; i < n; ++i) {
+    const data::Sample sample = ds.get(i);
+    const auto fwd = net.forward(sample.input, /*record_traces=*/false);
+    const size_t predicted = fwd.predicted_class();
+    result.correct += predicted == sample.label;
+    ++result.total;
+    result.confusion[sample.label][predicted] += 1;
+  }
+  result.accuracy =
+      result.total ? static_cast<double>(result.correct) / static_cast<double>(result.total) : 0.0;
+  return result;
+}
+
+}  // namespace snntest::train

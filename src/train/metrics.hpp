@@ -1,0 +1,24 @@
+// Evaluation metrics: top-1 accuracy and confusion matrix over a dataset.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "snn/network.hpp"
+
+namespace snntest::train {
+
+struct EvalResult {
+  double accuracy = 0.0;
+  size_t correct = 0;
+  size_t total = 0;
+  /// confusion[true_label][predicted] counts.
+  std::vector<std::vector<size_t>> confusion;
+};
+
+/// Run inference over up to `max_samples` samples (0 = whole dataset) and
+/// score top-1 predictions by output spike count (rate decoding).
+EvalResult evaluate(snn::Network& net, const data::Dataset& ds, size_t max_samples = 0);
+
+}  // namespace snntest::train

@@ -1,0 +1,26 @@
+#include "train/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace snntest::train {
+
+double CosineSchedule::at(size_t step, size_t total_steps) const {
+  if (total_steps <= 1) return initial_;
+  const double progress =
+      std::min(1.0, static_cast<double>(step) / static_cast<double>(total_steps - 1));
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return final_ + (initial_ - final_) * cosine;
+}
+
+double ExponentialSchedule::at(size_t step, size_t /*total_steps*/) const {
+  return std::max(floor_, initial_ * std::pow(rate_, static_cast<double>(step)));
+}
+
+double StepDecaySchedule::at(size_t step, size_t /*total_steps*/) const {
+  const size_t k = period_ == 0 ? 0 : step / period_;
+  return initial_ * std::pow(factor_, static_cast<double>(k));
+}
+
+}  // namespace snntest::train

@@ -1,0 +1,68 @@
+// Annealing schedules for learning rate and Gumbel-Softmax temperature.
+//
+// Sec. V-C: "For the temperature τ ... we use an annealing schedule with
+// maximum value 0.9. The initial learning rate lr in the Adam optimizer is
+// set to 0.1 and adjusts based on an annealing schedule."
+#pragma once
+
+#include <cstddef>
+
+namespace snntest::train {
+
+/// Interface so optimizers can be parameterized over the schedule family.
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+  /// Value at `step` out of `total_steps` planned steps.
+  virtual double at(size_t step, size_t total_steps) const = 0;
+};
+
+/// Cosine annealing from `initial` down to `final` over the planned steps.
+class CosineSchedule final : public Schedule {
+ public:
+  CosineSchedule(double initial, double final_value)
+      : initial_(initial), final_(final_value) {}
+  double at(size_t step, size_t total_steps) const override;
+
+ private:
+  double initial_;
+  double final_;
+};
+
+/// Exponential decay: value = initial * rate^step (floored at `floor`).
+class ExponentialSchedule final : public Schedule {
+ public:
+  ExponentialSchedule(double initial, double rate, double floor = 0.0)
+      : initial_(initial), rate_(rate), floor_(floor) {}
+  double at(size_t step, size_t total_steps) const override;
+
+ private:
+  double initial_;
+  double rate_;
+  double floor_;
+};
+
+/// Piecewise-constant step decay: value = initial * factor^(step / period).
+class StepDecaySchedule final : public Schedule {
+ public:
+  StepDecaySchedule(double initial, double factor, size_t period)
+      : initial_(initial), factor_(factor), period_(period) {}
+  double at(size_t step, size_t total_steps) const override;
+
+ private:
+  double initial_;
+  double factor_;
+  size_t period_;
+};
+
+/// Constant value (for ablations that disable annealing).
+class ConstantSchedule final : public Schedule {
+ public:
+  explicit ConstantSchedule(double value) : value_(value) {}
+  double at(size_t, size_t) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+}  // namespace snntest::train

@@ -1,0 +1,63 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+
+#include "train/schedule.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace snntest::train {
+
+Trainer::Trainer(snn::Network& net, TrainerConfig config) : net_(net), config_(config) {}
+
+EvalResult Trainer::fit(const data::Dataset& train, const data::Dataset& test) {
+  AdamConfig adam_config;
+  adam_config.lr = config_.lr;
+  adam_config.grad_clip_norm = config_.grad_clip_norm;
+  AdamOptimizer adam(adam_config);
+  adam.attach(net_);
+
+  const SpikeCountLoss loss;
+  const CosineSchedule lr_schedule(config_.lr, config_.lr_final);
+  util::Rng rng(config_.shuffle_seed);
+
+  const size_t n_train = config_.max_train_samples == 0
+                             ? train.size()
+                             : std::min(config_.max_train_samples, train.size());
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    adam.set_lr(lr_schedule.at(epoch, config_.epochs));
+    const auto order = rng.permutation(train.size());
+    util::Timer timer;
+    double loss_sum = 0.0;
+    size_t since_step = 0;
+    net_.zero_grad();
+    for (size_t k = 0; k < n_train; ++k) {
+      const data::Sample sample = train.get(order[k]);
+      const auto fwd = net_.forward(sample.input, /*record_traces=*/true);
+      const LossResult lr_res = loss.compute(fwd.output(), sample.label);
+      loss_sum += lr_res.value;
+      // Gradients enter only at the output layer during training.
+      std::vector<snn::Tensor> grads(net_.num_layers());
+      grads.back() = lr_res.grad_output;
+      net_.backward(grads);
+      if (++since_step == config_.batch_size || k + 1 == n_train) {
+        adam.step();
+        net_.zero_grad();
+        since_step = 0;
+      }
+    }
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = n_train ? loss_sum / static_cast<double>(n_train) : 0.0;
+    stats.train_seconds = timer.seconds();
+    if (config_.verbose) {
+      SNNTEST_LOG_INFO("epoch %zu/%zu: mean loss %.4f (%s)", epoch + 1, config_.epochs,
+                       stats.mean_loss, util::format_duration(stats.train_seconds).c_str());
+    }
+    if (epoch_callback_) epoch_callback_(stats);
+  }
+  return evaluate(net_, test, config_.eval_samples);
+}
+
+}  // namespace snntest::train

@@ -1,0 +1,58 @@
+// Surrogate-gradient BPTT trainer.
+//
+// Replaces the SLAYER/PyTorch training loop of Sec. V-B: per-sample forward
+// with trace recording, loss on the output spike train, backward through the
+// network, gradient accumulation over a minibatch, Adam step with an
+// annealed learning rate.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "snn/network.hpp"
+#include "train/adam.hpp"
+#include "train/loss.hpp"
+#include "train/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::train {
+
+struct TrainerConfig {
+  size_t epochs = 8;
+  size_t batch_size = 8;
+  double lr = 2e-3;
+  double lr_final = 2e-4;       // cosine-annealed across all epochs
+  double grad_clip_norm = 5.0;  // per-parameter-array clip
+  size_t max_train_samples = 0; // 0 = all
+  size_t eval_samples = 0;      // 0 = all (test set)
+  uint64_t shuffle_seed = 0x5EEDF00Dull;
+  bool verbose = true;
+};
+
+struct EpochStats {
+  size_t epoch = 0;
+  double mean_loss = 0.0;
+  double train_seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(snn::Network& net, TrainerConfig config);
+
+  /// Train on `train` with SpikeCountLoss; returns final test accuracy
+  /// evaluated on `test`.
+  EvalResult fit(const data::Dataset& train, const data::Dataset& test);
+
+  /// Optional per-epoch callback (progress reporting in examples).
+  void set_epoch_callback(std::function<void(const EpochStats&)> cb) {
+    epoch_callback_ = std::move(cb);
+  }
+
+ private:
+  snn::Network& net_;
+  TrainerConfig config_;
+  std::function<void(const EpochStats&)> epoch_callback_;
+};
+
+}  // namespace snntest::train

@@ -1,0 +1,60 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace snntest::util {
+
+CliParser::CliParser(std::map<std::string, std::string> spec, std::string description)
+    : values_(std::move(spec)), description_(std::move(description)) {}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) throw std::invalid_argument("flag --" + name + " needs a value");
+      value = argv[++i];
+    }
+    auto it = values_.find(name);
+    if (it == values_.end()) throw std::invalid_argument("unknown flag --" + name);
+    it->second = value;
+  }
+  return true;
+}
+
+const std::string& CliParser::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) throw std::invalid_argument("flag not in spec: " + name);
+  return it->second;
+}
+
+int CliParser::get_int(const std::string& name) const { return std::stoi(get(name)); }
+double CliParser::get_double(const std::string& name) const { return std::stod(get(name)); }
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string& v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::string out = description_ + "\n\nUsage: " + program + " [flags]\n";
+  for (const auto& [name, def] : values_) {
+    out += "  --" + name + " (default: " + def + ")\n";
+  }
+  return out;
+}
+
+}  // namespace snntest::util

@@ -1,0 +1,36 @@
+// Minimal command-line flag parser for the examples and benches.
+//
+// Supports `--name value` and `--name=value`; unknown flags are an error so
+// typos fail loudly. Bench binaries must also run with zero arguments
+// (the reproduction loop is `for b in build/bench/*; do $b; done`), so every
+// flag has a default.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snntest::util {
+
+class CliParser {
+ public:
+  /// `spec` maps flag name (without leading dashes) -> default value.
+  CliParser(std::map<std::string, std::string> spec, std::string description);
+
+  /// Parse argv. On `--help` prints usage and returns false (caller should
+  /// exit 0). Throws std::invalid_argument on unknown flags / missing values.
+  bool parse(int argc, const char* const* argv);
+
+  const std::string& get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;  // "1"/"true"/"yes" -> true
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string description_;
+};
+
+}  // namespace snntest::util

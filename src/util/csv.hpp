@@ -1,0 +1,52 @@
+// Tiny CSV writer + fixed-width console table printer.
+//
+// Every bench binary both prints a human-readable table (matching the
+// paper's row layout) and drops a machine-readable CSV next to it so the
+// numbers in EXPERIMENTS.md can be regenerated mechanically.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace snntest::util {
+
+/// Append-style CSV writer; quotes fields containing separators.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string field(double v);
+  static std::string field(size_t v);
+  static std::string field(int v);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Fixed-width text table for console output (paper-style tables).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column auto-sizing; first column left-aligned, the rest
+  /// right-aligned (matches the paper's metric tables).
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string fmt_pct(double fraction);        // 0.9871 -> "98.71%"
+std::string fmt_double(double v, int prec);  // fixed precision
+std::string fmt_count(size_t v);             // thousands separators
+
+}  // namespace snntest::util

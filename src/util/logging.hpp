@@ -1,0 +1,50 @@
+// Lightweight leveled logger.
+//
+// The library is used both from long-running benchmark harnesses (where
+// progress lines are wanted) and from unit tests (where silence is wanted),
+// so the level is a process-global that defaults to `info` and can be
+// changed at runtime or via the SNNTEST_LOG environment variable
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace snntest::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-global minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unknown strings map to kInfo.
+LogLevel parse_log_level(const std::string& name);
+
+/// Core sink: writes "[level] message\n" to stderr if `level` passes the
+/// global filter. Thread-safe (single write call).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+std::string format_args(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+// printf-style convenience wrappers.
+template <typename... Args>
+void log_at(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    log_message(level, fmt);
+  } else {
+    log_message(level, detail::format_args(fmt, args...));
+  }
+}
+
+#define SNNTEST_LOG_TRACE(...) ::snntest::util::log_at(::snntest::util::LogLevel::kTrace, __VA_ARGS__)
+#define SNNTEST_LOG_DEBUG(...) ::snntest::util::log_at(::snntest::util::LogLevel::kDebug, __VA_ARGS__)
+#define SNNTEST_LOG_INFO(...) ::snntest::util::log_at(::snntest::util::LogLevel::kInfo, __VA_ARGS__)
+#define SNNTEST_LOG_WARN(...) ::snntest::util::log_at(::snntest::util::LogLevel::kWarn, __VA_ARGS__)
+#define SNNTEST_LOG_ERROR(...) ::snntest::util::log_at(::snntest::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace snntest::util

@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace snntest::util {
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+uint64_t Rng::uniform_index(uint64_t n) {
+  assert(n > 0);
+  // Lemire-style rejection-free-enough multiply-shift; bias is negligible for
+  // the n used here (< 2^32) but we reject to stay exact.
+  const uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(uniform_index(span));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::gumbel() {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return -std::log(-std::log(u));
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+std::vector<size_t> Rng::permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = uniform_index(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+std::vector<size_t> Rng::sample_without_replacement(size_t n, size_t k) {
+  auto idx = permutation(n);
+  if (k < n) idx.resize(k);
+  return idx;
+}
+
+}  // namespace snntest::util

@@ -1,0 +1,38 @@
+// Binary stream serialization primitives.
+//
+// Used for persisting trained models (zoo cache) and generated test stimuli
+// (on-chip test storage for in-field testing per Sec. I). The format is a
+// simple little-endian tagged stream; all writers prepend a magic + version
+// so stale caches from older builds are rejected rather than misread.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snntest::util {
+
+void write_u32(std::ostream& os, uint32_t v);
+void write_u64(std::ostream& os, uint64_t v);
+void write_f32(std::ostream& os, float v);
+void write_f64(std::ostream& os, double v);
+void write_string(std::ostream& os, const std::string& s);
+void write_f32_vector(std::ostream& os, const std::vector<float>& v);
+void write_u8_vector(std::ostream& os, const std::vector<uint8_t>& v);
+
+// Readers throw std::runtime_error on a truncated stream.
+uint32_t read_u32(std::istream& is);
+uint64_t read_u64(std::istream& is);
+float read_f32(std::istream& is);
+double read_f64(std::istream& is);
+std::string read_string(std::istream& is);
+std::vector<float> read_f32_vector(std::istream& is);
+std::vector<uint8_t> read_u8_vector(std::istream& is);
+
+/// Write a magic tag, or validate it on read (throws on mismatch).
+void write_magic(std::ostream& os, uint32_t magic, uint32_t version);
+void check_magic(std::istream& is, uint32_t magic, uint32_t version);
+
+}  // namespace snntest::util

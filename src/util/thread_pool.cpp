@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace snntest::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t workers = pool->size();
+  const size_t chunk = (n + workers - 1) / workers;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    pool->submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  pool->wait_idle();
+}
+
+}  // namespace snntest::util

@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool with a parallel-for front end.
+//
+// Fault-simulation campaigns are embarrassingly parallel across faults
+// (Sec. III: sequential fault injection — each fault is an independent
+// inference). The pool lets the campaign saturate whatever cores exist;
+// on a single-core host it degrades gracefully to serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace snntest::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects hardware_concurrency (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `fn(i)` for i in [0, n). If `pool` is null or has one worker and the
+/// caller prefers no thread overhead, runs inline. Blocks until done.
+/// Work is distributed in contiguous chunks to keep memory access coherent.
+void parallel_for(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace snntest::util

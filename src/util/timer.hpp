@@ -1,0 +1,30 @@
+// Wall-clock timing helpers used by the benchmark harness and the
+// test-generation time-limit (`t_limit` in the paper's Sec. IV-C).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace snntest::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Render a duration in a human-friendly unit ("431 ms", "2.31 s", "1.2 h").
+std::string format_duration(double seconds);
+
+}  // namespace snntest::util

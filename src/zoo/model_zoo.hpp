@@ -1,0 +1,59 @@
+// Benchmark model zoo: the three case studies of Sec. V-A, scaled for CPU
+// (DESIGN.md §4), with train-once-and-cache semantics so every bench and
+// example can fetch the same trained model deterministically.
+//
+//  nmnist  — conv8(s2)-conv16(s2)-fc64-fc10 on SyntheticNmnist  (Fig. 4)
+//  gesture — conv12(s2)-conv24(s2)-fc128-fc11 on SyntheticGesture (Fig. 5)
+//  shd     — rec128-fc64-fc20 on SyntheticShd                   (Fig. 6)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "snn/network.hpp"
+
+namespace snntest::zoo {
+
+enum class BenchmarkId { kNmnist, kGesture, kShd };
+
+const char* benchmark_name(BenchmarkId id);
+BenchmarkId parse_benchmark(const std::string& name);  // throws on unknown
+
+struct ZooOptions {
+  /// Cache directory for trained models; overridden by $SNNTEST_CACHE_DIR.
+  std::string cache_dir = "snntest_cache";
+  bool allow_cache = true;
+  /// Scale knob for CI/tests: fraction of the default training budget.
+  double train_budget = 1.0;
+  bool verbose = true;
+  uint64_t seed = 42;
+};
+
+struct BenchmarkBundle {
+  snn::Network network;
+  std::shared_ptr<data::Dataset> train;
+  std::shared_ptr<data::Dataset> test;
+  /// Top-1 accuracy on a held-out evaluation subset (Table I row).
+  double test_accuracy = 0.0;
+  /// Timesteps of one dataset sample (denominator for "test duration in
+  /// samples").
+  size_t steps_per_sample = 0;
+  /// Seconds spent training (0 when loaded from cache).
+  double train_seconds = 0.0;
+  bool from_cache = false;
+};
+
+/// Untrained network with freshly initialized weights.
+snn::Network make_network(BenchmarkId id, uint64_t seed);
+
+/// The datasets behind each benchmark (train + test split).
+data::TrainTestSplit make_datasets(BenchmarkId id);
+
+/// Load the trained model from cache, or train and cache it.
+BenchmarkBundle load_or_train(BenchmarkId id, const ZooOptions& options = {});
+
+/// Resolved cache path for a benchmark model.
+std::string model_cache_path(BenchmarkId id, const ZooOptions& options);
+
+}  // namespace snntest::zoo

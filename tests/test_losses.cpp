@@ -1,0 +1,261 @@
+// Tests for the paper's loss functions L1..L5 (Sec. IV-C): values on
+// constructed spike trains, subgradient directions, target-mask behaviour,
+// composite weighting and the Sec. V-C alpha calibration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/losses.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/spike_train.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::core {
+namespace {
+
+/// A hand-built ForwardResult with two "layers" whose spike trains we control.
+ForwardResult make_result(std::vector<std::vector<std::vector<float>>> layers) {
+  ForwardResult r;
+  for (auto& rows : layers) {
+    const size_t T = rows.size();
+    const size_t n = rows[0].size();
+    Tensor t(tensor::Shape{T, n});
+    for (size_t i = 0; i < T; ++i) {
+      for (size_t j = 0; j < n; ++j) t.at(i, j) = rows[i][j];
+    }
+    r.layer_outputs.push_back(std::move(t));
+  }
+  return r;
+}
+
+TEST(OutputActivation, ZeroWhenAllOutputNeuronsFire) {
+  auto r = make_result({{{1, 1}, {0, 0}}, {{1, 0}, {0, 1}}});
+  auto grads = make_grad_accumulators(r);
+  OutputActivationLoss l1;
+  EXPECT_DOUBLE_EQ(l1.compute(r, grads), 0.0);
+  for (const auto& g : grads) {
+    for (size_t i = 0; i < g.numel(); ++i) EXPECT_EQ(g[i], 0.0f);
+  }
+}
+
+TEST(OutputActivation, PenalizesSilentOutputs) {
+  // output layer: neuron 0 fires, neuron 1 silent -> loss 1
+  auto r = make_result({{{1, 1}, {0, 0}}, {{1, 0}, {0, 0}}});
+  auto grads = make_grad_accumulators(r);
+  OutputActivationLoss l1;
+  EXPECT_DOUBLE_EQ(l1.compute(r, grads), 1.0);
+  // gradient pushes the silent output neuron's spikes up (negative grad)
+  EXPECT_EQ(grads[1].at(0, 1), -1.0f);
+  EXPECT_EQ(grads[1].at(1, 1), -1.0f);
+  EXPECT_EQ(grads[1].at(0, 0), 0.0f);   // firing neuron untouched
+  EXPECT_EQ(grads[0].at(0, 0), 0.0f);   // hidden layer untouched by L1
+}
+
+TEST(NeuronActivation, CountsAllLayers) {
+  // layer0: 1 of 2 silent; layer1: 2 of 2 silent -> loss 3
+  auto r = make_result({{{1, 0}, {0, 0}}, {{0, 0}, {0, 0}}});
+  auto grads = make_grad_accumulators(r);
+  NeuronActivationLoss l2;
+  EXPECT_DOUBLE_EQ(l2.compute(r, grads), 3.0);
+  EXPECT_EQ(grads[0].at(0, 1), -1.0f);
+  EXPECT_EQ(grads[1].at(0, 0), -1.0f);
+}
+
+TEST(NeuronActivation, MaskRestrictsToTargets) {
+  auto r = make_result({{{0, 0}, {0, 0}}, {{0, 0}, {0, 0}}});
+  NeuronMask mask = {{1, 0}, {0, 0}};  // only layer0/neuron0 targeted
+  auto grads = make_grad_accumulators(r);
+  NeuronActivationLoss l2(&mask);
+  EXPECT_DOUBLE_EQ(l2.compute(r, grads), 1.0);
+  EXPECT_EQ(grads[0].at(0, 0), -1.0f);
+  EXPECT_EQ(grads[0].at(0, 1), 0.0f);
+  EXPECT_EQ(grads[1].at(0, 0), 0.0f);
+}
+
+TEST(TemporalDiversity, ValueMatchesEq12) {
+  // neuron spikes constantly: TD = 0; with TD_min = 3, loss = 3.
+  auto r = make_result({{{1}, {1}, {1}, {1}}});
+  auto grads = make_grad_accumulators(r);
+  TemporalDiversityLoss l3(3);
+  EXPECT_DOUBLE_EQ(l3.compute(r, grads), 3.0);
+}
+
+TEST(TemporalDiversity, SatisfiedNeuronNoGradient) {
+  // 0,1,0,1 -> TD = 3 >= 2: no loss, no gradient
+  auto r = make_result({{{0}, {1}, {0}, {1}}});
+  auto grads = make_grad_accumulators(r);
+  TemporalDiversityLoss l3(2);
+  EXPECT_DOUBLE_EQ(l3.compute(r, grads), 0.0);
+  for (size_t i = 0; i < grads[0].numel(); ++i) EXPECT_EQ(grads[0][i], 0.0f);
+}
+
+TEST(TemporalDiversity, GradientEncouragesToggling) {
+  // constant-1 train, TD deficit: flipping an interior step to 0 adds 2
+  // transitions -> the subgradient on interior steps must be positive
+  // (pushing spike value down raises TD).
+  auto r = make_result({{{1}, {1}, {1}, {1}}});
+  auto grads = make_grad_accumulators(r);
+  TemporalDiversityLoss l3(3);
+  l3.compute(r, grads);
+  // interior steps: dTD/ds = sign(s1-s0) - sign(s2-s1) = 0; hmm — for a
+  // constant train every pairwise sign is 0, so the subgradient is 0 at the
+  // plateau. The loss still reports the deficit (optimizer escapes via the
+  // stochastic Gumbel noise). Verify that exactly this holds:
+  for (size_t i = 0; i < grads[0].numel(); ++i) EXPECT_EQ(grads[0][i], 0.0f);
+  // and a half-toggled train does produce signed gradients:
+  auto r2 = make_result({{{0}, {1}, {1}, {1}}});
+  auto g2 = make_grad_accumulators(r2);
+  l3.compute(r2, g2);
+  double norm = 0.0;
+  for (size_t i = 0; i < g2[0].numel(); ++i) norm += std::abs(g2[0][i]);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(TemporalDiversity, MaskRespected) {
+  auto r = make_result({{{1, 1}, {1, 1}, {1, 1}}});
+  NeuronMask mask = {{0, 1}};
+  auto grads = make_grad_accumulators(r);
+  TemporalDiversityLoss l3(2, &mask);
+  EXPECT_DOUBLE_EQ(l3.compute(r, grads), 2.0);  // only neuron 1 counted
+}
+
+TEST(SynapseUniformity, ZeroForEqualContributions) {
+  // 2-input, 2-neuron dense layer with all weights equal and equal input
+  // counts -> all contributions identical -> zero variance.
+  snn::LifParams lif;
+  snn::Network net("l4net");
+  auto l1 = std::make_unique<snn::DenseLayer>(2, 2, lif);
+  l1->weights() = {0.5f, 0.5f, 0.5f, 0.5f};
+  net.add_layer(std::move(l1));
+  auto l2 = std::make_unique<snn::DenseLayer>(2, 1, lif);
+  l2->weights() = {0.7f, 0.7f};
+  net.add_layer(std::move(l2));
+
+  // layer0 output: both neurons fire twice; layer1: irrelevant
+  auto r = make_result({{{1, 1}, {1, 1}}, {{1}, {0}}});
+  auto grads = make_grad_accumulators(r);
+  SynapseUniformityLoss l4(net);
+  EXPECT_NEAR(l4.compute(r, grads), 0.0, 1e-9);
+}
+
+TEST(SynapseUniformity, PenalizesImbalanceAndPointsDownhill) {
+  snn::LifParams lif;
+  snn::Network net("l4net2");
+  auto l1 = std::make_unique<snn::DenseLayer>(2, 2, lif);
+  l1->weights() = {0.5f, 0.5f, 0.5f, 0.5f};
+  net.add_layer(std::move(l1));
+  auto l2 = std::make_unique<snn::DenseLayer>(2, 1, lif);
+  l2->weights() = {1.0f, 1.0f};  // equal weights, so imbalance comes from counts
+  net.add_layer(std::move(l2));
+
+  // layer0 neuron0 fires 3x, neuron1 fires 1x -> contributions 3 vs 1,
+  // variance = 1. Gradient must push count0 down (positive) and count1 up
+  // (negative).
+  auto r = make_result({{{1, 0}, {1, 1}, {1, 0}}, {{1}, {0}, {0}}});
+  auto grads = make_grad_accumulators(r);
+  SynapseUniformityLoss l4(net);
+  const double v = l4.compute(r, grads);
+  EXPECT_NEAR(v, 1.0, 1e-6);
+  EXPECT_GT(grads[0].at(0, 0), 0.0f);
+  EXPECT_LT(grads[0].at(0, 1), 0.0f);
+}
+
+TEST(SynapseUniformity, IgnoresZeroWeights) {
+  snn::LifParams lif;
+  snn::Network net("l4net3");
+  auto l1 = std::make_unique<snn::DenseLayer>(3, 3, lif);
+  l1->weights().assign(9, 0.5f);
+  net.add_layer(std::move(l1));
+  auto l2 = std::make_unique<snn::DenseLayer>(3, 1, lif);
+  l2->weights() = {1.0f, 1.0f, 0.0f};  // third synapse dead: excluded
+  net.add_layer(std::move(l2));
+  // counts 2,2,5 — the outlier neuron only feeds the dead synapse
+  auto r = make_result({{{1, 1, 1}, {1, 1, 1}, {0, 0, 1}, {0, 0, 1}, {0, 0, 1}},
+                        {{1}, {0}, {0}, {0}, {0}}});
+  auto grads = make_grad_accumulators(r);
+  SynapseUniformityLoss l4(net);
+  EXPECT_NEAR(l4.compute(r, grads), 0.0, 1e-9);
+}
+
+TEST(Sparsity, CountsHiddenLayersOnly) {
+  auto r = make_result({{{1, 1}, {1, 0}}, {{1, 1}, {1, 1}}});
+  auto grads = make_grad_accumulators(r);
+  SparsityLoss l5;
+  EXPECT_DOUBLE_EQ(l5.compute(r, grads), 3.0);  // hidden spikes only
+  // gradient is +1 everywhere on hidden layers (push spikes down)...
+  EXPECT_EQ(grads[0].at(0, 0), 1.0f);
+  EXPECT_EQ(grads[0].at(1, 1), 1.0f);
+  // ...and zero on the output layer
+  for (size_t i = 0; i < grads[1].numel(); ++i) EXPECT_EQ(grads[1][i], 0.0f);
+}
+
+TEST(OutputConstancy, ZeroWhenIdentical) {
+  auto r = make_result({{{1}, {0}}, {{1, 0}, {0, 1}}});
+  auto grads = make_grad_accumulators(r);
+  OutputConstancyPenalty penalty(r.output(), 4.0);
+  EXPECT_DOUBLE_EQ(penalty.compute(r, grads), 0.0);
+}
+
+TEST(OutputConstancy, PenalizesAndPushesBack) {
+  auto ref = make_result({{{1}, {0}}, {{1, 0}, {0, 1}}});
+  auto r = make_result({{{1}, {0}}, {{0, 0}, {0, 1}}});  // lost a spike at (0,0)
+  auto grads = make_grad_accumulators(r);
+  OutputConstancyPenalty penalty(ref.output(), 4.0);
+  EXPECT_DOUBLE_EQ(penalty.compute(r, grads), 4.0);
+  // missing spike -> gradient negative (raise it back)
+  EXPECT_EQ(grads[1].at(0, 0), -4.0f);
+}
+
+TEST(Composite, WeightsScaleValuesAndGradients) {
+  auto r = make_result({{{0}, {0}}, {{0, 0}, {0, 0}}});
+  CompositeLoss composite;
+  composite.add(std::make_shared<OutputActivationLoss>(), 2.0);
+  composite.add(std::make_shared<NeuronActivationLoss>(), 0.5);
+  auto grads = make_grad_accumulators(r);
+  std::vector<double> terms;
+  // L1 = 2 (silent outputs), L2 = 3 (all silent) -> 2*2 + 0.5*3 = 5.5
+  EXPECT_DOUBLE_EQ(composite.compute(r, grads, &terms), 5.5);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_DOUBLE_EQ(terms[0], 2.0);
+  EXPECT_DOUBLE_EQ(terms[1], 3.0);
+  // output layer gradient: L1 contributes -2, L2 contributes -0.5
+  EXPECT_FLOAT_EQ(grads[1].at(0, 0), -2.5f);
+  // hidden layer: only L2 -> -0.5
+  EXPECT_FLOAT_EQ(grads[0].at(0, 0), -0.5f);
+}
+
+TEST(Composite, CalibrationInvertsInitialMagnitudes) {
+  auto r = make_result({{{0}, {0}}, {{0, 0}, {0, 0}}});
+  CompositeLoss composite;
+  composite.add(std::make_shared<OutputActivationLoss>());   // L = 2
+  composite.add(std::make_shared<NeuronActivationLoss>());   // L = 3
+  composite.calibrate_weights(r);
+  EXPECT_DOUBLE_EQ(composite.weights()[0], 0.5);
+  EXPECT_DOUBLE_EQ(composite.weights()[1], 1.0 / 3.0);
+  // after calibration every term contributes ~1
+  auto grads = make_grad_accumulators(r);
+  EXPECT_NEAR(composite.compute(r, grads), 2.0, 1e-9);
+}
+
+TEST(Composite, CalibrationFloorsTinyLosses) {
+  auto r = make_result({{{1}, {1}}, {{1, 1}, {1, 1}}});  // all active: L1 = L2 = 0
+  CompositeLoss composite;
+  composite.add(std::make_shared<OutputActivationLoss>());
+  composite.calibrate_weights(r, 1e-3);
+  EXPECT_DOUBLE_EQ(composite.weights()[0], 1000.0);
+}
+
+TEST(FullMask, MatchesNetworkShape) {
+  util::Rng rng(1);
+  snn::Network net("m");
+  net.add_layer(std::make_unique<snn::DenseLayer>(4, 6, snn::LifParams{}));
+  net.add_layer(std::make_unique<snn::DenseLayer>(6, 2, snn::LifParams{}));
+  const auto mask = full_mask(net);
+  ASSERT_EQ(mask.size(), 2u);
+  EXPECT_EQ(mask[0].size(), 6u);
+  EXPECT_EQ(mask[1].size(), 2u);
+  EXPECT_EQ(mask[0][0], 1);
+}
+
+}  // namespace
+}  // namespace snntest::core

@@ -1,0 +1,112 @@
+// Spike-train utility tests: counts, temporal diversity (Eq. 11), activation
+// fractions, concatenation (Eq. 7 plumbing), distances (Eq. 3) and rasters.
+#include <gtest/gtest.h>
+
+#include "snn/spike_train.hpp"
+
+namespace snntest::snn {
+namespace {
+
+Tensor train_from(std::vector<std::vector<float>> rows) {
+  const size_t T = rows.size();
+  const size_t n = rows[0].size();
+  Tensor t(Shape{T, n});
+  for (size_t i = 0; i < T; ++i) {
+    for (size_t j = 0; j < n; ++j) t.at(i, j) = rows[i][j];
+  }
+  return t;
+}
+
+TEST(SpikeCounts, PerNeuron) {
+  const auto t = train_from({{1, 0}, {1, 1}, {0, 0}});
+  const auto counts = spike_counts(t);
+  EXPECT_EQ(counts, (std::vector<size_t>{2, 1}));
+}
+
+TEST(SpikeCounts, RejectsNonTrain) {
+  Tensor t(Shape{2, 2, 2});
+  EXPECT_THROW(spike_counts(t), std::invalid_argument);
+}
+
+TEST(TemporalDiversity, CountsTransitions) {
+  // neuron 0: 0->1->0->1 = 3 transitions; neuron 1: constant 1 = 0
+  const auto t = train_from({{0, 1}, {1, 1}, {0, 1}, {1, 1}});
+  const auto td = temporal_diversity(t);
+  EXPECT_EQ(td[0], 3u);
+  EXPECT_EQ(td[1], 0u);
+}
+
+TEST(TemporalDiversity, SilentNeuronHasZero) {
+  const auto t = train_from({{0}, {0}, {0}});
+  EXPECT_EQ(temporal_diversity(t)[0], 0u);
+}
+
+TEST(ActivationFraction, ThresholdedByMinSpikes) {
+  const auto t = train_from({{1, 0, 1}, {1, 0, 0}});
+  EXPECT_DOUBLE_EQ(activation_fraction(t, 1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(activation_fraction(t, 2), 1.0 / 3.0);
+}
+
+TEST(Density, TotalAndFraction) {
+  const auto t = train_from({{1, 0}, {0, 1}});
+  EXPECT_EQ(total_spikes(t), 2u);
+  EXPECT_DOUBLE_EQ(spike_density(t), 0.5);
+}
+
+TEST(RandomTrain, MatchesRequestedDensity) {
+  util::Rng rng(5);
+  const auto t = random_spike_train(100, 100, 0.25, rng);
+  EXPECT_NEAR(spike_density(t), 0.25, 0.02);
+  for (size_t i = 0; i < t.numel(); ++i) {
+    ASSERT_TRUE(t[i] == 0.0f || t[i] == 1.0f);
+  }
+}
+
+TEST(ConcatTime, GluesAlongTime) {
+  const auto a = train_from({{1, 0}});
+  const auto b = train_from({{0, 1}, {1, 1}});
+  const auto c = concat_time({a, b});
+  EXPECT_EQ(c.shape(), Shape({3, 2}));
+  EXPECT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_EQ(c.at(1, 1), 1.0f);
+  EXPECT_EQ(c.at(2, 0), 1.0f);
+}
+
+TEST(ConcatTime, RejectsWidthMismatch) {
+  const auto a = train_from({{1, 0}});
+  Tensor b(Shape{1, 3});
+  EXPECT_THROW(concat_time({a, b}), std::invalid_argument);
+  EXPECT_THROW(concat_time({}), std::invalid_argument);
+}
+
+TEST(ZeroTrain, AllZeros) {
+  const auto z = zero_train(4, 3);
+  EXPECT_EQ(z.shape(), Shape({4, 3}));
+  EXPECT_EQ(z.count_nonzero(), 0u);
+}
+
+TEST(OutputDistance, L1Criterion) {
+  const auto a = train_from({{1, 0}, {0, 1}});
+  const auto b = train_from({{1, 0}, {0, 1}});
+  EXPECT_DOUBLE_EQ(output_distance(a, b), 0.0);  // identical -> fault NOT detected
+  const auto c = train_from({{1, 1}, {0, 1}});
+  EXPECT_DOUBLE_EQ(output_distance(a, c), 1.0);  // one spike differs -> detected
+}
+
+TEST(AsciiRaster, RendersSpikes) {
+  const auto t = train_from({{1, 0}, {0, 1}});
+  const std::string raster = ascii_raster(t);
+  // rows = neurons, cols = time: neuron 0 fires at t=0, neuron 1 at t=1
+  EXPECT_EQ(raster, "#.\n.#\n");
+}
+
+TEST(AsciiRaster, TruncatesLargeTrains) {
+  Tensor t(Shape{200, 100}, 1.0f);
+  const std::string raster = ascii_raster(t, 4, 10);
+  size_t lines = 0;
+  for (char c : raster) lines += c == '\n';
+  EXPECT_EQ(lines, 4u);
+}
+
+}  // namespace
+}  // namespace snntest::snn

@@ -1,0 +1,141 @@
+// Tests for src/tensor: shape bookkeeping, tensor construction/indexing,
+// and the numeric kernels used by the SNN hot loops.
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snntest::tensor {
+namespace {
+
+TEST(Shape, NumelAndDims) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24u);
+  EXPECT_EQ(s.dim(1), 3u);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, EmptyShapeHasZeroElements) {
+  Shape s;
+  EXPECT_EQ(s.numel(), 0u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.numel(), 12u);
+  for (size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t(Shape{5}, 2.5f);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_THROW(Tensor(Shape{3}, std::vector<float>{1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, TwoDimensionalIndexing) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+  EXPECT_EQ(t.row(1)[2], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 6}, 1.0f);
+  t.reshape(Shape{3, 4});
+  EXPECT_EQ(t.shape(), Shape({3, 4}));
+  EXPECT_THROW(t.reshape(Shape{5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t(Shape{4}, std::vector<float>{1.0f, -2.0f, 3.0f, 0.25f});
+  EXPECT_DOUBLE_EQ(t.sum(), 2.25);
+  EXPECT_EQ(t.max_value(), 3.0f);
+  EXPECT_EQ(t.min_value(), -2.0f);
+  EXPECT_EQ(t.count_nonzero(), 2u);  // values > 0.5
+}
+
+TEST(Ops, MatvecAccumulate) {
+  // A = [[1,2],[3,4],[5,6]], x = [1, -1]
+  const std::vector<float> a = {1, 2, 3, 4, 5, 6};
+  const std::vector<float> x = {1, -1};
+  std::vector<float> y = {10, 10, 10};
+  matvec_accumulate(a.data(), 3, 2, x.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 10 - 1);
+  EXPECT_FLOAT_EQ(y[1], 10 - 1);
+  EXPECT_FLOAT_EQ(y[2], 10 - 1);
+}
+
+TEST(Ops, MatvecTransposeAccumulate) {
+  const std::vector<float> a = {1, 2, 3, 4, 5, 6};  // [3, 2]
+  const std::vector<float> x = {1, 0, 2};           // length rows=3
+  std::vector<float> y = {0, 0};
+  matvec_transpose_accumulate(a.data(), 3, 2, x.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 1 * 1 + 0 * 3 + 2 * 5);
+  EXPECT_FLOAT_EQ(y[1], 1 * 2 + 0 * 4 + 2 * 6);
+}
+
+TEST(Ops, TransposeConsistentWithForward) {
+  // <A x, y> must equal <x, A^T y> for random data.
+  const size_t rows = 7, cols = 5;
+  std::vector<float> a(rows * cols), x(cols), y(rows);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(static_cast<int>(i * 13 % 11) - 5);
+  for (size_t i = 0; i < cols; ++i) x[i] = static_cast<float>(static_cast<int>(i * 7 % 5) - 2);
+  for (size_t i = 0; i < rows; ++i) y[i] = static_cast<float>(static_cast<int>(i * 3 % 7) - 3);
+  std::vector<float> ax(rows, 0.0f), aty(cols, 0.0f);
+  matvec_accumulate(a.data(), rows, cols, x.data(), ax.data());
+  matvec_transpose_accumulate(a.data(), rows, cols, y.data(), aty.data());
+  EXPECT_NEAR(dot(ax.data(), y.data(), rows), dot(x.data(), aty.data(), cols), 1e-6);
+}
+
+TEST(Ops, OuterAccumulate) {
+  std::vector<float> a(6, 0.0f);  // [2, 3]
+  const std::vector<float> u = {1, 2};
+  const std::vector<float> v = {3, 4, 5};
+  outer_accumulate(a.data(), 2, 3, u.data(), v.data(), 2.0f);
+  EXPECT_FLOAT_EQ(a[0], 6);
+  EXPECT_FLOAT_EQ(a[5], 20);
+}
+
+TEST(Ops, AxpyAndScale) {
+  std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {10, 20, 30};
+  axpy(a.data(), b.data(), 0.5f, 3);
+  EXPECT_FLOAT_EQ(a[1], 12);
+  scale(a.data(), 2.0f, 3);
+  EXPECT_FLOAT_EQ(a[0], 12);
+}
+
+TEST(Ops, Clamp) {
+  std::vector<float> a = {-5, 0.5f, 5};
+  clamp(a.data(), 3, -1, 1);
+  EXPECT_FLOAT_EQ(a[0], -1);
+  EXPECT_FLOAT_EQ(a[1], 0.5f);
+  EXPECT_FLOAT_EQ(a[2], 1);
+}
+
+TEST(Ops, L1Distance) {
+  Tensor a(Shape{2, 2}, std::vector<float>{0, 1, 1, 0});
+  Tensor b(Shape{2, 2}, std::vector<float>{1, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 2.0);
+  Tensor c(Shape{4});
+  c.reshape(Shape{4});
+  EXPECT_THROW(l1_distance(a, c), std::invalid_argument);
+}
+
+TEST(Ops, ArgmaxFirstWinsOnTies) {
+  const std::vector<float> v = {1, 3, 3, 2};
+  EXPECT_EQ(argmax(v.data(), v.size()), 1u);
+}
+
+}  // namespace
+}  // namespace snntest::tensor

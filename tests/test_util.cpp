@@ -1,0 +1,268 @@
+// Tests for src/util: RNG determinism and statistics, CSV/table formatting,
+// CLI parsing, binary serialization, thread pool, duration formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace snntest::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GumbelMeanIsEulerGamma) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) sum += rng.gumbel();
+  EXPECT_NEAR(sum / n, 0.5772, 0.05);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(14);
+  const auto p = rng.permutation(100);
+  std::set<size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(15);
+  const auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<size_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(Rng, SampleMoreThanPopulationReturnsAll) {
+  Rng rng(16);
+  const auto s = rng.sample_without_replacement(5, 99);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(17);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent.next() == child.next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.milliseconds(), 15.0);
+  t.reset();
+  EXPECT_LT(t.milliseconds(), 15.0);
+}
+
+TEST(Timer, FormatDurationUnits) {
+  EXPECT_EQ(format_duration(0.0005), "500 us");
+  EXPECT_EQ(format_duration(0.5), "500 ms");
+  EXPECT_EQ(format_duration(2.5), "2.50 s");
+  EXPECT_EQ(format_duration(180.0), "3.0 min");
+  EXPECT_EQ(format_duration(2.0 * 3600.0), "2.00 h");
+}
+
+TEST(Csv, WritesAndQuotesFields) {
+  const std::string path = testing::TempDir() + "/snntest_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a", "b,c", "d\"e"});
+    csv.write_row({CsvWriter::field(1.5), CsvWriter::field(size_t{7})});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1.5,7");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "10"});
+  t.add_row({"longer", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Format, PercentAndCounts) {
+  EXPECT_EQ(fmt_pct(0.9871), "98.71%");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(12), "12");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  CliParser cli({{"alpha", "1.5"}, {"name", "x"}}, "test");
+  const char* argv[] = {"prog", "--alpha", "2.5", "--name=hello"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha"), 2.5);
+  EXPECT_EQ(cli.get("name"), "hello");
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  CliParser cli({{"a", "1"}}, "test");
+  const char* argv[] = {"prog", "--bogus", "2"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, BoolParsing) {
+  CliParser cli({{"flag", "false"}}, "test");
+  const char* argv[] = {"prog", "--flag", "true"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_TRUE(cli.get_bool("flag"));
+}
+
+TEST(Serialize, RoundTripScalars) {
+  std::stringstream ss;
+  write_u32(ss, 0xDEADBEEF);
+  write_u64(ss, 0x123456789ABCDEFull);
+  write_f32(ss, 3.25f);
+  write_f64(ss, -1.5e300);
+  write_string(ss, "hello world");
+  EXPECT_EQ(read_u32(ss), 0xDEADBEEF);
+  EXPECT_EQ(read_u64(ss), 0x123456789ABCDEFull);
+  EXPECT_FLOAT_EQ(read_f32(ss), 3.25f);
+  EXPECT_DOUBLE_EQ(read_f64(ss), -1.5e300);
+  EXPECT_EQ(read_string(ss), "hello world");
+}
+
+TEST(Serialize, RoundTripVectors) {
+  std::stringstream ss;
+  const std::vector<float> v = {1.0f, -2.5f, 0.0f};
+  const std::vector<uint8_t> b = {0, 255, 7};
+  write_f32_vector(ss, v);
+  write_u8_vector(ss, b);
+  EXPECT_EQ(read_f32_vector(ss), v);
+  EXPECT_EQ(read_u8_vector(ss), b);
+}
+
+TEST(Serialize, MagicMismatchThrows) {
+  std::stringstream ss;
+  write_magic(ss, 0x1111, 1);
+  EXPECT_THROW(check_magic(ss, 0x2222, 1), std::runtime_error);
+}
+
+TEST(Serialize, VersionMismatchThrows) {
+  std::stringstream ss;
+  write_magic(ss, 0x1111, 1);
+  EXPECT_THROW(check_magic(ss, 0x1111, 2), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream ss;
+  write_u32(ss, 5);
+  read_u32(ss);
+  EXPECT_THROW(read_u32(ss), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  parallel_for(&pool, hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPool, ParallelForSerialFallback) {
+  std::vector<int> hits(50, 0);
+  parallel_for(nullptr, hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
+}
+
+}  // namespace
+}  // namespace snntest::util
