@@ -1,0 +1,144 @@
+// Differential campaign engine vs. naive re-simulate-everything, bucketed
+// by fault depth.
+//
+// The engine's two structural shortcuts — golden-prefix reuse and
+// convergence pruning (campaign/engine.hpp) — pay off more the deeper the
+// faulty layer sits: a fault in the last layer of an L-layer network skips
+// L-1 of its L layer forwards outright. This bench quantifies that per
+// layer-depth bucket on a 4-layer network: wall-clock for the naive path
+// (all shortcuts disabled, same scheduler) vs. the differential path, the
+// fraction of layer forwards avoided, and a result-equality check so the
+// speedup is never bought with wrong answers. The detect-only mode is
+// reported on the mixed bucket as an extra row.
+#include "bench_common.hpp"
+
+#include "campaign/engine.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/spike_train.hpp"
+#include "util/timer.hpp"
+
+using namespace snntest;
+
+namespace {
+
+snn::Network make_deep_net(uint64_t seed = 123) {
+  util::Rng rng(seed);
+  snn::LifParams lif;
+  snn::Network net("campaign-bench");
+  const size_t widths[] = {64, 128, 96, 48, 10};
+  for (size_t l = 0; l + 1 < std::size(widths); ++l) {
+    auto layer = std::make_unique<snn::DenseLayer>(widths[l], widths[l + 1], lif);
+    layer->init_weights(rng, 1.3f);
+    net.add_layer(std::move(layer));
+  }
+  return net;
+}
+
+std::vector<fault::FaultDescriptor> bucket_faults(const std::vector<fault::FaultDescriptor>& universe,
+                                                  size_t layer, size_t max_count,
+                                                  uint64_t seed) {
+  std::vector<fault::FaultDescriptor> in_layer;
+  for (const auto& f : universe) {
+    if (campaign::fault_layer(f) == layer) in_layer.push_back(f);
+  }
+  util::Rng rng(seed);
+  return fault::sample_faults(in_layer, max_count, rng);
+}
+
+bool results_identical(const std::vector<fault::DetectionResult>& a,
+                       const std::vector<fault::DetectionResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (a[j].detected != b[j].detected || a[j].output_l1 != b[j].output_l1 ||
+        a[j].class_count_diff != b[j].class_count_diff) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Differential campaign engine vs naive fault simulation",
+                      "the T_FS cost model of Sec. IV-B / Table III");
+
+  auto net = make_deep_net();
+  util::Rng stim_rng(7);
+  const auto stimulus = snn::random_spike_train(48, net.input_size(), 0.4, stim_rng);
+  auto universe = fault::enumerate_faults(net);
+  constexpr size_t kPerBucket = 400;
+
+  std::printf("network: %zu layers, %zu neurons, %zu weights (%zu-fault universe)\n",
+              net.num_layers(), net.total_neurons(), net.total_weights(), universe.size());
+  std::printf("stimulus: [%zu x %zu], bucket size: %zu faults\n\n", size_t{48}, net.input_size(),
+              kPerBucket);
+
+  campaign::EngineConfig naive_cfg;
+  naive_cfg.prefix_reuse = false;
+  naive_cfg.convergence_pruning = false;
+
+  util::TextTable table(
+      {"fault bucket", "faults", "naive", "differential", "speedup", "fwd saved", "identical"});
+  util::CsvWriter csv(bench::out_dir() + "/campaign_engine.csv");
+  csv.write_row({"bucket", "faults", "naive_seconds", "differential_seconds", "speedup",
+                 "forward_savings", "identical"});
+
+  auto run_bucket = [&](const std::string& name, const std::vector<fault::FaultDescriptor>& faults) {
+    const auto naive = campaign::run_campaign(net, stimulus, faults, naive_cfg);
+    const auto diff = campaign::run_campaign(net, stimulus, faults, {});
+    const bool identical = results_identical(naive.results, diff.results);
+    const double speedup = diff.stats.elapsed_seconds > 0.0
+                               ? naive.stats.elapsed_seconds / diff.stats.elapsed_seconds
+                               : 0.0;
+    table.add_row({name, std::to_string(faults.size()),
+                   util::format_duration(naive.stats.elapsed_seconds),
+                   util::format_duration(diff.stats.elapsed_seconds),
+                   util::fmt_double(speedup, 2) + "x", util::fmt_pct(diff.stats.forward_savings()),
+                   identical ? "yes" : "NO"});
+    csv.write_row({name, util::CsvWriter::field(faults.size()),
+                   util::CsvWriter::field(naive.stats.elapsed_seconds),
+                   util::CsvWriter::field(diff.stats.elapsed_seconds),
+                   util::CsvWriter::field(speedup),
+                   util::CsvWriter::field(diff.stats.forward_savings()),
+                   identical ? "1" : "0"});
+    return identical;
+  };
+
+  bool all_identical = true;
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    const auto faults = bucket_faults(universe, l, kPerBucket, 1000 + l);
+    all_identical &= run_bucket("layer " + std::to_string(l), faults);
+  }
+  util::Rng mix_rng(55);
+  const auto mixed = fault::sample_faults(universe, kPerBucket, mix_rng);
+  all_identical &= run_bucket("mixed", mixed);
+
+  // Detect-only early exit on the mixed bucket (detection bits only).
+  campaign::EngineConfig detect_cfg;
+  detect_cfg.detect_only = true;
+  const auto full = campaign::run_campaign(net, stimulus, mixed, {});
+  const auto fast = campaign::run_campaign(net, stimulus, mixed, detect_cfg);
+  bool detection_agrees = true;
+  for (size_t j = 0; j < mixed.size(); ++j) {
+    detection_agrees &= full.results[j].detected == fast.results[j].detected;
+  }
+  table.add_row({"mixed (detect-only)", std::to_string(mixed.size()),
+                 util::format_duration(full.stats.elapsed_seconds),
+                 util::format_duration(fast.stats.elapsed_seconds),
+                 util::fmt_double(fast.stats.elapsed_seconds > 0.0
+                                      ? full.stats.elapsed_seconds / fast.stats.elapsed_seconds
+                                      : 0.0,
+                                  2) +
+                     "x",
+                 util::fmt_pct(fast.stats.forward_savings()),
+                 detection_agrees ? "yes*" : "NO"});
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("* detect-only compares detection bits only (L1 is a lower bound by design).\n");
+  std::printf("naive = same engine and scheduler with prefix reuse + pruning disabled, so the\n"
+              "speedup isolates the differential algorithm, not threading differences.\n");
+  std::printf("results identical across all buckets: %s\n", all_identical ? "yes" : "NO");
+  std::printf("CSV: %s/campaign_engine.csv\n", bench::out_dir().c_str());
+  return all_identical ? 0 : 1;
+}

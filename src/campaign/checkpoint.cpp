@@ -1,0 +1,154 @@
+#include "campaign/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace snntest::campaign {
+namespace {
+
+// --- tiny field scanners for the exact JSONL we emit ---------------------
+// Not a general JSON parser: each accessor finds `"key":` and parses the
+// value right after it. Good enough for round-tripping our own writer's
+// output while staying dependency-free.
+
+bool find_key(const std::string& line, const char* key, size_t* value_pos) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *value_pos = at + needle.size();
+  return true;
+}
+
+bool parse_double_field(const std::string& line, const char* key, double* out) {
+  size_t pos;
+  if (!find_key(line, key, &pos)) return false;
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  *out = std::strtod(start, &end);
+  return end != start;
+}
+
+bool parse_u64_field(const std::string& line, const char* key, uint64_t* out) {
+  size_t pos;
+  if (!find_key(line, key, &pos)) return false;
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  *out = std::strtoull(start, &end, 10);
+  return end != start;
+}
+
+bool parse_hex_field(const std::string& line, const char* key, uint64_t* out) {
+  size_t pos;
+  if (!find_key(line, key, &pos)) return false;
+  if (pos >= line.size() || line[pos] != '"') return false;
+  const char* start = line.c_str() + pos + 1;
+  char* end = nullptr;
+  *out = std::strtoull(start, &end, 16);
+  return end != start && *end == '"';
+}
+
+bool parse_diff_field(const std::string& line, std::vector<long>* out) {
+  size_t pos;
+  if (!find_key(line, "diff", &pos)) return false;
+  if (pos >= line.size() || line[pos] != '[') return false;
+  const char* p = line.c_str() + pos + 1;
+  out->clear();
+  if (*p == ']') return true;
+  for (;;) {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p) return false;
+    out->push_back(v);
+    p = end;
+    if (*p == ',') {
+      ++p;
+    } else {
+      return *p == ']';
+    }
+  }
+}
+
+bool parse_result_line(const std::string& line, size_t* index, fault::DetectionResult* r) {
+  if (line.find("\"type\":\"result\"") == std::string::npos) return false;
+  // A partially written line is missing the closing brace — reject it.
+  if (line.empty() || line.back() != '}') return false;
+  uint64_t idx = 0, detected = 0;
+  if (!parse_u64_field(line, "index", &idx)) return false;
+  if (!parse_u64_field(line, "detected", &detected)) return false;
+  if (!parse_double_field(line, "l1", &r->output_l1)) return false;
+  if (!parse_diff_field(line, &r->class_count_diff)) return false;
+  *index = idx;
+  r->detected = detected != 0;
+  return true;
+}
+
+}  // namespace
+
+std::optional<CheckpointData> load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (line.find("\"type\":\"header\"") == std::string::npos) return std::nullopt;
+  CheckpointData data;
+  uint64_t num_faults = 0;
+  if (!parse_hex_field(line, "fingerprint", &data.header.fingerprint) ||
+      !parse_u64_field(line, "num_faults", &num_faults) ||
+      !parse_double_field(line, "threshold", &data.header.threshold)) {
+    return std::nullopt;
+  }
+  data.header.num_faults = num_faults;
+  while (std::getline(in, line)) {
+    size_t index = 0;
+    fault::DetectionResult r;
+    if (parse_result_line(line, &index, &r) && index < data.header.num_faults) {
+      data.results.emplace_back(index, std::move(r));
+    }
+  }
+  return data;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path, const CheckpointHeader& header,
+                                   bool append, size_t flush_every)
+    : flush_every_(flush_every == 0 ? 1 : flush_every) {
+  out_.open(path, append ? (std::ios::out | std::ios::app) : std::ios::out);
+  if (!out_) throw std::runtime_error("CheckpointWriter: cannot open " + path);
+  if (!append) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"type\":\"header\",\"version\":1,\"fingerprint\":\"%016" PRIx64
+                  "\",\"num_faults\":%zu,\"threshold\":%.17g}\n",
+                  header.fingerprint, header.num_faults, header.threshold);
+    out_ << buf;
+    out_.flush();
+  }
+}
+
+void CheckpointWriter::record(size_t index, const fault::DetectionResult& result) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"type\":\"result\",\"index\":%zu,\"detected\":%d,\"l1\":%.17g,\"diff\":[",
+                index, result.detected ? 1 : 0, result.output_l1);
+  std::string line(buf);
+  for (size_t i = 0; i < result.class_count_diff.size(); ++i) {
+    if (i) line += ',';
+    line += std::to_string(result.class_count_diff[i]);
+  }
+  line += "]}\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line;
+  if (++since_flush_ >= flush_every_) {
+    out_.flush();
+    since_flush_ = 0;
+  }
+}
+
+void CheckpointWriter::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+  since_flush_ = 0;
+}
+
+}  // namespace snntest::campaign

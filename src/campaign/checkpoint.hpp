@@ -1,0 +1,72 @@
+// Campaign checkpoint/resume: JSONL result streaming.
+//
+// A campaign with a checkpoint path streams every completed DetectionResult
+// to disk as one JSON line, so a multi-hour run killed mid-flight restarts
+// from the last completed shard instead of from zero. The file is
+// self-describing and append-only:
+//
+//   {"type":"header","version":1,"fingerprint":"9f2c...","num_faults":1200,"threshold":0}
+//   {"type":"result","index":17,"detected":1,"l1":42,"diff":[3,0,-1,2]}
+//   ...
+//
+// The fingerprint hashes the network topology, the stimulus, the fault list
+// and the detection settings; a resume against a checkpoint written for
+// different inputs is rejected loudly (the results would be silently wrong
+// otherwise). A truncated trailing line — the expected artifact of a kill
+// mid-write — is ignored; that fault is simply re-simulated. Doubles are
+// written with max_digits10 so a resumed result is bit-identical to the
+// original.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/campaign.hpp"
+
+namespace snntest::campaign {
+
+struct CheckpointHeader {
+  uint64_t fingerprint = 0;
+  size_t num_faults = 0;
+  double threshold = 0.0;
+};
+
+struct CheckpointData {
+  CheckpointHeader header;
+  /// (fault index, result) pairs in file order; duplicate indices are
+  /// possible after repeated resumes — the last occurrence wins.
+  std::vector<std::pair<size_t, fault::DetectionResult>> results;
+};
+
+/// Parse a checkpoint file. Returns nullopt when the file does not exist or
+/// its first line is not a valid header. Malformed result lines (partial
+/// writes) are skipped.
+std::optional<CheckpointData> load_checkpoint(const std::string& path);
+
+/// Streams results to a checkpoint file. Thread-safe: campaign workers call
+/// record() concurrently. Data is flushed every `flush_every` records and on
+/// destruction.
+class CheckpointWriter {
+ public:
+  /// Truncates `path` and writes a fresh header, or — with `append` — keeps
+  /// the existing contents (resume). Throws std::runtime_error if the file
+  /// cannot be opened.
+  CheckpointWriter(const std::string& path, const CheckpointHeader& header, bool append,
+                   size_t flush_every = 32);
+
+  void record(size_t index, const fault::DetectionResult& result);
+  void flush();
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+  size_t flush_every_;
+  size_t since_flush_ = 0;
+};
+
+}  // namespace snntest::campaign

@@ -1,0 +1,265 @@
+#include "campaign/engine.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/golden_cache.hpp"
+#include "snn/spike_train.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace snntest::campaign {
+namespace {
+
+uint64_t hash_fault_list(const std::vector<fault::FaultDescriptor>& faults, uint64_t seed) {
+  uint64_t h = seed;
+  for (const auto& f : faults) {
+    uint32_t mag_bits = 0;
+    std::memcpy(&mag_bits, &f.magnitude, sizeof(mag_bits));
+    const uint64_t sig[11] = {static_cast<uint64_t>(f.kind),
+                              f.connection_granularity ? 1u : 0u,
+                              f.neuron.layer,
+                              f.neuron.index,
+                              f.weight.layer,
+                              f.weight.param,
+                              f.weight.index,
+                              f.connection.layer,
+                              f.connection.out_index,
+                              f.connection.in_index,
+                              mag_bits};
+    h = fnv1a(sig, sizeof(sig), h);
+  }
+  return h;
+}
+
+uint64_t campaign_fingerprint(const GoldenCache& cache,
+                              const std::vector<fault::FaultDescriptor>& faults,
+                              const EngineConfig& config) {
+  uint64_t h = hash_fault_list(faults, cache.fingerprint);
+  uint64_t threshold_bits = 0;
+  std::memcpy(&threshold_bits, &config.detection_threshold, sizeof(threshold_bits));
+  const uint64_t settings[2] = {threshold_bits, config.detect_only ? 1u : 0u};
+  return fnv1a(settings, sizeof(settings), h);
+}
+
+bool trains_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+/// Full Eq. (3) comparison: exact L1 plus per-class count differences.
+void fill_full_result(fault::DetectionResult& r, const tensor::Tensor& faulty_output,
+                      const GoldenCache& cache, double threshold) {
+  r.output_l1 = snn::output_distance(cache.output(), faulty_output);
+  r.detected = r.output_l1 > threshold;
+  const auto counts = snn::spike_counts(faulty_output);
+  r.class_count_diff.resize(counts.size());
+  for (size_t c = 0; c < counts.size(); ++c) {
+    r.class_count_diff[c] =
+        static_cast<long>(counts[c]) - static_cast<long>(cache.output_counts[c]);
+  }
+}
+
+/// Detect-only comparison: stop at the first timestep where the accumulated
+/// L1 mass crosses the threshold. output_l1 is a lower bound of the full L1.
+void fill_detect_only_result(fault::DetectionResult& r, const tensor::Tensor& faulty_output,
+                             const GoldenCache& cache, double threshold) {
+  const tensor::Tensor& golden = cache.output();
+  const size_t T = golden.shape().dim(0);
+  const size_t n = golden.shape().dim(1);
+  double acc = 0.0;
+  for (size_t t = 0; t < T; ++t) {
+    const float* a = golden.data() + t * n;
+    const float* b = faulty_output.data() + t * n;
+    for (size_t i = 0; i < n; ++i) acc += std::abs(static_cast<double>(a[i]) - b[i]);
+    if (acc > threshold) {
+      r.detected = true;
+      r.output_l1 = acc;
+      return;
+    }
+  }
+  r.detected = false;
+  r.output_l1 = acc;
+}
+
+/// Result for a fault whose layer output re-converged onto the golden
+/// trajectory: every downstream train is bit-identical, so this is exactly
+/// the naive result without running the remaining layers.
+void fill_converged_result(fault::DetectionResult& r, const GoldenCache& cache,
+                           const EngineConfig& config) {
+  r.output_l1 = 0.0;
+  r.detected = 0.0 > config.detection_threshold;
+  if (!config.detect_only) r.class_count_diff.assign(cache.output_counts.size(), 0);
+}
+
+struct WorkerContext {
+  snn::Network net;
+  fault::FaultInjector injector;
+
+  WorkerContext(const snn::Network& reference, const std::vector<fault::LayerWeightStats>& stats)
+      : net(reference), injector(net, stats) {}
+};
+
+struct SimCounters {
+  std::atomic<size_t> simulated{0};
+  std::atomic<size_t> pruned{0};
+  std::atomic<size_t> layer_forwards{0};
+  std::atomic<size_t> completed{0};
+};
+
+void simulate_fault(WorkerContext& worker, const fault::FaultDescriptor& f,
+                    const tensor::Tensor& stimulus, const GoldenCache& cache,
+                    const EngineConfig& config, fault::DetectionResult& r,
+                    SimCounters& counters) {
+  const size_t L = cache.num_layers();
+  const size_t k = config.prefix_reuse ? fault_layer(f) : 0;
+  const tensor::Tensor& start_input = k == 0 ? stimulus : cache.layer_output(k - 1);
+  fault::ScopedFault scoped(worker.injector, f);
+
+  if (!config.convergence_pruning) {
+    const auto fr = worker.net.forward_from(k, start_input, /*record_traces=*/false);
+    counters.layer_forwards.fetch_add(L - k, std::memory_order_relaxed);
+    if (config.detect_only) {
+      fill_detect_only_result(r, fr.output(), cache, config.detection_threshold);
+    } else {
+      fill_full_result(r, fr.output(), cache, config.detection_threshold);
+    }
+    return;
+  }
+
+  tensor::Tensor current;
+  const tensor::Tensor* input = &start_input;
+  for (size_t l = k; l < L; ++l) {
+    current = worker.net.layer(l).forward(*input, /*record_traces=*/false);
+    counters.layer_forwards.fetch_add(1, std::memory_order_relaxed);
+    if (trains_equal(current, cache.layer_output(l))) {
+      fill_converged_result(r, cache, config);
+      if (l + 1 < L) counters.pruned.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    input = &current;
+  }
+  if (config.detect_only) {
+    fill_detect_only_result(r, current, cache, config.detection_threshold);
+  } else {
+    fill_full_result(r, current, cache, config.detection_threshold);
+  }
+}
+
+}  // namespace
+
+size_t CampaignResult::detected_count() const {
+  size_t n = 0;
+  for (const auto& r : results) n += r.detected;
+  return n;
+}
+
+size_t fault_layer(const fault::FaultDescriptor& fault) {
+  if (fault.targets_neuron()) return fault.neuron.layer;
+  if (fault.connection_granularity) return fault.connection.layer;
+  return fault.weight.layer;
+}
+
+CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimulus,
+                            const std::vector<fault::FaultDescriptor>& faults,
+                            const EngineConfig& config) {
+  util::Timer timer;
+  CampaignResult outcome;
+  outcome.results.resize(faults.size());
+  outcome.stats.faults_total = faults.size();
+  if (faults.empty()) {
+    outcome.stats.elapsed_seconds = timer.seconds();
+    return outcome;
+  }
+
+  const GoldenCache cache = build_golden_cache(net, stimulus);
+  const size_t L = cache.num_layers();
+
+  // --- checkpoint resume ---------------------------------------------------
+  CheckpointHeader header;
+  header.fingerprint = campaign_fingerprint(cache, faults, config);
+  header.num_faults = faults.size();
+  header.threshold = config.detection_threshold;
+
+  std::vector<char> have(faults.size(), 0);
+  std::optional<CheckpointWriter> writer;
+  if (!config.checkpoint_path.empty()) {
+    bool append = false;
+    if (auto existing = load_checkpoint(config.checkpoint_path)) {
+      if (existing->header.fingerprint != header.fingerprint ||
+          existing->header.num_faults != faults.size()) {
+        throw std::runtime_error("run_campaign: checkpoint " + config.checkpoint_path +
+                                 " was written for different campaign inputs; delete it to "
+                                 "start fresh");
+      }
+      for (auto& [index, result] : existing->results) {
+        if (!have[index]) ++outcome.stats.faults_resumed;
+        have[index] = 1;
+        outcome.results[index] = std::move(result);
+      }
+      append = true;
+    }
+    writer.emplace(config.checkpoint_path, header, append, config.checkpoint_flush_every);
+  }
+
+  std::vector<size_t> worklist;
+  worklist.reserve(faults.size());
+  for (size_t j = 0; j < faults.size(); ++j) {
+    if (!have[j]) worklist.push_back(j);
+  }
+
+  // --- dynamic-schedule simulation -----------------------------------------
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t requested = config.num_threads == 0 ? hw : config.num_threads;
+  std::optional<util::ThreadPool> pool;
+  if (requested > 1 && worklist.size() > 1) pool.emplace(requested);
+  util::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
+
+  const size_t num_workers = util::dynamic_workers(pool_ptr);
+  std::vector<std::unique_ptr<WorkerContext>> workers;
+  workers.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers.push_back(std::make_unique<WorkerContext>(net, cache.stats));
+  }
+
+  SimCounters counters;
+  counters.completed.store(outcome.stats.faults_resumed);
+  std::atomic<bool> cancelled{false};
+
+  util::parallel_for_dynamic(pool_ptr, worklist.size(), config.grain, [&](size_t w, size_t i) {
+    if (cancelled.load(std::memory_order_relaxed)) return;
+    if (config.cancel && config.cancel()) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const size_t j = worklist[i];
+    simulate_fault(*workers[w], faults[j], stimulus, cache, config, outcome.results[j],
+                   counters);
+    have[j] = 1;
+    counters.simulated.fetch_add(1, std::memory_order_relaxed);
+    if (writer) writer->record(j, outcome.results[j]);
+    const size_t done = counters.completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (config.progress) config.progress(done, faults.size());
+  });
+  if (writer) writer->flush();
+
+  for (char h : have) {
+    if (!h) {
+      outcome.completed = false;
+      break;
+    }
+  }
+  outcome.stats.faults_simulated = counters.simulated.load();
+  outcome.stats.faults_pruned = counters.pruned.load();
+  outcome.stats.layer_forwards = counters.layer_forwards.load();
+  outcome.stats.layer_forwards_naive = outcome.stats.faults_simulated * L;
+  outcome.stats.elapsed_seconds = timer.seconds();
+  return outcome;
+}
+
+}  // namespace snntest::campaign

@@ -1,0 +1,113 @@
+// Differential fault-simulation campaign engine.
+//
+// The naive campaign re-simulates every layer of the network for every
+// fault. This engine exploits the structure of the problem instead:
+//
+//  * Prefix reuse — a fault is confined to one layer k (see
+//    fault/injector.hpp), so the fault-free spike trains of layers 0..k-1
+//    from the GoldenCache feed layer k directly; only layers k..L-1 run.
+//  * Convergence pruning (exact early exit) — spike trains are binary, so
+//    if the faulty output of any layer l >= k is bit-identical to the
+//    golden train of layer l, every downstream layer is bit-identical too:
+//    the fault is undetectable by this stimulus and simulation stops at
+//    layer l. This decides `detected` without ever touching the remaining
+//    layers, and the emitted DetectionResult is exactly what the naive
+//    path would have produced.
+//  * Detect-only early exit — when only Eq. (3)'s detected/undetected bit
+//    is needed, the output comparison stops at the first timestep whose
+//    rows diverge. `output_l1` then holds a lower bound (the L1 mass up to
+//    and including that timestep) and class_count_diff is left empty.
+//  * Dynamic scheduling — per-fault cost varies by orders of magnitude
+//    with fault depth, so workers claim small chunks from a shared atomic
+//    counter (util::parallel_for_dynamic) instead of static ranges.
+//  * Checkpoint/resume — with a checkpoint path every completed result is
+//    streamed to a JSONL file (campaign/checkpoint.hpp); a rerun against
+//    the same inputs resumes from the completed shards.
+//
+// fault::run_detection_campaign is a compatibility wrapper over this
+// engine (campaign/legacy.cpp).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/injector.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snntest::campaign {
+
+struct EngineConfig {
+  size_t num_threads = 0;  // 0 = hardware concurrency
+  /// Faults claimed per scheduler round-trip. Small enough to balance
+  /// uneven per-fault cost, large enough to amortize the atomic traffic.
+  size_t grain = 8;
+  /// detected = output_l1 > detection_threshold (default keeps Eq. (3)).
+  double detection_threshold = 0.0;
+  /// Reuse golden activations of the layers before the faulty one.
+  bool prefix_reuse = true;
+  /// Stop as soon as a layer's faulty output matches its golden output.
+  bool convergence_pruning = true;
+  /// Only decide detected/undetected: stop the output comparison at the
+  /// first divergent timestep. output_l1 becomes a lower bound and
+  /// class_count_diff is left empty. Off by default (full results).
+  bool detect_only = false;
+  /// JSONL checkpoint file; empty disables checkpointing. If the file
+  /// already holds a checkpoint for the same (network, stimulus, faults,
+  /// settings) fingerprint, its completed results are reused; a checkpoint
+  /// for different inputs throws std::runtime_error.
+  std::string checkpoint_path;
+  /// Checkpoint flush cadence (completed results per flush).
+  size_t checkpoint_flush_every = 32;
+  /// Progress callback (completed, total); called from worker threads.
+  std::function<void(size_t, size_t)> progress;
+  /// Cooperative cancellation, polled between faults. Returning true makes
+  /// workers stop claiming work; the partial outcome (completed=false) is
+  /// checkpointed and can be resumed.
+  std::function<bool()> cancel;
+};
+
+struct EngineStats {
+  size_t faults_total = 0;
+  size_t faults_simulated = 0;  // simulated in this run
+  size_t faults_resumed = 0;    // restored from the checkpoint
+  /// Faults whose simulation stopped early at a converged layer.
+  size_t faults_pruned = 0;
+  /// Layer forward passes actually executed vs. what the naive
+  /// all-layers-per-fault path would have executed. The ratio is the
+  /// arithmetic speedup of the differential simulation.
+  size_t layer_forwards = 0;
+  size_t layer_forwards_naive = 0;
+  double elapsed_seconds = 0.0;
+
+  double forward_savings() const {
+    return layer_forwards_naive == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(layer_forwards) /
+                           static_cast<double>(layer_forwards_naive);
+  }
+};
+
+struct CampaignResult {
+  std::vector<fault::DetectionResult> results;  // parallel to the fault list
+  /// False when the run was cancelled before every fault completed; the
+  /// unfinished entries are default-constructed (detected=false, l1=0).
+  bool completed = true;
+  EngineStats stats;
+
+  size_t detected_count() const;
+};
+
+/// Layer a fault descriptor is confined to.
+size_t fault_layer(const fault::FaultDescriptor& fault);
+
+/// Simulate every fault in `faults` against `stimulus` with the
+/// differential engine. `net` must be fault-free; it is not modified
+/// (workers use clones). Results are bit-identical to the naive
+/// re-simulate-everything campaign unless `detect_only` is set.
+CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimulus,
+                            const std::vector<fault::FaultDescriptor>& faults,
+                            const EngineConfig& config = {});
+
+}  // namespace snntest::campaign

@@ -1,0 +1,45 @@
+// Golden activation cache for differential fault simulation.
+//
+// One fault-free forward pass is shared by every fault of a campaign: a
+// fault confined to layer k (faults are single-layer by construction, see
+// fault/injector.hpp) leaves layers 0..k-1 bit-identical to the golden run,
+// so their cached spike trains feed Network::forward_from(k, ...) directly.
+// The cache also precomputes everything the detection comparison needs
+// (output spike counts) and a fingerprint of (network, stimulus) used to
+// validate checkpoint resumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/registry.hpp"
+#include "snn/network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snntest::campaign {
+
+struct GoldenCache {
+  /// Fault-free spike train of every layer; layer_outputs[l] is [T, N_l].
+  snn::ForwardResult forward;
+  /// Rate-decoded per-class counts of the golden output.
+  std::vector<size_t> output_counts;
+  /// Layer weight statistics (bit-flip quantization scales) for injectors.
+  std::vector<fault::LayerWeightStats> stats;
+  /// FNV-1a over the network topology + stimulus bytes.
+  uint64_t fingerprint = 0;
+
+  const tensor::Tensor& layer_output(size_t l) const { return forward.layer_outputs[l]; }
+  const tensor::Tensor& output() const { return forward.output(); }
+  size_t num_layers() const { return forward.num_layers(); }
+};
+
+/// Run the fault-free reference pass and assemble the cache. `net` is
+/// cloned internally and not modified.
+GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& stimulus);
+
+/// FNV-1a helpers shared with the checkpoint fingerprint.
+uint64_t fnv1a(const void* data, size_t bytes, uint64_t seed = 14695981039346656037ull);
+uint64_t hash_stimulus(const tensor::Tensor& stimulus, uint64_t seed);
+uint64_t hash_network_topology(const snn::Network& net, uint64_t seed);
+
+}  // namespace snntest::campaign

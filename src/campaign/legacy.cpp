@@ -1,0 +1,30 @@
+// Compatibility wrapper: the historic fault::run_detection_campaign API
+// (declared in fault/campaign.hpp) implemented on top of the differential
+// engine, so existing benches, examples and optimizers transparently get
+// prefix reuse, convergence pruning and dynamic scheduling.
+#include "campaign/engine.hpp"
+#include "fault/campaign.hpp"
+
+namespace snntest::fault {
+
+size_t CampaignOutcome::detected_count() const {
+  size_t n = 0;
+  for (const auto& r : results) n += r.detected;
+  return n;
+}
+
+CampaignOutcome run_detection_campaign(const snn::Network& net, const tensor::Tensor& stimulus,
+                                       const std::vector<FaultDescriptor>& faults,
+                                       const CampaignConfig& config) {
+  campaign::EngineConfig engine_config;
+  engine_config.num_threads = config.num_threads;
+  engine_config.detection_threshold = config.detection_threshold;
+  engine_config.progress = config.progress;
+  auto campaign_result = campaign::run_campaign(net, stimulus, faults, engine_config);
+  CampaignOutcome outcome;
+  outcome.results = std::move(campaign_result.results);
+  outcome.elapsed_seconds = campaign_result.stats.elapsed_seconds;
+  return outcome;
+}
+
+}  // namespace snntest::fault

@@ -7,6 +7,11 @@
 //    spike trains (L1 > 0 -> detected). This is T_FS in Sec. IV-B.
 //  * classify (see classifier.hpp) — the Table II experiment labelling
 //    faults critical/benign over a dataset.
+//
+// run_detection_campaign is a thin compatibility wrapper over the
+// differential engine in campaign/engine.hpp (golden-prefix reuse,
+// convergence pruning, dynamic scheduling, checkpoint/resume); new code
+// should call campaign::run_campaign directly.
 #pragma once
 
 #include <functional>
@@ -28,6 +33,11 @@ struct DetectionResult {
 
 struct CampaignConfig {
   size_t num_threads = 0;  // 0 = hardware concurrency
+  /// A fault counts as detected when output_l1 > detection_threshold. The
+  /// default 0.0 keeps the paper's Eq. (3) criterion (any output spike
+  /// difference); raise it to ignore sub-threshold corruption, e.g. to model
+  /// a comparator with limited precision.
+  double detection_threshold = 0.0;
   /// Progress callback (completed, total); called from worker threads.
   std::function<void(size_t, size_t)> progress;
 };

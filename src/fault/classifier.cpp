@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "util/thread_pool.hpp"
@@ -43,46 +45,47 @@ ClassificationOutcome classify_faults(const snn::Network& net,
 
   const auto stats = compute_weight_stats(golden_net);
   const size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const size_t workers = config.num_threads == 0 ? hw : config.num_threads;
+  const size_t requested = config.num_threads == 0 ? hw : config.num_threads;
   std::atomic<size_t> done{0};
 
-  auto classify_range = [&](snn::Network& worker_net, size_t begin, size_t end) {
-    FaultInjector injector(worker_net, stats);
-    for (size_t j = begin; j < end; ++j) {
-      ScopedFault scoped(injector, faults[j]);
-      FaultClassification& label = outcome.labels[j];
-      size_t faulty_correct = 0;
-      for (size_t i = 0; i < n_samples; ++i) {
-        const size_t pred = worker_net.forward(samples[i].input).predicted_class(config.decoding);
-        if (pred != golden_pred[i]) {
-          label.critical = true;
-          ++label.prediction_changes;
-        }
-        faulty_correct += pred == samples[i].label;
-      }
-      const double faulty_acc =
-          n_samples ? static_cast<double>(faulty_correct) / static_cast<double>(n_samples) : 0.0;
-      label.accuracy_drop = std::max(0.0, outcome.golden_accuracy - faulty_acc);
-      const size_t completed = done.fetch_add(1) + 1;
-      if (config.progress) config.progress(completed, faults.size());
-    }
-  };
+  // Per-fault cost is dominated by n_samples full inferences but still
+  // varies (a dead front-layer neuron silences downstream activity and the
+  // LIF update cost tracks activity), so workers claim small dynamic chunks
+  // instead of one static range each.
+  std::optional<util::ThreadPool> pool;
+  if (requested > 1 && faults.size() >= 2 * requested) pool.emplace(requested);
+  util::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
 
-  if (workers <= 1 || faults.size() < 2 * workers) {
-    snn::Network worker_net(net);
-    classify_range(worker_net, 0, faults.size());
-  } else {
-    util::ThreadPool pool(workers);
-    const size_t chunk = (faults.size() + workers - 1) / workers;
-    std::vector<snn::Network> worker_nets(workers, net);
-    for (size_t w = 0; w < workers; ++w) {
-      const size_t begin = w * chunk;
-      const size_t end = std::min(faults.size(), begin + chunk);
-      if (begin >= end) break;
-      pool.submit([&, w, begin, end] { classify_range(worker_nets[w], begin, end); });
-    }
-    pool.wait_idle();
+  struct Worker {
+    snn::Network net;
+    FaultInjector injector;
+    Worker(const snn::Network& reference, const std::vector<LayerWeightStats>& stats)
+        : net(reference), injector(net, stats) {}
+  };
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (size_t w = 0; w < util::dynamic_workers(pool_ptr); ++w) {
+    workers.push_back(std::make_unique<Worker>(net, stats));
   }
+
+  util::parallel_for_dynamic(pool_ptr, faults.size(), /*grain=*/4, [&](size_t w, size_t j) {
+    Worker& worker = *workers[w];
+    ScopedFault scoped(worker.injector, faults[j]);
+    FaultClassification& label = outcome.labels[j];
+    size_t faulty_correct = 0;
+    for (size_t i = 0; i < n_samples; ++i) {
+      const size_t pred = worker.net.forward(samples[i].input).predicted_class(config.decoding);
+      if (pred != golden_pred[i]) {
+        label.critical = true;
+        ++label.prediction_changes;
+      }
+      faulty_correct += pred == samples[i].label;
+    }
+    const double faulty_acc =
+        n_samples ? static_cast<double>(faulty_correct) / static_cast<double>(n_samples) : 0.0;
+    label.accuracy_drop = std::max(0.0, outcome.golden_accuracy - faulty_acc);
+    const size_t completed = done.fetch_add(1) + 1;
+    if (config.progress) config.progress(completed, faults.size());
+  });
 
   outcome.elapsed_seconds = timer.seconds();
   return outcome;

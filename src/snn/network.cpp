@@ -152,12 +152,21 @@ size_t Network::neuron_flat_index(const NeuronRef& ref) const {
 }
 
 ForwardResult Network::forward(const Tensor& input, bool record_traces) {
+  return forward_from(0, input, record_traces);
+}
+
+ForwardResult Network::forward_from(size_t start_layer, const Tensor& input, bool record_traces) {
   if (layers_.empty()) throw std::logic_error("Network::forward: empty network");
+  if (start_layer >= layers_.size()) {
+    throw std::out_of_range("Network::forward_from: start_layer " + std::to_string(start_layer) +
+                            " out of range (network has " + std::to_string(layers_.size()) +
+                            " layers)");
+  }
   ForwardResult result;
-  result.layer_outputs.reserve(layers_.size());
+  result.layer_outputs.reserve(layers_.size() - start_layer);
   const Tensor* current = &input;
-  for (auto& layer : layers_) {
-    result.layer_outputs.push_back(layer->forward(*current, record_traces));
+  for (size_t l = start_layer; l < layers_.size(); ++l) {
+    result.layer_outputs.push_back(layers_[l]->forward(*current, record_traces));
     current = &result.layer_outputs.back();
   }
   return result;

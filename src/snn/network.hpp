@@ -100,6 +100,16 @@ class Network {
   /// Run the full window. `input` is [T, input_size] binary.
   ForwardResult forward(const Tensor& input, bool record_traces = false);
 
+  /// Run only layers [start_layer, num_layers). `input` must be the spike
+  /// train feeding `start_layer` — i.e. layer start_layer-1's output, or the
+  /// network input when start_layer == 0. This is the differential
+  /// fault-campaign entry point: a fault confined to layer k reuses the
+  /// cached fault-free outputs of layers 0..k-1 instead of recomputing them.
+  /// The returned ForwardResult::layer_outputs are indexed *relative to
+  /// start_layer* (output() is still the network output).
+  ForwardResult forward_from(size_t start_layer, const Tensor& input,
+                             bool record_traces = false);
+
   /// Backpropagate. `grad_outputs[l]` is dL/dO^l, [T, N_l]; pass an empty
   /// Tensor for layers without loss terms. Accumulates weight grads and
   /// returns dL/d(input spikes) [T, input_size]. Requires a preceding

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace snntest::util {
 
@@ -68,6 +69,33 @@ void parallel_for(ThreadPool* pool, size_t n, const std::function<void(size_t)>&
     const size_t end = std::min(n, begin + chunk);
     pool->submit([begin, end, &fn] {
       for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  pool->wait_idle();
+}
+
+size_t dynamic_workers(const ThreadPool* pool) {
+  return (pool == nullptr || pool->size() <= 1) ? 1 : pool->size();
+}
+
+void parallel_for_dynamic(ThreadPool* pool, size_t n, size_t grain,
+                          const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (dynamic_workers(pool) == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  const size_t workers = std::min(pool->size(), (n + grain - 1) / grain);
+  std::atomic<size_t> next{0};
+  for (size_t w = 0; w < workers; ++w) {
+    pool->submit([w, n, grain, &next, &fn] {
+      for (;;) {
+        const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const size_t end = std::min(n, begin + grain);
+        for (size_t i = begin; i < end; ++i) fn(w, i);
+      }
     });
   }
   pool->wait_idle();

@@ -50,4 +50,18 @@ class ThreadPool {
 /// Work is distributed in contiguous chunks to keep memory access coherent.
 void parallel_for(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
 
+/// Number of workers `parallel_for_dynamic` will use on `pool` — size
+/// worker-local state (network clones, accumulators) with this before
+/// calling it. Null / single-threaded pools run inline as one worker.
+size_t dynamic_workers(const ThreadPool* pool);
+
+/// Dynamic-schedule variant for uneven per-item cost: workers repeatedly
+/// claim `grain`-sized chunks from a shared atomic counter instead of being
+/// handed one static range each, so a slow item cannot strand the rest of
+/// its chunk behind it while other workers sit idle. `fn(worker, i)` is
+/// called with a stable worker id in [0, dynamic_workers(pool)) usable to
+/// index worker-local state. `grain == 0` is treated as 1. Blocks until done.
+void parallel_for_dynamic(ThreadPool* pool, size_t n, size_t grain,
+                          const std::function<void(size_t, size_t)>& fn);
+
 }  // namespace snntest::util

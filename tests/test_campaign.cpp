@@ -1,0 +1,355 @@
+// Differential campaign-engine tests: golden-cache correctness, bit-identical
+// equivalence with an independently-coded naive campaign, prefix-reuse /
+// convergence-pruning accounting, detect-only early exit, configurable
+// detection threshold, and checkpoint/resume (round-trip, interrupted-run
+// equality, fingerprint mismatch rejection, truncated-tail tolerance).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/golden_cache.hpp"
+#include "fault/coverage.hpp"
+#include "fault/registry.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/spike_train.hpp"
+
+namespace snntest::campaign {
+namespace {
+
+snn::Network make_net(uint64_t seed = 11) {
+  util::Rng rng(seed);
+  snn::LifParams lif;
+  snn::Network net("campaign-test");
+  auto l1 = std::make_unique<snn::DenseLayer>(8, 16, lif);
+  l1->init_weights(rng, 1.3f);
+  net.add_layer(std::move(l1));
+  auto l2 = std::make_unique<snn::DenseLayer>(16, 12, lif);
+  l2->init_weights(rng, 1.3f);
+  net.add_layer(std::move(l2));
+  auto l3 = std::make_unique<snn::DenseLayer>(12, 4, lif);
+  l3->init_weights(rng, 1.3f);
+  net.add_layer(std::move(l3));
+  return net;
+}
+
+tensor::Tensor busy_input(size_t T = 20, size_t n = 8, uint64_t seed = 5) {
+  util::Rng rng(seed);
+  return snn::random_spike_train(T, n, 0.5, rng);
+}
+
+std::vector<fault::FaultDescriptor> sampled_universe(snn::Network& net, size_t k = 120,
+                                                     uint64_t seed = 17) {
+  fault::FaultUniverseConfig cfg;
+  cfg.neuron_threshold_variation = true;
+  cfg.neuron_leak_variation = true;
+  cfg.synapse_bitflip = true;
+  auto universe = fault::enumerate_faults(net, cfg);
+  util::Rng rng(seed);
+  return fault::sample_faults(universe, k, rng);
+}
+
+/// Independent naive reference: full forward for every fault, coded without
+/// any of the engine's shortcuts so the equivalence test is meaningful.
+std::vector<fault::DetectionResult> naive_reference(const snn::Network& net,
+                                                    const tensor::Tensor& stimulus,
+                                                    const std::vector<fault::FaultDescriptor>& faults,
+                                                    double threshold = 0.0) {
+  snn::Network golden_net(net);
+  const auto golden = golden_net.forward(stimulus);
+  const auto golden_counts = golden.output_counts();
+  const auto stats = fault::compute_weight_stats(golden_net);
+  snn::Network worker(net);
+  fault::FaultInjector injector(worker, stats);
+  std::vector<fault::DetectionResult> results(faults.size());
+  for (size_t j = 0; j < faults.size(); ++j) {
+    fault::ScopedFault scoped(injector, faults[j]);
+    const auto faulty = worker.forward(stimulus);
+    auto& r = results[j];
+    r.output_l1 = snn::output_distance(golden.output(), faulty.output());
+    r.detected = r.output_l1 > threshold;
+    const auto counts = faulty.output_counts();
+    r.class_count_diff.resize(counts.size());
+    for (size_t c = 0; c < counts.size(); ++c) {
+      r.class_count_diff[c] = static_cast<long>(counts[c]) - static_cast<long>(golden_counts[c]);
+    }
+  }
+  return results;
+}
+
+void expect_results_identical(const std::vector<fault::DetectionResult>& a,
+                              const std::vector<fault::DetectionResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t j = 0; j < a.size(); ++j) {
+    EXPECT_EQ(a[j].detected, b[j].detected) << "fault " << j;
+    EXPECT_EQ(a[j].output_l1, b[j].output_l1) << "fault " << j;
+    ASSERT_EQ(a[j].class_count_diff, b[j].class_count_diff) << "fault " << j;
+  }
+}
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+TEST(FaultLayer, ResolvesPerTargetKind) {
+  fault::FaultDescriptor f;
+  f.kind = fault::FaultKind::kNeuronDead;
+  f.neuron = {2, 0};
+  EXPECT_EQ(fault_layer(f), 2u);
+  f.kind = fault::FaultKind::kSynapseDead;
+  f.weight = {1, 0, 3};
+  EXPECT_EQ(fault_layer(f), 1u);
+  f.connection_granularity = true;
+  f.connection = {0, 4, 7};
+  EXPECT_EQ(fault_layer(f), 0u);
+}
+
+TEST(GoldenCache, MatchesDirectForward) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto cache = build_golden_cache(net, input);
+  snn::Network clone(net);
+  const auto direct = clone.forward(input);
+  ASSERT_EQ(cache.num_layers(), direct.num_layers());
+  for (size_t l = 0; l < direct.num_layers(); ++l) {
+    const auto& a = cache.layer_output(l);
+    const auto& b = direct.layer_outputs[l];
+    ASSERT_EQ(a.numel(), b.numel());
+    for (size_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]) << "layer " << l;
+  }
+  EXPECT_EQ(cache.output_counts, direct.output_counts());
+  EXPECT_NE(cache.fingerprint, 0u);
+  // Fingerprint is sensitive to the stimulus.
+  const auto other = build_golden_cache(net, busy_input(20, 8, 99));
+  EXPECT_NE(cache.fingerprint, other.fingerprint);
+}
+
+TEST(Engine, BitIdenticalToNaiveReference) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net);
+  const auto naive = naive_reference(net, input, faults);
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    EngineConfig cfg;
+    cfg.num_threads = threads;
+    cfg.grain = 3;
+    const auto result = run_campaign(net, input, faults, cfg);
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.stats.faults_simulated, faults.size());
+    expect_results_identical(result.results, naive);
+  }
+}
+
+TEST(Engine, BitIdenticalWithAllShortcutsDisabled) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 60);
+  const auto naive = naive_reference(net, input, faults);
+  EngineConfig cfg;
+  cfg.prefix_reuse = false;
+  cfg.convergence_pruning = false;
+  const auto result = run_campaign(net, input, faults, cfg);
+  expect_results_identical(result.results, naive);
+  // Without shortcuts every fault runs every layer.
+  EXPECT_EQ(result.stats.layer_forwards, result.stats.layer_forwards_naive);
+}
+
+TEST(Engine, PrefixReuseSkipsEarlyLayers) {
+  auto net = make_net();
+  const auto input = busy_input();
+  // Faults confined to the last layer: only 1 of 3 layers must run.
+  std::vector<fault::FaultDescriptor> faults;
+  for (size_t i = 0; i < net.layer(2).num_neurons(); ++i) {
+    fault::FaultDescriptor f;
+    f.kind = fault::FaultKind::kNeuronSaturated;
+    f.neuron = {2, i};
+    faults.push_back(f);
+  }
+  const auto naive = naive_reference(net, input, faults);
+  const auto result = run_campaign(net, input, faults, {});
+  expect_results_identical(result.results, naive);
+  EXPECT_EQ(result.stats.layer_forwards, faults.size());
+  EXPECT_EQ(result.stats.layer_forwards_naive, faults.size() * net.num_layers());
+  EXPECT_GE(result.stats.forward_savings(), 2.0 / 3.0 - 1e-9);
+}
+
+TEST(Engine, ConvergencePruningStopsInvisibleFaults) {
+  auto net = make_net();
+  // A dead neuron fed by a silent stimulus never diverges from golden:
+  // pruning must decide "undetected" after layer 0 alone.
+  const auto zero = snn::zero_train(16, 8);
+  std::vector<fault::FaultDescriptor> faults(1);
+  faults[0].kind = fault::FaultKind::kNeuronDead;
+  faults[0].neuron = {0, 0};
+  const auto naive = naive_reference(net, zero, faults);
+  const auto result = run_campaign(net, zero, faults, {});
+  expect_results_identical(result.results, naive);
+  EXPECT_FALSE(result.results[0].detected);
+  EXPECT_EQ(result.stats.faults_pruned, 1u);
+  EXPECT_EQ(result.stats.layer_forwards, 1u);
+  // The naive result fills zero class diffs; pruning must do the same.
+  EXPECT_EQ(result.results[0].class_count_diff, std::vector<long>(net.output_size(), 0));
+}
+
+TEST(Engine, DetectOnlyAgreesOnDetection) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 80);
+  const auto full = run_campaign(net, input, faults, {});
+  EngineConfig cfg;
+  cfg.detect_only = true;
+  const auto fast = run_campaign(net, input, faults, cfg);
+  ASSERT_EQ(full.results.size(), fast.results.size());
+  for (size_t j = 0; j < faults.size(); ++j) {
+    EXPECT_EQ(full.results[j].detected, fast.results[j].detected) << "fault " << j;
+    // Lower bound: never exceeds the exact L1, positive iff detected.
+    EXPECT_LE(fast.results[j].output_l1, full.results[j].output_l1);
+    EXPECT_TRUE(fast.results[j].class_count_diff.empty());
+  }
+}
+
+TEST(Engine, DetectionThresholdRespected) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 40);
+  EngineConfig cfg;
+  cfg.detection_threshold = 1e9;
+  const auto result = run_campaign(net, input, faults, cfg);
+  EXPECT_EQ(result.detected_count(), 0u);
+
+  // The legacy API forwards its threshold to the engine.
+  fault::CampaignConfig legacy;
+  legacy.detection_threshold = 1e9;
+  const auto outcome = fault::run_detection_campaign(net, input, faults, legacy);
+  EXPECT_EQ(outcome.detected_count(), 0u);
+}
+
+TEST(Checkpoint, RoundTripIsExact) {
+  const std::string path = temp_path("ck_roundtrip.jsonl");
+  CheckpointHeader header;
+  header.fingerprint = 0xdeadbeef12345678ull;
+  header.num_faults = 10;
+  header.threshold = 0.1 + 0.2;  // not exactly representable: exercises %.17g
+  {
+    CheckpointWriter writer(path, header, /*append=*/false, /*flush_every=*/1);
+    fault::DetectionResult r;
+    r.detected = true;
+    r.output_l1 = 1.0 / 3.0;
+    r.class_count_diff = {3, 0, -7};
+    writer.record(4, r);
+    r.detected = false;
+    r.output_l1 = 0.0;
+    r.class_count_diff = {};
+    writer.record(9, r);
+  }
+  const auto data = load_checkpoint(path);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->header.fingerprint, header.fingerprint);
+  EXPECT_EQ(data->header.num_faults, header.num_faults);
+  EXPECT_EQ(data->header.threshold, header.threshold);
+  ASSERT_EQ(data->results.size(), 2u);
+  EXPECT_EQ(data->results[0].first, 4u);
+  EXPECT_TRUE(data->results[0].second.detected);
+  EXPECT_EQ(data->results[0].second.output_l1, 1.0 / 3.0);
+  EXPECT_EQ(data->results[0].second.class_count_diff, (std::vector<long>{3, 0, -7}));
+  EXPECT_EQ(data->results[1].first, 9u);
+  EXPECT_FALSE(data->results[1].second.detected);
+  EXPECT_TRUE(data->results[1].second.class_count_diff.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_checkpoint(temp_path("ck_does_not_exist.jsonl")).has_value());
+}
+
+TEST(Checkpoint, InterruptedRunResumesToIdenticalOutcome) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 90);
+  const std::string path = temp_path("ck_resume.jsonl");
+  std::remove(path.c_str());
+
+  const auto uninterrupted = run_campaign(net, input, faults, {});
+
+  // First run: cancel after ~a third of the faults have been claimed.
+  std::atomic<long> budget{static_cast<long>(faults.size() / 3)};
+  EngineConfig cfg;
+  cfg.num_threads = 2;
+  cfg.grain = 2;
+  cfg.checkpoint_path = path;
+  cfg.checkpoint_flush_every = 1;
+  cfg.cancel = [&budget] { return budget.fetch_sub(1) <= 0; };
+  const auto partial = run_campaign(net, input, faults, cfg);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_LT(partial.stats.faults_simulated, faults.size());
+  EXPECT_GT(partial.stats.faults_simulated, 0u);
+
+  // Second run: same inputs, no cancel — must pick up the checkpoint.
+  EngineConfig resume_cfg;
+  resume_cfg.checkpoint_path = path;
+  const auto resumed = run_campaign(net, input, faults, resume_cfg);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.stats.faults_resumed, partial.stats.faults_simulated);
+  EXPECT_EQ(resumed.stats.faults_simulated + resumed.stats.faults_resumed, faults.size());
+  expect_results_identical(resumed.results, uninterrupted.results);
+
+  // The joined results yield the same coverage report as the clean run.
+  std::vector<fault::FaultClassification> labels(faults.size());
+  for (size_t j = 0; j < labels.size(); ++j) labels[j].critical = j % 2 == 0;
+  const auto report_a = fault::build_coverage_report(faults, uninterrupted.results, labels);
+  const auto report_b = fault::build_coverage_report(faults, resumed.results, labels);
+  EXPECT_EQ(report_a.to_string(), report_b.to_string());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MismatchedFingerprintThrows) {
+  auto net = make_net();
+  const auto faults = sampled_universe(net, 10);
+  const std::string path = temp_path("ck_mismatch.jsonl");
+  std::remove(path.c_str());
+  EngineConfig cfg;
+  cfg.checkpoint_path = path;
+  run_campaign(net, busy_input(20, 8, 5), faults, cfg);
+  // Different stimulus => different fingerprint => loud rejection.
+  EXPECT_THROW(run_campaign(net, busy_input(20, 8, 6), faults, cfg), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedTrailingLineIsTolerated) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 20);
+  const std::string path = temp_path("ck_truncated.jsonl");
+  std::remove(path.c_str());
+  EngineConfig cfg;
+  cfg.checkpoint_path = path;
+  const auto clean = run_campaign(net, input, faults, cfg);
+
+  // Simulate a kill mid-write: chop the file in the middle of the last line.
+  std::stringstream buffer;
+  {
+    std::ifstream in(path);
+    buffer << in.rdbuf();
+  }
+  std::string contents = buffer.str();
+  contents.resize(contents.size() - 12);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+  const auto ck = load_checkpoint(path);
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_LT(ck->results.size(), faults.size());
+
+  const auto resumed = run_campaign(net, input, faults, cfg);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.stats.faults_simulated, 1u);  // only the chopped fault reruns
+  expect_results_identical(resumed.results, clean.results);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace snntest::campaign

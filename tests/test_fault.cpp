@@ -252,6 +252,45 @@ TEST(Injector, ScopedFaultRestoresOnException) {
   EXPECT_EQ(net.layer(0).params()[0].value[0], original);
 }
 
+TEST(Injector, ScopedFaultRestoresNeuronStateOnException) {
+  auto net = make_net();
+  snn::Network pristine(net);
+  FaultInjector injector(net);
+  FaultDescriptor f;
+  f.kind = FaultKind::kNeuronThresholdVariation;
+  f.neuron = {0, 4};
+  f.magnitude = 0.75f;
+  try {
+    ScopedFault scoped(injector, f);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(injector.active());
+  const auto& lif = net.layer(0).lif();
+  const auto& ref = pristine.layer(0).lif();
+  EXPECT_EQ(lif.thresholds()[4], ref.thresholds()[4]);
+  EXPECT_EQ(lif.leaks()[4], ref.leaks()[4]);
+  EXPECT_EQ(lif.modes()[4], ref.modes()[4]);
+}
+
+TEST(Injector, DoubleInjectThrowsAcrossTargetKinds) {
+  auto net = make_net();
+  FaultInjector injector(net);
+  FaultDescriptor neuron;
+  neuron.kind = FaultKind::kNeuronDead;
+  neuron.neuron = {0, 1};
+  FaultDescriptor synapse;
+  synapse.kind = FaultKind::kSynapseDead;
+  synapse.weight = {1, 0, 2};
+  injector.inject(neuron);
+  // The single-fault assumption holds regardless of the second fault's kind.
+  EXPECT_THROW(injector.inject(synapse), std::logic_error);
+  EXPECT_THROW(injector.inject(neuron), std::logic_error);
+  injector.remove();
+  injector.inject(synapse);  // allowed after removal
+  injector.remove();
+}
+
 TEST(Campaign, SaturatedOutputNeuronAlwaysDetected) {
   auto net = make_net();
   std::vector<FaultDescriptor> faults(1);
@@ -470,6 +509,24 @@ TEST(ConnectionFaults, UnconnectedPairRejected) {
   auto& conv = static_cast<snn::ConvLayer&>(net.layer(0));
   // output (0,0) and input (5,5) are farther than the kernel reach
   EXPECT_THROW(conv.connection_weight(0, 35), std::invalid_argument);
+}
+
+TEST(ConnectionFaults, ScopedFaultRestoresOverrideOnException) {
+  auto net = make_conv_net(40);
+  auto& conv = static_cast<snn::ConvLayer&>(net.layer(0));
+  FaultInjector injector(net);
+  FaultDescriptor f;
+  f.kind = FaultKind::kSynapseDead;
+  f.connection_granularity = true;
+  f.connection = {0, (1u * 6 + 2) * 6 + 2, 2u * 6 + 2};
+  try {
+    ScopedFault scoped(injector, f);
+    EXPECT_TRUE(conv.connection_override_active());
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(conv.connection_override_active());
+  EXPECT_FALSE(injector.active());
 }
 
 TEST(ConnectionFaults, CampaignMixesGranularities) {

@@ -65,6 +65,35 @@ TEST(Network, ForwardRecordsEveryLayer) {
   EXPECT_EQ(&fwd.output(), &fwd.layer_outputs[1]);
 }
 
+TEST(Network, ForwardFromMatchesFullForwardSuffix) {
+  auto net = make_test_net();
+  const auto input = dense_input(9, 6, 0.5, 4);
+  const auto full = net.forward(input);
+  // Restart from layer 1 with layer 0's recorded output: the suffix must be
+  // bit-identical to the full pass (this is the differential-campaign
+  // prefix-reuse contract).
+  const auto suffix = net.forward_from(1, full.layer_outputs[0]);
+  ASSERT_EQ(suffix.num_layers(), 1u);
+  ASSERT_EQ(suffix.output().shape(), full.output().shape());
+  for (size_t i = 0; i < full.output().numel(); ++i) {
+    ASSERT_EQ(suffix.output()[i], full.output()[i]);
+  }
+  // start_layer == 0 is exactly forward().
+  const auto from_zero = net.forward_from(0, input);
+  ASSERT_EQ(from_zero.num_layers(), 2u);
+  for (size_t i = 0; i < full.output().numel(); ++i) {
+    ASSERT_EQ(from_zero.output()[i], full.output()[i]);
+  }
+}
+
+TEST(Network, ForwardFromValidatesArguments) {
+  auto net = make_test_net();
+  const auto input = dense_input(5, 6, 0.5, 5);
+  EXPECT_THROW(net.forward_from(2, input), std::out_of_range);
+  // Width mismatch: layer 1 expects 10 inputs, not 6.
+  EXPECT_THROW(net.forward_from(1, input), std::invalid_argument);
+}
+
 TEST(Network, OutputCountsAndPrediction) {
   auto net = make_test_net();
   const auto fwd = net.forward(dense_input(10, 6, 0.6, 3));

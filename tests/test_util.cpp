@@ -264,5 +264,41 @@ TEST(ThreadPool, ParallelForSerialFallback) {
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
 }
 
+TEST(ThreadPool, ParallelForDynamicVisitsEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(997);  // prime: chunks won't divide evenly
+  for (auto& h : hits) h.store(0);
+  std::atomic<bool> bad_worker{false};
+  parallel_for_dynamic(&pool, hits.size(), /*grain=*/8, [&](size_t worker, size_t i) {
+    if (worker >= dynamic_workers(&pool)) bad_worker.store(true);
+    hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_FALSE(bad_worker.load());
+}
+
+TEST(ThreadPool, ParallelForDynamicSerialFallback) {
+  std::vector<int> hits(50, 0);
+  size_t max_worker = 0;
+  parallel_for_dynamic(nullptr, hits.size(), 4, [&](size_t worker, size_t i) {
+    max_worker = std::max(max_worker, worker);
+    hits[i] += 1;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
+  EXPECT_EQ(max_worker, 0u);
+  EXPECT_EQ(dynamic_workers(nullptr), 1u);
+}
+
+TEST(ThreadPool, ParallelForDynamicZeroGrainAndEmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  parallel_for_dynamic(&pool, 10, /*grain=*/0, [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+  parallel_for_dynamic(&pool, 0, 4, [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
 }  // namespace
 }  // namespace snntest::util
