@@ -15,6 +15,7 @@
 #include "campaign/engine.hpp"
 #include "snn/dense_layer.hpp"
 #include "snn/spike_train.hpp"
+#include "util/cli.hpp"
 #include "util/timer.hpp"
 
 using namespace snntest;
@@ -59,7 +60,12 @@ bool results_identical(const std::vector<fault::DetectionResult>& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::CliParser cli({{"json", ""}},
+                      "Differential campaign engine vs naive fault simulation.");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string json_path = cli.get("json");
+
   bench::print_header("Differential campaign engine vs naive fault simulation",
                       "the T_FS cost model of Sec. IV-B / Table III");
 
@@ -84,6 +90,7 @@ int main() {
   csv.write_row({"bucket", "faults", "naive_seconds", "differential_seconds", "speedup",
                  "forward_savings", "identical"});
 
+  std::vector<bench::JsonObject> json_rows;
   auto run_bucket = [&](const std::string& name, const std::vector<fault::FaultDescriptor>& faults) {
     const auto naive = campaign::run_campaign(net, stimulus, faults, naive_cfg);
     const auto diff = campaign::run_campaign(net, stimulus, faults, {});
@@ -102,6 +109,14 @@ int main() {
                    util::CsvWriter::field(speedup),
                    util::CsvWriter::field(diff.stats.forward_savings()),
                    identical ? "1" : "0"});
+    json_rows.push_back(bench::JsonObject()
+                            .field("bucket", name)
+                            .field("faults", faults.size())
+                            .field("naive_seconds", naive.stats.elapsed_seconds)
+                            .field("differential_seconds", diff.stats.elapsed_seconds)
+                            .field("speedup", speedup)
+                            .field("forward_savings", diff.stats.forward_savings())
+                            .field("identical", identical));
     return identical;
   };
 
@@ -140,5 +155,18 @@ int main() {
               "speedup isolates the differential algorithm, not threading differences.\n");
   std::printf("results identical across all buckets: %s\n", all_identical ? "yes" : "NO");
   std::printf("CSV: %s/campaign_engine.csv\n", bench::out_dir().c_str());
+
+  if (!json_path.empty()) {
+    bench::JsonObject report;
+    report.field("benchmark", "campaign_engine")
+        .object("config", bench::JsonObject()
+                              .field("layers", net.num_layers())
+                              .field("timesteps", size_t{48})
+                              .field("faults_per_bucket", kPerBucket)
+                              .field("universe_size", universe.size()))
+        .array("results", json_rows)
+        .field("all_identical", all_identical);
+    bench::write_json_report(json_path, report);
+  }
   return all_identical ? 0 : 1;
 }

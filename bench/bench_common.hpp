@@ -10,7 +10,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/test_generator.hpp"
@@ -118,6 +120,83 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n(reproduces %s)\n", title, paper_ref);
   std::printf("================================================================\n\n");
+}
+
+/// Minimal JSON object builder for the machine-readable `--json` bench
+/// reports. Field order is insertion order; string values are escaped for
+/// quotes and backslashes (bench names and config strings never contain
+/// control characters). Doubles round-trip via %.17g.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, const std::string& value) {
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted += '"';
+    quoted += escape(value);
+    quoted += '"';
+    return raw(key, std::move(quoted));
+  }
+  JsonObject& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonObject& field(const std::string& key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return raw(key, buf);
+  }
+  JsonObject& field(const std::string& key, size_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& field(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  JsonObject& object(const std::string& key, const JsonObject& value) {
+    return raw(key, value.str());
+  }
+  JsonObject& array(const std::string& key, const std::vector<JsonObject>& rows) {
+    std::string out = "[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i) out += ",";
+      out += rows[i].str();
+    }
+    return raw(key, out + "]");
+  }
+  std::string str() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + fields_[i].first + "\":" + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  JsonObject& raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write a `--json` bench report; an unwritable path warns instead of
+/// failing the bench (the human-readable tables already printed).
+inline void write_json_report(const std::string& path, const JsonObject& report) {
+  std::ofstream out(path);
+  if (!out) {
+    SNNTEST_LOG_WARN("cannot write JSON report to %s", path.c_str());
+    return;
+  }
+  out << report.str() << "\n";
+  std::printf("JSON: %s\n", path.c_str());
 }
 
 }  // namespace snntest::bench

@@ -12,6 +12,9 @@ tensor::Tensor adversarial_perturb(snn::Network& net, const tensor::Tensor& inpu
                                    const AdversarialConfig& config, util::Rng& rng) {
   const size_t T = input.shape().dim(0);
   const size_t n = input.shape().dim(1);
+  // Candidates are hard 0/1 spike trains — let the forward loops exploit
+  // their sparsity (bit-identical to the dense kernels).
+  net.set_kernel_mode(snn::KernelMode::kAuto);
   // Golden prediction to attack.
   const size_t golden = net.forward(input).predicted_class();
 

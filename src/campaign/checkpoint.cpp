@@ -102,10 +102,13 @@ std::optional<CheckpointData> load_checkpoint(const std::string& path) {
   }
   data.header.num_faults = num_faults;
   while (std::getline(in, line)) {
+    if (line.empty()) continue;
     size_t index = 0;
     fault::DetectionResult r;
     if (parse_result_line(line, &index, &r) && index < data.header.num_faults) {
       data.results.emplace_back(index, std::move(r));
+    } else {
+      ++data.skipped_lines;
     }
   }
   return data;
@@ -128,7 +131,12 @@ CheckpointWriter::CheckpointWriter(const std::string& path, const CheckpointHead
 }
 
 void CheckpointWriter::record(size_t index, const fault::DetectionResult& result) {
-  char buf[96];
+  // Worst case: 25 bytes of fixed prefix text, a 20-digit %zu index, 12+1
+  // bytes for the detected field, 6 bytes of l1 framing plus up to 24 chars
+  // of %.17g (sign, 17 digits, point, "e-308"), 9 bytes of diff framing and
+  // the terminator — 98 bytes total. 96 used to truncate such lines
+  // silently, and load_checkpoint then dropped them on resume.
+  char buf[160];
   std::snprintf(buf, sizeof(buf), "{\"type\":\"result\",\"index\":%zu,\"detected\":%d,\"l1\":%.17g,\"diff\":[",
                 index, result.detected ? 1 : 0, result.output_l1);
   std::string line(buf);

@@ -41,11 +41,18 @@ struct CheckpointData {
   /// (fault index, result) pairs in file order; duplicate indices are
   /// possible after repeated resumes — the last occurrence wins.
   std::vector<std::pair<size_t, fault::DetectionResult>> results;
+  /// Non-empty lines after the header that could not be used: malformed
+  /// JSON (partial writes, corruption) or a fault index outside
+  /// header.num_faults. Exactly one is the expected artifact of a kill
+  /// mid-write; the campaign engine surfaces the count through
+  /// EngineStats::checkpoint_lines_skipped so corruption is visible
+  /// instead of being silently re-simulated.
+  size_t skipped_lines = 0;
 };
 
 /// Parse a checkpoint file. Returns nullopt when the file does not exist or
 /// its first line is not a valid header. Malformed result lines (partial
-/// writes) are skipped.
+/// writes) are skipped and counted in CheckpointData::skipped_lines.
 std::optional<CheckpointData> load_checkpoint(const std::string& path);
 
 /// Streams results to a checkpoint file. Thread-safe: campaign workers call

@@ -11,6 +11,7 @@
 #include "campaign/checkpoint.hpp"
 #include "campaign/golden_cache.hpp"
 #include "snn/spike_train.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -101,8 +102,11 @@ struct WorkerContext {
   snn::Network net;
   fault::FaultInjector injector;
 
-  WorkerContext(const snn::Network& reference, const std::vector<fault::LayerWeightStats>& stats)
-      : net(reference), injector(net, stats) {}
+  WorkerContext(const snn::Network& reference, const std::vector<fault::LayerWeightStats>& stats,
+                snn::KernelMode mode)
+      : net(reference), injector(net, stats) {
+    net.set_kernel_mode(mode);
+  }
 };
 
 struct SimCounters {
@@ -177,7 +181,7 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
     return outcome;
   }
 
-  const GoldenCache cache = build_golden_cache(net, stimulus);
+  const GoldenCache cache = build_golden_cache(net, stimulus, config.kernel_mode);
   const size_t L = cache.num_layers();
 
   // --- checkpoint resume ---------------------------------------------------
@@ -202,6 +206,12 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
         have[index] = 1;
         outcome.results[index] = std::move(result);
       }
+      outcome.stats.checkpoint_lines_skipped = existing->skipped_lines;
+      if (existing->skipped_lines > 0) {
+        SNNTEST_LOG_WARN("run_campaign: checkpoint %s had %zu unusable result line(s); "
+                         "those faults will be re-simulated",
+                         config.checkpoint_path.c_str(), existing->skipped_lines);
+      }
       append = true;
     }
     writer.emplace(config.checkpoint_path, header, append, config.checkpoint_flush_every);
@@ -224,7 +234,7 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   std::vector<std::unique_ptr<WorkerContext>> workers;
   workers.reserve(num_workers);
   for (size_t w = 0; w < num_workers; ++w) {
-    workers.push_back(std::make_unique<WorkerContext>(net, cache.stats));
+    workers.push_back(std::make_unique<WorkerContext>(net, cache.stats, config.kernel_mode));
   }
 
   SimCounters counters;

@@ -53,6 +53,10 @@ struct EngineConfig {
   /// first divergent timestep. output_l1 becomes a lower bound and
   /// class_count_diff is left empty. Off by default (full results).
   bool detect_only = false;
+  /// Forward-kernel selection for the golden pass and every worker clone.
+  /// All modes produce bit-identical spike trains (snn::KernelMode); the
+  /// default kAuto exploits event sparsity per frame and never loses.
+  snn::KernelMode kernel_mode = snn::KernelMode::kAuto;
   /// JSONL checkpoint file; empty disables checkpointing. If the file
   /// already holds a checkpoint for the same (network, stimulus, faults,
   /// settings) fingerprint, its completed results are reused; a checkpoint
@@ -79,6 +83,11 @@ struct EngineStats {
   /// arithmetic speedup of the differential simulation.
   size_t layer_forwards = 0;
   size_t layer_forwards_naive = 0;
+  /// Checkpoint lines that existed but could not be used on resume
+  /// (malformed JSON or out-of-range fault index). One such line is the
+  /// expected artifact of a kill mid-write; more than one means the file
+  /// was corrupted and those faults were re-simulated.
+  size_t checkpoint_lines_skipped = 0;
   double elapsed_seconds = 0.0;
 
   double forward_savings() const {

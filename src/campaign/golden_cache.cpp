@@ -32,9 +32,11 @@ uint64_t hash_network_topology(const snn::Network& net, uint64_t seed) {
   return h;
 }
 
-GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& stimulus) {
+GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& stimulus,
+                               snn::KernelMode mode) {
   GoldenCache cache;
   snn::Network golden(net);
+  golden.set_kernel_mode(mode);
   cache.forward = golden.forward(stimulus, /*record_traces=*/false);
   cache.output_counts = cache.forward.output_counts();
   cache.stats = fault::compute_weight_stats(golden);

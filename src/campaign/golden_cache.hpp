@@ -34,8 +34,11 @@ struct GoldenCache {
 };
 
 /// Run the fault-free reference pass and assemble the cache. `net` is
-/// cloned internally and not modified.
-GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& stimulus);
+/// cloned internally and not modified. `mode` selects the forward kernels
+/// of the internal clone (bit-identical results across modes; the default
+/// keeps the seed's exact execution path for standalone callers).
+GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& stimulus,
+                               snn::KernelMode mode = snn::KernelMode::kDense);
 
 /// FNV-1a helpers shared with the checkpoint fingerprint.
 uint64_t fnv1a(const void* data, size_t bytes, uint64_t seed = 14695981039346656037ull);

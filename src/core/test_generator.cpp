@@ -76,6 +76,7 @@ TestGenerator::TestGenerator(snn::Network& net, TestGenConfig config)
 
 size_t TestGenerator::find_min_input_duration(snn::Network& net, const TestGenConfig& config,
                                               util::Rng& rng) {
+  net.set_kernel_mode(snn::KernelMode::kAuto);
   StageConfig stage;
   stage.num_steps = std::max<size_t>(40, config.steps_stage1 / 4);
   stage.lr_initial = config.lr_initial;
@@ -106,6 +107,11 @@ TestGenReport TestGenerator::generate() {
   util::Rng rng(config_.seed);
   TestGenReport report;
   report.total_neurons = net_->total_neurons();
+
+  // The Gumbel input emits hard 0/1 spike frames, so every optimization
+  // forward benefits from the sparse kernels; kAuto falls back to the dense
+  // sweep per frame whenever a candidate is busy (bit-identical results).
+  net_->set_kernel_mode(snn::KernelMode::kAuto);
 
   // --- T_in,min (Sec. V-C) ---
   report.t_in_min = config_.t_in_min != 0

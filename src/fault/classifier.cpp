@@ -34,6 +34,7 @@ ClassificationOutcome classify_faults(const snn::Network& net,
   for (size_t i = 0; i < n_samples; ++i) samples.push_back(dataset.get(i));
 
   snn::Network golden_net(net);
+  golden_net.set_kernel_mode(config.kernel_mode);
   std::vector<size_t> golden_pred(n_samples);
   size_t golden_correct = 0;
   for (size_t i = 0; i < n_samples; ++i) {
@@ -59,12 +60,15 @@ ClassificationOutcome classify_faults(const snn::Network& net,
   struct Worker {
     snn::Network net;
     FaultInjector injector;
-    Worker(const snn::Network& reference, const std::vector<LayerWeightStats>& stats)
-        : net(reference), injector(net, stats) {}
+    Worker(const snn::Network& reference, const std::vector<LayerWeightStats>& stats,
+           snn::KernelMode mode)
+        : net(reference), injector(net, stats) {
+      net.set_kernel_mode(mode);
+    }
   };
   std::vector<std::unique_ptr<Worker>> workers;
   for (size_t w = 0; w < util::dynamic_workers(pool_ptr); ++w) {
-    workers.push_back(std::make_unique<Worker>(net, stats));
+    workers.push_back(std::make_unique<Worker>(net, stats, config.kernel_mode));
   }
 
   util::parallel_for_dynamic(pool_ptr, faults.size(), /*grain=*/4, [&](size_t w, size_t j) {

@@ -33,6 +33,9 @@ struct ClassifierConfig {
   /// Output decoding used for the top-1 criterion (rate or TTFS —
   /// criticality depends on how the deployed model reads its outputs).
   snn::Decoding decoding = snn::Decoding::kRate;
+  /// Forward-kernel selection for the golden pass and every worker clone
+  /// (bit-identical results across modes; kAuto exploits event sparsity).
+  snn::KernelMode kernel_mode = snn::KernelMode::kAuto;
   std::function<void(size_t, size_t)> progress;
 };
 

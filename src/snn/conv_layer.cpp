@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/ops.hpp"
+
 namespace snntest::snn {
 
 ConvLayer::ConvLayer(Conv2dSpec spec, LifParams params)
@@ -83,6 +85,46 @@ void ConvLayer::conv_forward_frame(const float* in, float* syn) const {
       }
     }
   }
+}
+
+void ConvLayer::conv_forward_frame_sparse(const float* in, const uint32_t* active,
+                                          size_t num_active, float* syn) {
+  const size_t oh = spec_.out_height();
+  const size_t ow = spec_.out_width();
+  const size_t k = spec_.kernel;
+  const size_t out_size = spec_.output_size();
+  const size_t plane = spec_.in_height * spec_.in_width;
+  const long stride = static_cast<long>(spec_.stride);
+  syn_acc_.assign(out_size, 0.0);
+  for (size_t i = 0; i < num_active; ++i) {
+    const size_t flat = active[i];
+    const size_t ic = flat / plane;
+    const size_t rem = flat % plane;
+    const size_t iy = rem / spec_.in_width;
+    const size_t ix = rem % spec_.in_width;
+    const double val = in[flat];
+    for (size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      const float* w_base = weights_.data() + ((oc * spec_.in_channels + ic) * k) * k;
+      double* acc_base = syn_acc_.data() + oc * oh * ow;
+      for (size_t ky = 0; ky < k; ++ky) {
+        // oy * stride + ky - padding == iy, so the tap is live only when the
+        // division below is exact and the output row is in range.
+        const long num_y = static_cast<long>(iy + spec_.padding) - static_cast<long>(ky);
+        if (num_y < 0 || num_y % stride != 0) continue;
+        const long oy = num_y / stride;
+        if (oy >= static_cast<long>(oh)) continue;
+        for (size_t kx = 0; kx < k; ++kx) {
+          const long num_x = static_cast<long>(ix + spec_.padding) - static_cast<long>(kx);
+          if (num_x < 0 || num_x % stride != 0) continue;
+          const long ox = num_x / stride;
+          if (ox >= static_cast<long>(ow)) continue;
+          acc_base[oy * static_cast<long>(ow) + ox] +=
+              static_cast<double>(w_base[ky * k + kx]) * val;
+        }
+      }
+    }
+  }
+  for (size_t o = 0; o < out_size; ++o) syn[o] = static_cast<float>(syn_acc_[o]);
 }
 
 void ConvLayer::conv_backward_frame(const float* in, const float* grad_syn, float* grad_in) {
@@ -167,8 +209,18 @@ Tensor ConvLayer::forward(const Tensor& in, bool record_traces) {
   Tensor out(Shape{T, lif_.size()});
   lif_.begin_run(T, record_traces);
   std::vector<float> syn(lif_.size());
+  const KernelMode mode = kernel_mode_;
   for (size_t t = 0; t < T; ++t) {
-    conv_forward_frame(in.row(t), syn.data());
+    if (mode == KernelMode::kDense) {
+      conv_forward_frame(in.row(t), syn.data());
+    } else {
+      const auto view = tensor::make_frame_view(in.row(t), spec_.input_size(), active_scratch_);
+      if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+        conv_forward_frame_sparse(view.frame, view.active, view.num_active, syn.data());
+      } else {
+        conv_forward_frame(in.row(t), syn.data());
+      }
+    }
     if (override_.active) {
       // connection-granularity fault: adjust exactly one synapse's effect
       syn[override_.out_index] += override_.delta * in.row(t)[override_.in_index];
@@ -189,6 +241,14 @@ Tensor ConvLayer::backward(const Tensor& grad_out) {
   Tensor grad_in(Shape{T, spec_.input_size()});
   for (size_t t = 0; t < T; ++t) {
     conv_backward_frame(saved_input_.row(t), grad_syn.row(t), grad_in.row(t));
+    if (override_.active) {
+      // Forward used the overridden effective weight (stored + delta) for
+      // this one connection, so the input gradient must carry the delta too.
+      // The stored-weight gradient is unchanged: d(syn)/d(w_stored) is still
+      // the input value when the fault is an additive constant on the weight.
+      grad_in.row(t)[override_.in_index] +=
+          override_.delta * grad_syn.row(t)[override_.out_index];
+    }
   }
   return grad_in;
 }

@@ -71,6 +71,14 @@ class ConvLayer final : public Layer {
  private:
   /// syn frame (length output_size) from one input spike frame.
   void conv_forward_frame(const float* in, float* syn) const;
+  /// Event-driven forward: scatter the kernel taps of each active input
+  /// pixel instead of gathering all taps of each output. Bit-identical to
+  /// conv_forward_frame: iterating active pixels in ascending flat order
+  /// feeds every output accumulator the same ordered sequence of double
+  /// products (ic, then ky, then kx ascending) that the dense gather uses,
+  /// and the skipped terms are exact +/-0.0 contributions.
+  void conv_forward_frame_sparse(const float* in, const uint32_t* active, size_t num_active,
+                                 float* syn);
   /// Scatter grad_syn into grad_in and weight grads for one timestep.
   void conv_backward_frame(const float* in, const float* grad_syn, float* grad_in);
 
@@ -90,6 +98,8 @@ class ConvLayer final : public Layer {
   std::vector<float> weight_grads_;
   Tensor saved_input_;
   ConnectionOverride override_;
+  std::vector<uint32_t> active_scratch_;  // per-frame active indices (sparse path)
+  std::vector<double> syn_acc_;           // per-output double accumulators (sparse path)
 };
 
 }  // namespace snntest::snn

@@ -38,9 +38,21 @@ Tensor DenseLayer::forward(const Tensor& in, bool record_traces) {
   Tensor out(Shape{T, lif_.size()});
   lif_.begin_run(T, record_traces);
   std::vector<float> syn(lif_.size());
+  const KernelMode mode = kernel_mode_;
   for (size_t t = 0; t < T; ++t) {
     std::fill(syn.begin(), syn.end(), 0.0f);
-    tensor::matvec_accumulate(weights_.data(), lif_.size(), num_inputs_, in.row(t), syn.data());
+    if (mode == KernelMode::kDense) {
+      tensor::matvec_accumulate(weights_.data(), lif_.size(), num_inputs_, in.row(t), syn.data());
+    } else {
+      const auto view = tensor::make_frame_view(in.row(t), num_inputs_, active_scratch_);
+      if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+        tensor::matvec_accumulate_gather(weights_.data(), lif_.size(), num_inputs_, view.frame,
+                                         view.active, view.num_active, syn.data());
+      } else {
+        tensor::matvec_accumulate(weights_.data(), lif_.size(), num_inputs_, in.row(t),
+                                  syn.data());
+      }
+    }
     lif_.step(syn.data(), out.row(t));
   }
   if (record_traces) saved_input_ = in;

@@ -40,6 +40,7 @@ class DenseLayer final : public Layer {
   std::vector<float> weights_;
   std::vector<float> weight_grads_;
   Tensor saved_input_;  // [T, num_inputs], kept when recording traces
+  std::vector<uint32_t> active_scratch_;  // per-frame active indices (sparse path)
 };
 
 }  // namespace snntest::snn

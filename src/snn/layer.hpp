@@ -29,6 +29,26 @@ enum class LayerKind : uint8_t {
   kRecurrent = 3,
 };
 
+/// Forward-kernel selection. The sparse kernels exploit event sparsity —
+/// they touch only the weight columns (dense) / kernel taps (conv) of the
+/// input entries that actually spiked — and are bit-identical to the dense
+/// kernels for any input (both accumulate the same ordered double sums; see
+/// tensor/ops.hpp and DESIGN.md §9). kAuto decides per frame from the
+/// measured input activity, so it is always safe to enable.
+enum class KernelMode : uint8_t {
+  kDense = 0,   // always run the dense kernels (seed behaviour)
+  kSparse = 1,  // always run the sparse kernels
+  kAuto = 2,    // per-frame: sparse when the frame is sparse enough to win
+};
+
+/// kAuto per-frame decision: the gather/scatter kernels have worse locality
+/// per touched element than the dense sweep, so they only pay off below
+/// ~25% input activity (measured in bench_sparse_forward; the crossover is
+/// near 40-50% but 25% keeps a comfortable margin on all geometries).
+inline bool sparse_frame_wins(size_t num_active, size_t frame_size) {
+  return num_active * 4 <= frame_size;
+}
+
 /// A view over one trainable parameter array of a layer.
 struct ParamView {
   float* value = nullptr;
@@ -80,8 +100,16 @@ class Layer {
   SurrogateConfig& surrogate() { return surrogate_; }
   const SurrogateConfig& surrogate() const { return surrogate_; }
 
+  /// Forward-kernel selection; results are bit-identical across modes.
+  /// Layers without a sparse kernel (pool) ignore it. Default kDense keeps
+  /// the seed's exact execution path; the campaign engine, classifier and
+  /// test generators opt into kAuto.
+  void set_kernel_mode(KernelMode mode) { kernel_mode_ = mode; }
+  KernelMode kernel_mode() const { return kernel_mode_; }
+
  protected:
   SurrogateConfig surrogate_{};
+  KernelMode kernel_mode_ = KernelMode::kDense;
 };
 
 }  // namespace snntest::snn

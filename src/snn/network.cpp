@@ -219,4 +219,12 @@ void Network::set_surrogate(const SurrogateConfig& config) {
   for (auto& l : layers_) l->surrogate() = config;
 }
 
+void Network::set_kernel_mode(KernelMode mode) {
+  for (auto& l : layers_) l->set_kernel_mode(mode);
+}
+
+KernelMode Network::kernel_mode() const {
+  return layers_.empty() ? KernelMode::kDense : layers_.front()->kernel_mode();
+}
+
 }  // namespace snntest::snn

@@ -125,6 +125,14 @@ class Network {
 
   void set_surrogate(const SurrogateConfig& config);
 
+  /// Forward-kernel selection for every layer (see KernelMode in layer.hpp).
+  /// All modes produce bit-identical spike trains; kAuto exploits event
+  /// sparsity per frame and is what the campaign engine / classifier /
+  /// test generators run with.
+  void set_kernel_mode(KernelMode mode);
+  /// Mode of the first layer (all layers share one mode once set).
+  KernelMode kernel_mode() const;
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Layer>> layers_;

@@ -44,11 +44,29 @@ Tensor RecurrentLayer::forward(const Tensor& in, bool record_traces) {
   Tensor out(Shape{T, n});
   lif_.begin_run(T, record_traces);
   std::vector<float> syn(n);
+  const KernelMode mode = kernel_mode_;
+  // Both the feed-forward input and the lateral feedback are spike trains,
+  // so each matvec independently picks the sparse gather when its frame is
+  // sparse enough (bit-identical either way; see tensor/ops.hpp).
+  std::vector<uint32_t> active;
+  auto accumulate = [&](const float* w, size_t cols, const float* x) {
+    if (mode == KernelMode::kDense) {
+      tensor::matvec_accumulate(w, n, cols, x, syn.data());
+      return;
+    }
+    const auto view = tensor::make_frame_view(x, cols, active);
+    if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+      tensor::matvec_accumulate_gather(w, n, cols, view.frame, view.active, view.num_active,
+                                       syn.data());
+    } else {
+      tensor::matvec_accumulate(w, n, cols, x, syn.data());
+    }
+  };
   for (size_t t = 0; t < T; ++t) {
     std::fill(syn.begin(), syn.end(), 0.0f);
-    tensor::matvec_accumulate(weights_.data(), n, num_inputs_, in.row(t), syn.data());
+    accumulate(weights_.data(), num_inputs_, in.row(t));
     if (t > 0) {
-      tensor::matvec_accumulate(recurrent_.data(), n, n, out.row(t - 1), syn.data());
+      accumulate(recurrent_.data(), n, out.row(t - 1));
     }
     lif_.step(syn.data(), out.row(t));
   }

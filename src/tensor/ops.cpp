@@ -15,6 +15,36 @@ void matvec_accumulate(const float* a, size_t rows, size_t cols, const float* x,
   }
 }
 
+size_t extract_active(const float* frame, size_t n, std::vector<uint32_t>& scratch) {
+  scratch.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (frame[i] != 0.0f) scratch.push_back(static_cast<uint32_t>(i));
+  }
+  return scratch.size();
+}
+
+SpikeFrameView make_frame_view(const float* frame, size_t n, std::vector<uint32_t>& scratch) {
+  SpikeFrameView view;
+  view.frame = frame;
+  view.size = n;
+  view.num_active = extract_active(frame, n, scratch);
+  view.active = scratch.data();
+  return view;
+}
+
+void matvec_accumulate_gather(const float* a, size_t rows, size_t cols, const float* x,
+                              const uint32_t* active, size_t num_active, float* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    double acc = 0.0;
+    for (size_t i = 0; i < num_active; ++i) {
+      const uint32_t c = active[i];
+      acc += static_cast<double>(row[c]) * x[c];
+    }
+    y[r] += static_cast<float>(acc);
+  }
+}
+
 void matvec_transpose_accumulate(const float* a, size_t rows, size_t cols, const float* x,
                                  float* y) {
   for (size_t r = 0; r < rows; ++r) {

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 
@@ -14,6 +16,41 @@ namespace snntest::tensor {
 
 /// y += A x, with A stored row-major [rows, cols]: y[r] += sum_c A[r,c]*x[c].
 void matvec_accumulate(const float* a, size_t rows, size_t cols, const float* x, float* y);
+
+/// One spike frame plus the ascending indices of its nonzero entries.
+/// Spike frames are binary almost everywhere in this codebase, so a frame at
+/// low activity is described completely by a short index list; the sparse
+/// kernels below consume exactly this view.
+struct SpikeFrameView {
+  const float* frame = nullptr;
+  size_t size = 0;
+  const uint32_t* active = nullptr;  // ascending indices of nonzero entries
+  size_t num_active = 0;
+
+  double density() const {
+    return size == 0 ? 0.0 : static_cast<double>(num_active) / static_cast<double>(size);
+  }
+};
+
+/// Collect the ascending indices of nonzero entries of `frame` into
+/// `scratch` (overwritten) and return the count. Exact zeros (either sign)
+/// are inactive; any other value is active, so the extraction is valid for
+/// relaxed (non-binary) frames too.
+size_t extract_active(const float* frame, size_t n, std::vector<uint32_t>& scratch);
+
+/// extract_active + view assembly in one call; `scratch` owns the indices.
+SpikeFrameView make_frame_view(const float* frame, size_t n, std::vector<uint32_t>& scratch);
+
+/// Sparse y += A x over the active entries of x only:
+/// y[r] += sum_{c in active} A[r,c]*x[c].
+///
+/// Bit-identical to matvec_accumulate when `active` lists exactly the
+/// nonzero entries of x in ascending order: both kernels accumulate the
+/// same ordered sequence of double products per row, and the terms the
+/// sparse kernel skips are exact +/-0.0 contributions, which never change a
+/// double accumulator that starts at +0.0.
+void matvec_accumulate_gather(const float* a, size_t rows, size_t cols, const float* x,
+                              const uint32_t* active, size_t num_active, float* y);
 
 /// y += A^T x: y[c] += sum_r A[r,c]*x[r].
 void matvec_transpose_accumulate(const float* a, size_t rows, size_t cols, const float* x,

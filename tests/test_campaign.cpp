@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "campaign/checkpoint.hpp"
@@ -15,6 +16,7 @@
 #include "campaign/golden_cache.hpp"
 #include "fault/coverage.hpp"
 #include "fault/registry.hpp"
+#include "snn/conv_layer.hpp"
 #include "snn/dense_layer.hpp"
 #include "snn/spike_train.hpp"
 
@@ -347,8 +349,130 @@ TEST(Checkpoint, TruncatedTrailingLineIsTolerated) {
   const auto resumed = run_campaign(net, input, faults, cfg);
   EXPECT_TRUE(resumed.completed);
   EXPECT_EQ(resumed.stats.faults_simulated, 1u);  // only the chopped fault reruns
+  EXPECT_EQ(resumed.stats.checkpoint_lines_skipped, 1u);  // ...and it is reported
   expect_results_identical(resumed.results, clean.results);
   std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WorstCaseWidthRoundTrips) {
+  // Regression: record() used a 96-byte buffer, but the fixed JSON text plus
+  // a 20-digit %zu index and a 24-char %.17g l1 needs 98 bytes including the
+  // terminator — snprintf truncated such lines silently and load_checkpoint
+  // dropped them on resume, so the fault was re-simulated every restart.
+  const std::string path = temp_path("ck_width.jsonl");
+  CheckpointHeader header;
+  header.fingerprint = 0xffffffffffffffffull;
+  header.num_faults = std::numeric_limits<size_t>::max();
+  header.threshold = -1.7976931348623157e+308;
+  const size_t huge_index = std::numeric_limits<size_t>::max() - 1;
+  const double extreme_l1 = -2.2250738585072014e-308;  // sign + 17 digits + "e-308"
+  {
+    CheckpointWriter writer(path, header, /*append=*/false, /*flush_every=*/1);
+    fault::DetectionResult r;
+    r.detected = true;
+    r.output_l1 = extreme_l1;
+    r.class_count_diff = {-123456789, 987654321};
+    writer.record(huge_index, r);
+  }
+  const auto data = load_checkpoint(path);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->header.num_faults, header.num_faults);
+  EXPECT_EQ(data->header.threshold, header.threshold);
+  EXPECT_EQ(data->skipped_lines, 0u);
+  ASSERT_EQ(data->results.size(), 1u);
+  EXPECT_EQ(data->results[0].first, huge_index);
+  EXPECT_TRUE(data->results[0].second.detected);
+  EXPECT_EQ(data->results[0].second.output_l1, extreme_l1);
+  EXPECT_EQ(data->results[0].second.class_count_diff,
+            (std::vector<long>{-123456789, 987654321}));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptedLinesAreCountedNotSwallowed) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 24);
+  const std::string path = temp_path("ck_corrupt.jsonl");
+  std::remove(path.c_str());
+  EngineConfig cfg;
+  cfg.checkpoint_path = path;
+  const auto clean = run_campaign(net, input, faults, cfg);
+
+  // Hand-corrupt the checkpoint: a garbage line, a result whose index is
+  // outside the fault list, and a partial write without the closing brace.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "@@ not json at all @@\n";
+    out << "{\"type\":\"result\",\"index\":999999,\"detected\":1,\"l1\":1,\"diff\":[]}\n";
+    out << "{\"type\":\"result\",\"index\":3,\"detected\":1,\"l1\":4\n";
+  }
+  const auto ck = load_checkpoint(path);
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(ck->skipped_lines, 3u);
+  EXPECT_EQ(ck->results.size(), faults.size());
+
+  const auto resumed = run_campaign(net, input, faults, cfg);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.stats.checkpoint_lines_skipped, 3u);
+  EXPECT_EQ(resumed.stats.faults_resumed, faults.size());
+  expect_results_identical(resumed.results, clean.results);
+  std::remove(path.c_str());
+}
+
+/// Randomized conv+dense stack: the sparse conv and dense kernels must give
+/// the exact naive-dense campaign results at every thread count, fault or no
+/// fault (the golden pass runs under the same mode as the workers).
+snn::Network make_mixed_net(uint64_t seed = 21) {
+  util::Rng rng(seed);
+  snn::LifParams lif;
+  snn::Network net("campaign-mixed");
+  snn::Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.in_height = 8;
+  spec.in_width = 8;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  auto conv = std::make_unique<snn::ConvLayer>(spec, lif);
+  conv->init_weights(rng, 1.3f);
+  net.add_layer(std::move(conv));
+  auto fc = std::make_unique<snn::DenseLayer>(spec.output_size(), 6, lif);
+  fc->init_weights(rng, 1.3f);
+  net.add_layer(std::move(fc));
+  return net;
+}
+
+TEST(Engine, KernelModesBitIdenticalWithFaultsAcrossThreads) {
+  auto net = make_mixed_net();
+  util::Rng rng(91);
+  const auto input = snn::random_spike_train(16, net.input_size(), 0.08, rng);
+  const auto faults = sampled_universe(net, 80, 92);
+  ASSERT_FALSE(faults.empty());
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    EngineConfig dense_cfg;
+    dense_cfg.num_threads = threads;
+    dense_cfg.kernel_mode = snn::KernelMode::kDense;
+    EngineConfig sparse_cfg;
+    sparse_cfg.num_threads = threads;
+    sparse_cfg.kernel_mode = snn::KernelMode::kSparse;
+    EngineConfig auto_cfg;  // default kernel_mode == kAuto
+    auto_cfg.num_threads = threads;
+    const auto dense = run_campaign(net, input, faults, dense_cfg);
+    const auto sparse = run_campaign(net, input, faults, sparse_cfg);
+    const auto adaptive = run_campaign(net, input, faults, auto_cfg);
+    expect_results_identical(dense.results, sparse.results);
+    expect_results_identical(dense.results, adaptive.results);
+    // Fault-free reference: the golden caches of all modes agree bit-exactly.
+    const auto golden_dense = build_golden_cache(net, input, snn::KernelMode::kDense);
+    const auto golden_sparse = build_golden_cache(net, input, snn::KernelMode::kSparse);
+    for (size_t l = 0; l < golden_dense.num_layers(); ++l) {
+      const auto& a = golden_dense.layer_output(l);
+      const auto& b = golden_sparse.layer_output(l);
+      ASSERT_EQ(a.shape(), b.shape());
+      for (size_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]) << "layer " << l;
+    }
+  }
 }
 
 }  // namespace

@@ -231,6 +231,158 @@ INSTANTIATE_TEST_SUITE_P(Geometries, ConvDenseEquivalence,
                                          std::tuple<size_t, size_t, size_t>{2, 0, 1},
                                          std::tuple<size_t, size_t, size_t>{3, 1, 1}));
 
+/// Sparse and dense forward kernels must produce bit-identical spike trains
+/// for every layer type, density and mode (the KernelMode contract).
+template <typename LayerT>
+void expect_kernel_modes_identical(const LayerT& reference, const Tensor& in) {
+  LayerT dense_layer(reference);
+  dense_layer.set_kernel_mode(KernelMode::kDense);
+  const Tensor out_dense = dense_layer.forward(in, false);
+  for (const KernelMode mode : {KernelMode::kSparse, KernelMode::kAuto}) {
+    LayerT layer(reference);
+    layer.set_kernel_mode(mode);
+    const Tensor out = layer.forward(in, false);
+    ASSERT_EQ(out.shape(), out_dense.shape());
+    for (size_t i = 0; i < out.numel(); ++i) {
+      ASSERT_EQ(out[i], out_dense[i])
+          << "mode " << static_cast<int>(mode) << " diverges at " << i;
+    }
+  }
+}
+
+TEST(SparseKernels, DenseLayerBitIdenticalAcrossDensities) {
+  DenseLayer layer(48, 32, test_lif());
+  util::Rng rng(71);
+  layer.init_weights(rng, 1.3f);
+  for (const double density : {0.0, 0.02, 0.1, 0.3, 0.7}) {
+    expect_kernel_modes_identical(layer, random_spikes(16, 48, density, 72));
+  }
+}
+
+TEST(SparseKernels, ConvLayerBitIdenticalAcrossGeometries) {
+  const std::pair<size_t, size_t> geometries[] = {{1, 0}, {1, 1}, {2, 1}, {3, 1}};
+  for (const auto& [stride, padding] : geometries) {
+    Conv2dSpec spec;
+    spec.in_channels = 2;
+    spec.in_height = 9;
+    spec.in_width = 7;
+    spec.out_channels = 3;
+    spec.kernel = 3;
+    spec.stride = stride;
+    spec.padding = padding;
+    ConvLayer layer(spec, test_lif());
+    util::Rng rng(73);
+    layer.init_weights(rng, 1.2f);
+    for (const double density : {0.03, 0.15, 0.6}) {
+      expect_kernel_modes_identical(layer, random_spikes(10, spec.input_size(), density, 74));
+    }
+  }
+}
+
+TEST(SparseKernels, ConvLayerBitIdenticalUnderConnectionFault) {
+  Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.in_height = 8;
+  spec.in_width = 8;
+  spec.out_channels = 2;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  ConvLayer layer(spec, test_lif());
+  util::Rng rng(75);
+  layer.init_weights(rng, 1.2f);
+  // Fault the connection from input (0,3,3) to output (1,3,3): same spatial
+  // position, centre tap.
+  const size_t in_idx = 3 * spec.in_width + 3;
+  const size_t out_idx = (1 * spec.out_height() + 3) * spec.out_width() + 3;
+  layer.set_connection_override(out_idx, in_idx, 5.0f);
+  expect_kernel_modes_identical(layer, random_spikes(12, spec.input_size(), 0.08, 76));
+}
+
+TEST(SparseKernels, RecurrentLayerBitIdentical) {
+  RecurrentLayer layer(24, 20, test_lif());
+  util::Rng rng(77);
+  layer.init_weights(rng, 1.3f, 0.6f);
+  for (const double density : {0.05, 0.4}) {
+    expect_kernel_modes_identical(layer, random_spikes(14, 24, density, 78));
+  }
+}
+
+/// Regression for the faulted-backward inconsistency: forward applies an
+/// active connection override but backward used to ignore it, so gradients
+/// through a connection-faulted conv layer disagreed with its own forward.
+/// A finite-difference probe of the spiking forward is ill-defined (the
+/// Heaviside output is piecewise constant), so the operative consistency
+/// check is the file's strongest idiom: the faulted conv must match a
+/// materialized dense layer whose weight matrix carries the same fault —
+/// bit-equal spikes forward, matching input/weight gradients backward.
+TEST(ConvLayer, BackwardConsistentWithForwardUnderConnectionFault) {
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.in_height = 6;
+  spec.in_width = 6;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  ConvLayer conv(spec, test_lif());
+  util::Rng rng(81);
+  conv.init_weights(rng);
+  DenseLayer dense = densify(conv);
+
+  // Fault one connection with a large delta so an ignored override is loud.
+  const size_t in_idx = (1 * spec.in_height + 2) * spec.in_width + 4;
+  const size_t out_idx = (2 * spec.out_height() + 2) * spec.out_width() + 4;
+  const float faulty_weight = conv.connection_weight(out_idx, in_idx) + 3.0f;
+  conv.set_connection_override(out_idx, in_idx, faulty_weight);
+  dense.weights()[out_idx * spec.input_size() + in_idx] = faulty_weight;
+
+  const size_t T = 8;
+  const Tensor in = random_spikes(T, spec.input_size(), 0.35, 82);
+  const Tensor conv_out = conv.forward(in, true);
+  const Tensor dense_out = dense.forward(in, true);
+  ASSERT_EQ(conv_out.shape(), dense_out.shape());
+  for (size_t i = 0; i < conv_out.numel(); ++i) {
+    ASSERT_EQ(conv_out[i], dense_out[i]) << "faulted forward mismatch at " << i;
+  }
+
+  const Tensor grad_out = random_grad(T, spec.output_size(), 83);
+  const Tensor conv_gin = conv.backward(grad_out);
+  const Tensor dense_gin = dense.backward(grad_out);
+  ASSERT_EQ(conv_gin.shape(), dense_gin.shape());
+  for (size_t i = 0; i < conv_gin.numel(); ++i) {
+    ASSERT_NEAR(conv_gin[i], dense_gin[i], 1e-4) << "faulted grad_in mismatch at " << i;
+  }
+
+  // The stored-weight gradient is unaffected by the additive fault: the tap
+  // serving the faulted connection still accumulates g * input, so the
+  // densified sum over positions sharing the tap must still match.
+  auto conv_params = conv.params();
+  auto dense_params = dense.params();
+  const size_t k = spec.kernel;
+  for (size_t widx = 0; widx < conv_params[0].size; ++widx) {
+    const size_t kx = widx % k;
+    const size_t ky = (widx / k) % k;
+    const size_t ic = (widx / (k * k)) % spec.in_channels;
+    const size_t oc = widx / (k * k * spec.in_channels);
+    double expected = 0.0;
+    for (size_t oy = 0; oy < spec.out_height(); ++oy) {
+      const long iy = static_cast<long>(oy * spec.stride + ky) - static_cast<long>(spec.padding);
+      if (iy < 0 || iy >= static_cast<long>(spec.in_height)) continue;
+      for (size_t ox = 0; ox < spec.out_width(); ++ox) {
+        const long ix = static_cast<long>(ox * spec.stride + kx) - static_cast<long>(spec.padding);
+        if (ix < 0 || ix >= static_cast<long>(spec.in_width)) continue;
+        const size_t o = (oc * spec.out_height() + oy) * spec.out_width() + ox;
+        const size_t ii =
+            (ic * spec.in_height + static_cast<size_t>(iy)) * spec.in_width +
+            static_cast<size_t>(ix);
+        expected += dense_params[0].grad[o * spec.input_size() + ii];
+      }
+    }
+    ASSERT_NEAR(conv_params[0].grad[widx], expected, 1e-3) << "kernel grad mismatch at " << widx;
+  }
+}
+
 TEST(RecurrentLayer, ZeroLateralEqualsDense) {
   const size_t in = 6, out = 5, T = 10;
   RecurrentLayer rec(in, out, test_lif());

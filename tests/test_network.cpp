@@ -279,5 +279,64 @@ TEST(Serialization, CorruptStreamRejected) {
   EXPECT_THROW(load_network(ss), std::runtime_error);
 }
 
+/// Randomized conv+dense stack for the KernelMode identity contract.
+Network make_conv_dense_net(uint64_t seed) {
+  util::Rng rng(seed);
+  LifParams lif;
+  Network net("kernel-mode-net");
+  Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.in_height = 8;
+  spec.in_width = 8;
+  spec.out_channels = 4;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.padding = 1;
+  auto conv = std::make_unique<ConvLayer>(spec, lif);
+  conv->init_weights(rng, 1.3f);
+  net.add_layer(std::move(conv));
+  auto fc = std::make_unique<DenseLayer>(spec.output_size(), 12, lif);
+  fc->init_weights(rng, 1.3f);
+  net.add_layer(std::move(fc));
+  return net;
+}
+
+TEST(KernelMode, PropagatesToAllLayers) {
+  Network net = make_conv_dense_net(31);
+  EXPECT_EQ(net.kernel_mode(), KernelMode::kDense);
+  net.set_kernel_mode(KernelMode::kAuto);
+  EXPECT_EQ(net.kernel_mode(), KernelMode::kAuto);
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    EXPECT_EQ(net.layer(l).kernel_mode(), KernelMode::kAuto);
+  }
+  // Deep copies keep the mode (campaign workers clone configured networks).
+  Network copy(net);
+  EXPECT_EQ(copy.kernel_mode(), KernelMode::kAuto);
+}
+
+TEST(KernelMode, SparseForwardBitIdenticalOnConvDenseNetwork) {
+  Network reference = make_conv_dense_net(32);
+  for (const double density : {0.02, 0.1, 0.5}) {
+    const Tensor in = dense_input(20, reference.input_size(), density, 33);
+    Network dense_net(reference);
+    dense_net.set_kernel_mode(KernelMode::kDense);
+    const auto golden = dense_net.forward(in);
+    for (const KernelMode mode : {KernelMode::kSparse, KernelMode::kAuto}) {
+      Network net(reference);
+      net.set_kernel_mode(mode);
+      const auto fwd = net.forward(in);
+      ASSERT_EQ(fwd.num_layers(), golden.num_layers());
+      for (size_t l = 0; l < fwd.num_layers(); ++l) {
+        const Tensor& a = fwd.layer_outputs[l];
+        const Tensor& b = golden.layer_outputs[l];
+        ASSERT_EQ(a.shape(), b.shape());
+        for (size_t i = 0; i < a.numel(); ++i) {
+          ASSERT_EQ(a[i], b[i]) << "layer " << l << " element " << i << " density " << density;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace snntest::snn

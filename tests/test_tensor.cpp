@@ -137,5 +137,55 @@ TEST(Ops, ArgmaxFirstWinsOnTies) {
   EXPECT_EQ(argmax(v.data(), v.size()), 1u);
 }
 
+TEST(SparseOps, ExtractActiveFindsNonzerosInOrder) {
+  const std::vector<float> frame = {0.0f, 1.0f, 0.0f, 0.25f, -0.0f, -2.0f};
+  std::vector<uint32_t> scratch;
+  EXPECT_EQ(extract_active(frame.data(), frame.size(), scratch), 3u);
+  EXPECT_EQ(scratch, (std::vector<uint32_t>{1, 3, 5}));  // -0.0 is inactive
+  const auto view = make_frame_view(frame.data(), frame.size(), scratch);
+  EXPECT_EQ(view.num_active, 3u);
+  EXPECT_EQ(view.size, frame.size());
+  EXPECT_DOUBLE_EQ(view.density(), 0.5);
+  EXPECT_EQ(view.active[2], 5u);
+}
+
+TEST(SparseOps, ExtractActiveEmptyFrame) {
+  const std::vector<float> frame(8, 0.0f);
+  std::vector<uint32_t> scratch = {99};
+  EXPECT_EQ(extract_active(frame.data(), frame.size(), scratch), 0u);
+  EXPECT_TRUE(scratch.empty());
+}
+
+TEST(SparseOps, GatherMatvecBitIdenticalToDense) {
+  // Binary frames at several densities plus a relaxed (continuous) frame
+  // with exact zeros: the gather kernel must reproduce the dense kernel's
+  // float outputs bit-for-bit (same ordered double sums per row).
+  const size_t rows = 37, cols = 61;
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  };
+  std::vector<float> a(rows * cols);
+  for (auto& w : a) w = static_cast<float>(next() * 2.0 - 1.0);
+  for (const double density : {0.0, 0.02, 0.1, 0.5, 1.0}) {
+    for (const bool binary : {true, false}) {
+      std::vector<float> x(cols, 0.0f);
+      for (auto& v : x) {
+        if (next() < density) v = binary ? 1.0f : static_cast<float>(next() * 2.0 - 1.0);
+      }
+      std::vector<uint32_t> active;
+      extract_active(x.data(), cols, active);
+      std::vector<float> y_dense(rows, 0.5f), y_gather(rows, 0.5f);
+      matvec_accumulate(a.data(), rows, cols, x.data(), y_dense.data());
+      matvec_accumulate_gather(a.data(), rows, cols, x.data(), active.data(), active.size(),
+                               y_gather.data());
+      for (size_t r = 0; r < rows; ++r) {
+        ASSERT_EQ(y_dense[r], y_gather[r]) << "row " << r << " density " << density;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace snntest::tensor
