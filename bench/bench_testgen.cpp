@@ -1,0 +1,141 @@
+// Multi-restart test generation: parallel restarts + sparse kernels vs the
+// single-thread dense baseline.
+//
+// Both cells run the SAME TestGenConfig seed and restart count, so by the
+// determinism contract (DESIGN.md §10) they must produce byte-identical
+// stimuli — threads only change who computes each restart, and the kernel
+// mode only changes which arithmetic is skipped as exact ±0.0. The bench
+// re-verifies that identity before reporting a speedup, and exits nonzero
+// if it ever breaks. `--json <path>` writes a machine-readable report.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "core/test_generator.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/network.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace snntest;
+
+namespace {
+
+snn::Network make_mlp(uint64_t seed = 91) {
+  util::Rng rng(seed);
+  snn::LifParams lif;
+  snn::Network net("testgen-bench-mlp");
+  const size_t widths[] = {128, 256, 192, 10};
+  for (size_t l = 0; l + 1 < std::size(widths); ++l) {
+    auto layer = std::make_unique<snn::DenseLayer>(widths[l], widths[l + 1], lif);
+    layer->init_weights(rng, 1.3f);
+    net.add_layer(std::move(layer));
+  }
+  return net;
+}
+
+core::TestGenConfig base_config(size_t restarts) {
+  core::TestGenConfig cfg;
+  cfg.seed = 0xBE9Cull;
+  cfg.restarts = restarts;
+  cfg.steps_stage1 = 80;
+  cfg.t_in_min = 8;  // fixed duration: the auto-search is identical serial
+                     // work in both cells and would only dilute the ratio
+  cfg.max_iterations = 4;
+  cfg.input_init_bias = -1.5;  // start near the paper's 5-15% activity regime
+  cfg.t_limit_seconds = 1e9;   // never let the wall clock cut a cell short
+  return cfg;
+}
+
+struct CellResult {
+  double seconds = 0.0;
+  tensor::Tensor stimulus;
+  double activated_fraction = 0.0;
+};
+
+CellResult run_cell(const snn::Network& net, size_t restarts, size_t threads,
+                    snn::KernelMode mode) {
+  snn::Network worker(net);
+  core::TestGenConfig cfg = base_config(restarts);
+  cfg.num_threads = threads;
+  cfg.kernel_mode = mode;
+  core::TestGenerator gen(worker, cfg);
+  util::Timer timer;
+  auto report = gen.generate();
+  CellResult out;
+  out.seconds = timer.seconds();
+  out.stimulus = report.stimulus.assemble();
+  out.activated_fraction = report.activated_fraction();
+  return out;
+}
+
+bool stimuli_identical(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return a.numel() == 0 ||
+         std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli({{"json", ""}, {"threads", "4"}, {"restarts", "4"}},
+                      "Multi-restart test generation: parallel+sparse vs 1-thread dense.");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string json_path = cli.get("json");
+  const size_t threads = static_cast<size_t>(std::max(1, cli.get_int("threads")));
+  const size_t restarts = static_cast<size_t>(std::max(1, cli.get_int("restarts")));
+
+  bench::print_header("Multi-restart test generation: parallel restarts + sparse kernels",
+                      "stage optimization of Sec. IV-C under the DESIGN.md §10 contract");
+
+  const snn::Network net = make_mlp();
+  const CellResult baseline = run_cell(net, restarts, 1, snn::KernelMode::kDense);
+  const CellResult optimized = run_cell(net, restarts, threads, snn::KernelMode::kAuto);
+  const bool identical = stimuli_identical(baseline.stimulus, optimized.stimulus);
+  const double speedup =
+      optimized.seconds > 0.0 ? baseline.seconds / optimized.seconds : 0.0;
+
+  util::TextTable table({"cell", "threads", "kernels", "wall", "coverage"});
+  table.add_row({"baseline", "1", "dense", util::format_duration(baseline.seconds),
+                 util::fmt_pct(baseline.activated_fraction)});
+  table.add_row({"optimized", std::to_string(threads), "auto",
+                 util::format_duration(optimized.seconds),
+                 util::fmt_pct(optimized.activated_fraction)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("restarts per iteration: %zu; MLP 128-256-192-10; same seed in both cells.\n",
+              restarts);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("speedup: %.2fx; stimuli byte-identical: %s\n", speedup,
+              identical ? "yes" : "NO");
+  if (hw != 0 && hw < threads) {
+    std::printf("note: only %u hardware thread(s) available — the restart fan-out cannot\n"
+                "scale here, so the speedup above is the sparse-kernel share alone.\n",
+                hw);
+  }
+
+  util::CsvWriter csv(bench::out_dir() + "/testgen_restarts.csv");
+  csv.write_row({"restarts", "threads", "baseline_seconds", "optimized_seconds", "speedup",
+                 "identical"});
+  csv.write_row({util::CsvWriter::field(restarts), util::CsvWriter::field(threads),
+                 util::CsvWriter::field(baseline.seconds),
+                 util::CsvWriter::field(optimized.seconds), util::CsvWriter::field(speedup),
+                 identical ? "1" : "0"});
+
+  if (!json_path.empty()) {
+    bench::JsonObject report;
+    report.field("benchmark", "testgen_restarts")
+        .object("config", bench::JsonObject()
+                              .field("restarts", restarts)
+                              .field("threads", threads)
+                              .field("hardware_threads", static_cast<size_t>(hw))
+                              .field("topology", "mlp-128-256-192-10"))
+        .field("baseline_seconds", baseline.seconds)
+        .field("optimized_seconds", optimized.seconds)
+        .field("speedup", speedup)
+        .field("identical", identical);
+    bench::write_json_report(json_path, report);
+  }
+  return identical ? 0 : 1;
+}

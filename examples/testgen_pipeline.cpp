@@ -5,7 +5,8 @@
 // reuse by examples/infield_test.
 //
 // Run:  ./build/examples/testgen_pipeline --benchmark shd
-//       [--steps 300] [--fault-sample 4000] [--out stimulus.bin]
+//       [--steps 300] [--restarts 1] [--threads 1] [--kernel-mode auto]
+//       [--fault-sample 4000] [--out stimulus.bin]
 #include <cstdio>
 
 #include "core/test_generator.hpp"
@@ -22,6 +23,9 @@ using namespace snntest;
 int main(int argc, char** argv) {
   util::CliParser cli({{"benchmark", "shd"},
                        {"steps", "300"},
+                       {"restarts", "1"},
+                       {"threads", "1"},
+                       {"kernel-mode", "auto"},
                        {"fault-sample", "4000"},
                        {"classify-samples", "48"},
                        {"out", ""}},
@@ -52,6 +56,14 @@ int main(int argc, char** argv) {
   // --- test generation ---
   core::TestGenConfig cfg;
   cfg.steps_stage1 = static_cast<size_t>(cli.get_int("steps"));
+  cfg.restarts = static_cast<size_t>(cli.get_int("restarts"));
+  cfg.num_threads = static_cast<size_t>(cli.get_int("threads"));
+  try {
+    cfg.kernel_mode = snn::parse_kernel_mode(cli.get("kernel-mode"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   cfg.verbose = true;
   core::TestGenerator generator(net, cfg);
   auto report = generator.generate();

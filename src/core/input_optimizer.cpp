@@ -16,6 +16,19 @@ StageOutcome InputOptimizer::run(
   StageOutcome outcome;
   outcome.best_loss = std::numeric_limits<double>::infinity();
 
+  // "During the input optimization the SNN model stays fixed": dL/dW is
+  // never consumed here (the seed zeroed it every step and discarded it),
+  // so turn parameter-gradient accumulation off for the whole stage.
+  // dL/d(input) — the only gradient this loop uses — is bit-identical with
+  // the flag off, so the optimization trajectory is unchanged.
+  struct ParamGradGuard {
+    snn::Network* net;
+    bool previous;
+    ~ParamGradGuard() { net->set_param_grads_enabled(previous); }
+  } param_grad_guard{net_, net_->param_grads_enabled()};
+  net_->set_param_grads_enabled(false);
+  net_->zero_grad();  // leave no stale weight grads behind for later readers
+
   train::AdamConfig adam_config;
   adam_config.lr = config_.lr_initial;
   train::AdamOptimizer adam(adam_config);
@@ -33,7 +46,6 @@ StageOutcome InputOptimizer::run(
     auto fwd = net_->forward(candidate, /*record_traces=*/true);
     std::vector<Tensor> grads = make_grad_accumulators(fwd);
     const double stochastic_loss = loss.compute(fwd, grads);
-    net_->zero_grad();  // input optimization must not accumulate weight grads
     const Tensor grad_input = net_->backward(grads);
     input_->backward(grad_input);
     adam.step();

@@ -5,6 +5,7 @@
 
 #include "snn/spike_train.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace snntest::core {
@@ -67,6 +68,19 @@ bool all_output_neurons_fire(const snn::ForwardResult& fwd) {
   return std::all_of(counts.begin(), counts.end(), [](size_t c) { return c >= 1; });
 }
 
+/// Result of one independent stage-1/stage-2 restart within an iteration.
+struct RestartOutcome {
+  Tensor chunk;
+  snn::ForwardResult chunk_fwd;
+  size_t newly_activated = 0;
+  size_t duration_steps = 0;
+  size_t growths = 0;
+  double stage1_loss = 0.0;
+  double stage2_loss = 0.0;
+  bool stage2_accepted = false;
+  bool valid = false;
+};
+
 }  // namespace
 
 TestGenerator::TestGenerator(snn::Network& net, TestGenConfig config)
@@ -76,7 +90,7 @@ TestGenerator::TestGenerator(snn::Network& net, TestGenConfig config)
 
 size_t TestGenerator::find_min_input_duration(snn::Network& net, const TestGenConfig& config,
                                               util::Rng& rng) {
-  net.set_kernel_mode(snn::KernelMode::kAuto);
+  net.set_kernel_mode(config.kernel_mode);
   StageConfig stage;
   stage.num_steps = std::max<size_t>(40, config.steps_stage1 / 4);
   stage.lr_initial = config.lr_initial;
@@ -109,9 +123,10 @@ TestGenReport TestGenerator::generate() {
   report.total_neurons = net_->total_neurons();
 
   // The Gumbel input emits hard 0/1 spike frames, so every optimization
-  // forward benefits from the sparse kernels; kAuto falls back to the dense
-  // sweep per frame whenever a candidate is busy (bit-identical results).
-  net_->set_kernel_mode(snn::KernelMode::kAuto);
+  // forward *and* backward benefits from the sparse kernels; kAuto falls
+  // back to the dense sweep per frame whenever a candidate is busy
+  // (bit-identical results in every mode).
+  net_->set_kernel_mode(config_.kernel_mode);
 
   // --- T_in,min (Sec. V-C) ---
   report.t_in_min = config_.t_in_min != 0
@@ -134,17 +149,23 @@ TestGenReport TestGenerator::generate() {
   StageConfig stage2_cfg = stage1_cfg;
   stage2_cfg.num_steps = config_.steps_stage2;
 
-  for (size_t iteration = 0; iteration < config_.max_iterations; ++iteration) {
-    if (activated.count() >= report.total_neurons) break;
-    if (total_timer.seconds() >= config_.t_limit_seconds) {
-      report.hit_time_limit = true;
-      break;
-    }
-    util::Timer iter_timer;
-    IterationRecord record;
-    record.iteration = iteration;
+  const size_t restarts = std::max<size_t>(1, config_.restarts);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (restarts > 1 && config_.num_threads != 1) {
+    pool = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
 
-    const NeuronMask target = activated.target_mask();
+  // One independent stage-1/stage-2 restart (the seed's whole iteration
+  // body). Determinism across thread counts: the restart clones the
+  // network (forward traces and weight grads are per-clone), seeds its own
+  // Gumbel stream from (seed, iteration, r) via mix_seed, reads only
+  // immutable shared state (config, target mask, activated-set copies) and
+  // never consults the wall clock — its outcome is a pure function of the
+  // master seed.
+  auto run_restart = [&](size_t iteration, size_t r, const NeuronMask& target) {
+    RestartOutcome out;
+    snn::Network net(*net_);  // kernel mode is cloned with the layers
+    util::Rng restart_rng(util::mix_seed(config_.seed, iteration, r));
 
     // --- stage 1: excitation + observability ---
     CompositeLoss stage1_loss;
@@ -153,25 +174,22 @@ TestGenReport TestGenerator::generate() {
     if (config_.use_l3) {
       stage1_loss.add(std::make_shared<TemporalDiversityLoss>(td_min, &target));
     }
-    if (config_.use_l4) stage1_loss.add(std::make_shared<SynapseUniformityLoss>(*net_));
+    if (config_.use_l4) stage1_loss.add(std::make_shared<SynapseUniformityLoss>(net));
 
-    size_t duration = report.t_in_min;
     size_t beta = config_.beta;
-    GumbelSoftmaxInput input(duration, net_->input_size(), rng,
+    GumbelSoftmaxInput input(report.t_in_min, net.input_size(), restart_rng,
                              static_cast<float>(config_.input_init_bias));
 
     // alpha_i = 1 / expected magnitude, measured on the initial input.
     {
       const Tensor& initial = input.forward(config_.tau_max, /*stochastic=*/false);
-      const auto fwd0 = net_->forward(initial, /*record_traces=*/false);
-      std::vector<Tensor> scratch = make_grad_accumulators(fwd0);
-      (void)scratch;
+      const auto fwd0 = net.forward(initial, /*record_traces=*/false);
       stage1_loss.calibrate_weights(fwd0);
     }
 
     StageOutcome stage1;
     for (size_t growth = 0;; ++growth) {
-      InputOptimizer optimizer(*net_, input, stage1_cfg);
+      InputOptimizer optimizer(net, input, stage1_cfg);
       stage1 = optimizer.run(stage1_loss);
       // Did this candidate activate anything new?
       ActivationSet probe = activated;
@@ -180,44 +198,38 @@ TestGenReport TestGenerator::generate() {
               ? 0
               : probe.absorb(stage1.best_forward, config_.activation_min_spikes);
       if (newly > 0 || growth >= config_.max_growths_per_iteration) {
-        record.growths = growth;
+        out.growths = growth;
         break;
       }
       // Sec. IV-C3: no new neuron activated -> extend the window by beta
-      // (doubling each time) and rerun the stage.
-      input.grow(beta, rng, static_cast<float>(config_.input_init_bias));
-      duration += beta;
+      // (doubling each time) and rerun the stage. The time limit is
+      // enforced between iterations only — a mid-restart clock read would
+      // tie the stimulus to thread scheduling.
+      input.grow(beta, restart_rng, static_cast<float>(config_.input_init_bias));
       beta *= 2;
-      if (total_timer.seconds() >= config_.t_limit_seconds) break;
     }
-    if (stage1.best_input.empty()) {
-      // Optimization produced nothing usable this iteration; stop rather
-      // than emit a broken chunk.
-      report.hit_time_limit = total_timer.seconds() >= config_.t_limit_seconds;
-      break;
-    }
-    record.duration_steps = stage1.best_input.shape().dim(0);
-    record.stage1_loss = stage1.best_loss;
-
-    Tensor chunk = stage1.best_input;
-    snn::ForwardResult chunk_fwd = stage1.best_forward;
+    if (stage1.best_input.empty()) return out;  // nothing usable; valid stays false
+    out.duration_steps = stage1.best_input.shape().dim(0);
+    out.stage1_loss = stage1.best_loss;
+    out.chunk = stage1.best_input;
+    out.chunk_fwd = stage1.best_forward;
 
     // --- stage 2: spike sparsification under constant O^L ---
     if (config_.enable_stage2 && config_.steps_stage2 > 0) {
-      seed_logits_from(input, chunk);
-      const Tensor reference = chunk_fwd.output();
+      seed_logits_from(input, out.chunk);
+      const Tensor reference = out.chunk_fwd.output();
       CompositeLoss stage2_loss;
       stage2_loss.add(std::make_shared<SparsityLoss>());
       stage2_loss.add(std::make_shared<OutputConstancyPenalty>(reference, config_.constancy_mu));
       {
         const Tensor& start = input.forward(config_.tau_max, /*stochastic=*/false);
-        const auto fwd0 = net_->forward(start, /*record_traces=*/false);
+        const auto fwd0 = net.forward(start, /*record_traces=*/false);
         stage2_loss.calibrate_weights(fwd0);
       }
       auto accept = [&reference](const snn::ForwardResult& fwd) {
         return snn::output_distance(fwd.output(), reference) == 0.0;
       };
-      InputOptimizer optimizer(*net_, input, stage2_cfg);
+      InputOptimizer optimizer(net, input, stage2_cfg);
       const StageOutcome stage2 = optimizer.run(stage2_loss, accept);
       if (!stage2.best_input.empty()) {
         // Keep the sparsified input only if it does not lose activations —
@@ -225,28 +237,82 @@ TestGenReport TestGenerator::generate() {
         ActivationSet probe = activated;
         const size_t newly_s2 = probe.absorb(stage2.best_forward, config_.activation_min_spikes);
         ActivationSet probe1 = activated;
-        const size_t newly_s1 = probe1.absorb(chunk_fwd, config_.activation_min_spikes);
+        const size_t newly_s1 = probe1.absorb(out.chunk_fwd, config_.activation_min_spikes);
         if (newly_s2 >= newly_s1) {
-          chunk = stage2.best_input;
-          chunk_fwd = stage2.best_forward;
-          record.stage2_accepted = true;
+          out.chunk = stage2.best_input;
+          out.chunk_fwd = stage2.best_forward;
+          out.stage2_accepted = true;
         }
-        record.stage2_loss = stage2.best_loss;
+        out.stage2_loss = stage2.best_loss;
       }
     }
 
-    record.newly_activated = activated.absorb(chunk_fwd, config_.activation_min_spikes);
+    ActivationSet probe = activated;
+    out.newly_activated = probe.absorb(out.chunk_fwd, config_.activation_min_spikes);
+    out.valid = true;
+    return out;
+  };
+
+  for (size_t iteration = 0; iteration < config_.max_iterations; ++iteration) {
+    if (activated.count() >= report.total_neurons) break;
+    if (total_timer.seconds() >= config_.t_limit_seconds) {
+      report.hit_time_limit = true;
+      break;
+    }
+    util::Timer iter_timer;
+    const NeuronMask target = activated.target_mask();
+
+    std::vector<RestartOutcome> outcomes(restarts);
+    util::parallel_for_dynamic(pool.get(), restarts, /*grain=*/1,
+                               [&](size_t /*worker*/, size_t r) {
+                                 outcomes[r] = run_restart(iteration, r, target);
+                               });
+
+    // Deterministic winner: most newly activated neurons, then lowest
+    // stage-1 loss, then lowest restart index — never wall clock.
+    size_t best = restarts;
+    for (size_t r = 0; r < restarts; ++r) {
+      if (!outcomes[r].valid) continue;
+      if (best == restarts) {
+        best = r;
+        continue;
+      }
+      const RestartOutcome& a = outcomes[r];
+      const RestartOutcome& b = outcomes[best];
+      if (a.newly_activated > b.newly_activated ||
+          (a.newly_activated == b.newly_activated && a.stage1_loss < b.stage1_loss)) {
+        best = r;
+      }
+    }
+    if (best == restarts) {
+      // Every restart failed to produce a usable chunk; stop rather than
+      // emit a broken one.
+      report.hit_time_limit = total_timer.seconds() >= config_.t_limit_seconds;
+      break;
+    }
+    RestartOutcome& winner = outcomes[best];
+
+    IterationRecord record;
+    record.iteration = iteration;
+    record.duration_steps = winner.duration_steps;
+    record.growths = winner.growths;
+    record.stage1_loss = winner.stage1_loss;
+    record.stage2_loss = winner.stage2_loss;
+    record.stage2_accepted = winner.stage2_accepted;
+    record.winning_restart = best;
+    record.newly_activated = activated.absorb(winner.chunk_fwd, config_.activation_min_spikes);
     record.total_activated = activated.count();
     record.seconds = iter_timer.seconds();
-    report.stimulus.add_chunk(std::move(chunk));
+    report.stimulus.add_chunk(std::move(winner.chunk));
     report.iterations.push_back(record);
 
     if (config_.verbose) {
       SNNTEST_LOG_INFO(
-          "testgen iter %zu: T=%zu, +%zu neurons (%zu/%zu), stage1 loss %.3f%s (%s)",
+          "testgen iter %zu: T=%zu, +%zu neurons (%zu/%zu), stage1 loss %.3f%s, restart %zu/%zu "
+          "(%s)",
           iteration, record.duration_steps, record.newly_activated, record.total_activated,
           report.total_neurons, record.stage1_loss,
-          record.stage2_accepted ? ", stage2 ok" : "",
+          record.stage2_accepted ? ", stage2 ok" : "", record.winning_restart, restarts,
           util::format_duration(record.seconds).c_str());
     }
     if (record.newly_activated == 0) {

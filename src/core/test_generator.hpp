@@ -42,6 +42,20 @@ struct TestGenConfig {
   size_t max_iterations = 24;
   size_t activation_min_spikes = 1;
 
+  // multi-restart stage optimization: each outer iteration runs `restarts`
+  // independent stage-1/stage-2 optimizations (per-restart Gumbel seed
+  // derived from `seed` via util::mix_seed) and keeps the restart that
+  // activates the most new neurons. The generated stimulus is bit-identical
+  // for a given seed regardless of `num_threads` — restarts share no
+  // mutable state and the winner is picked by a deterministic rule, never
+  // by wall clock (DESIGN.md §10).
+  size_t restarts = 1;
+  size_t num_threads = 1;  // threads for the restart fan-out (0 = hardware)
+
+  // Kernel selection for every forward/backward inside the generator; all
+  // modes produce bit-identical stimuli (kAuto is fastest on sparse data).
+  snn::KernelMode kernel_mode = snn::KernelMode::kAuto;
+
   // losses
   size_t td_min_override = 0;  // 0 -> max(1, t_in_min / 10)
   bool use_l1 = true;          // ablation switches
@@ -65,6 +79,7 @@ struct IterationRecord {
   bool stage2_accepted = false;
   size_t newly_activated = 0;
   size_t total_activated = 0;
+  size_t winning_restart = 0;  // index of the restart that produced the chunk
   double seconds = 0.0;
 };
 

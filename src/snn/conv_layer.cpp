@@ -160,6 +160,104 @@ void ConvLayer::conv_backward_frame(const float* in, const float* grad_syn, floa
   }
 }
 
+void ConvLayer::conv_backward_input_frame(const float* grad_syn, float* grad_in) const {
+  const size_t oh = spec_.out_height();
+  const size_t ow = spec_.out_width();
+  const size_t k = spec_.kernel;
+  for (size_t oc = 0; oc < spec_.out_channels; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        const float g = grad_syn[(oc * oh + oy) * ow + ox];
+        if (g == 0.0f) continue;
+        for (size_t ic = 0; ic < spec_.in_channels; ++ic) {
+          const float* w_base = weights_.data() + ((oc * spec_.in_channels + ic) * k) * k;
+          float* gin_base = grad_in + ic * spec_.in_height * spec_.in_width;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const long iy =
+                static_cast<long>(oy * spec_.stride + ky) - static_cast<long>(spec_.padding);
+            if (iy < 0 || iy >= static_cast<long>(spec_.in_height)) continue;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const long ix =
+                  static_cast<long>(ox * spec_.stride + kx) - static_cast<long>(spec_.padding);
+              if (ix < 0 || ix >= static_cast<long>(spec_.in_width)) continue;
+              gin_base[iy * static_cast<long>(spec_.in_width) + ix] += g * w_base[ky * k + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void ConvLayer::conv_backward_weight_frame(const float* in, const float* grad_syn) {
+  const size_t oh = spec_.out_height();
+  const size_t ow = spec_.out_width();
+  const size_t k = spec_.kernel;
+  for (size_t oc = 0; oc < spec_.out_channels; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        const float g = grad_syn[(oc * oh + oy) * ow + ox];
+        if (g == 0.0f) continue;
+        for (size_t ic = 0; ic < spec_.in_channels; ++ic) {
+          float* wg_base = weight_grads_.data() + ((oc * spec_.in_channels + ic) * k) * k;
+          const float* in_base = in + ic * spec_.in_height * spec_.in_width;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const long iy =
+                static_cast<long>(oy * spec_.stride + ky) - static_cast<long>(spec_.padding);
+            if (iy < 0 || iy >= static_cast<long>(spec_.in_height)) continue;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const long ix =
+                  static_cast<long>(ox * spec_.stride + kx) - static_cast<long>(spec_.padding);
+              if (ix < 0 || ix >= static_cast<long>(spec_.in_width)) continue;
+              wg_base[ky * k + kx] += g * in_base[iy * static_cast<long>(spec_.in_width) + ix];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void ConvLayer::conv_backward_weight_frame_sparse(const float* in, const uint32_t* active,
+                                                  size_t num_active, const float* grad_syn) {
+  const size_t oh = spec_.out_height();
+  const size_t ow = spec_.out_width();
+  const size_t k = spec_.kernel;
+  const size_t plane = spec_.in_height * spec_.in_width;
+  const long stride = static_cast<long>(spec_.stride);
+  // Ordering argument: for one tap (oc, ic, ky, kx) the dense sweep visits
+  // contributing outputs in ascending (oy, ox); here the pixels ascend in
+  // flat (ic, iy, ix) order and oy / ox are monotone in iy / ix, so each tap
+  // accumulator sees the identical term sequence.
+  for (size_t i = 0; i < num_active; ++i) {
+    const size_t flat = active[i];
+    const size_t ic = flat / plane;
+    const size_t rem = flat % plane;
+    const size_t iy = rem / spec_.in_width;
+    const size_t ix = rem % spec_.in_width;
+    const float val = in[flat];
+    for (size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      float* wg_base = weight_grads_.data() + ((oc * spec_.in_channels + ic) * k) * k;
+      const float* g_base = grad_syn + oc * oh * ow;
+      for (size_t ky = 0; ky < k; ++ky) {
+        const long num_y = static_cast<long>(iy + spec_.padding) - static_cast<long>(ky);
+        if (num_y < 0 || num_y % stride != 0) continue;
+        const long oy = num_y / stride;
+        if (oy >= static_cast<long>(oh)) continue;
+        for (size_t kx = 0; kx < k; ++kx) {
+          const long num_x = static_cast<long>(ix + spec_.padding) - static_cast<long>(kx);
+          if (num_x < 0 || num_x % stride != 0) continue;
+          const long ox = num_x / stride;
+          if (ox >= static_cast<long>(ow)) continue;
+          const float g = g_base[oy * static_cast<long>(ow) + ox];
+          if (g == 0.0f) continue;  // mirror the dense path's grad_syn skip
+          wg_base[ky * k + kx] += g * val;
+        }
+      }
+    }
+  }
+}
+
 size_t ConvLayer::tap_index(size_t out_index, size_t in_index) const {
   const size_t oh = spec_.out_height();
   const size_t ow = spec_.out_width();
@@ -239,8 +337,28 @@ Tensor ConvLayer::backward(const Tensor& grad_out) {
   Tensor grad_syn(Shape{T, lif_.size()});
   lif_.backward(grad_out.data(), T, surrogate_, grad_syn.data());
   Tensor grad_in(Shape{T, spec_.input_size()});
+  const KernelMode mode = kernel_mode_;
   for (size_t t = 0; t < T; ++t) {
-    conv_backward_frame(saved_input_.row(t), grad_syn.row(t), grad_in.row(t));
+    const float* in = saved_input_.row(t);
+    const float* gs = grad_syn.row(t);
+    float* gi = grad_in.row(t);
+    if (mode == KernelMode::kDense && param_grads_enabled_) {
+      conv_backward_frame(in, gs, gi);  // fused seed path
+    } else {
+      // Split halves: grad_in is inherently dense in the input pixels, but
+      // the weight-gradient half only receives terms from active pixels, so
+      // it can go event-driven per frame. Both halves keep the fused path's
+      // per-accumulator term order (bit-identical, see conv_layer.hpp).
+      conv_backward_input_frame(gs, gi);
+      if (param_grads_enabled_) {
+        const auto view = tensor::make_frame_view(in, spec_.input_size(), active_scratch_);
+        if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+          conv_backward_weight_frame_sparse(view.frame, view.active, view.num_active, gs);
+        } else {
+          conv_backward_weight_frame(in, gs);
+        }
+      }
+    }
     if (override_.active) {
       // Forward used the overridden effective weight (stored + delta) for
       // this one connection, so the input gradient must carry the delta too.

@@ -79,8 +79,27 @@ class ConvLayer final : public Layer {
   /// and the skipped terms are exact +/-0.0 contributions.
   void conv_forward_frame_sparse(const float* in, const uint32_t* active, size_t num_active,
                                  float* syn);
-  /// Scatter grad_syn into grad_in and weight grads for one timestep.
+  /// Scatter grad_syn into grad_in and weight grads for one timestep
+  /// (fused dense path — the seed's exact execution).
   void conv_backward_frame(const float* in, const float* grad_syn, float* grad_in);
+  /// Input-gradient half of conv_backward_frame: grad_in += conv^T(grad_syn).
+  /// Iterates the identical (oc, oy, ox) -> (ic, ky, kx) order as the fused
+  /// path, so every grad_in accumulator receives the same ordered float
+  /// terms (bit-identical). Input gradient flows into *every* input pixel —
+  /// also the silent ones — so this half cannot exploit input sparsity; the
+  /// zeros it does skip are the grad_syn zeros, exactly like the fused path.
+  void conv_backward_input_frame(const float* grad_syn, float* grad_in) const;
+  /// Weight-gradient half, dense: wg[tap] += grad_syn[o] * in[i] over every
+  /// connected (o, tap) pair, in the fused path's order.
+  void conv_backward_weight_frame(const float* in, const float* grad_syn);
+  /// Weight-gradient half, event-driven: iterate only the active input
+  /// pixels (ascending flat order) and scatter into the taps they serve.
+  /// Bit-identical to conv_backward_weight_frame: for a fixed tap the
+  /// contributing pixels ascend exactly like the fused path's (oy, ox)
+  /// sweep, and the skipped terms are grad_syn * 0.0 — exact +/-0.0 adds
+  /// into accumulators that can never hold -0.0 (see tensor/ops.hpp).
+  void conv_backward_weight_frame_sparse(const float* in, const uint32_t* active,
+                                         size_t num_active, const float* grad_syn);
 
   struct ConnectionOverride {
     size_t out_index = 0;

@@ -69,9 +69,31 @@ Tensor DenseLayer::backward(const Tensor& grad_out) {
   lif_.backward(grad_out.data(), T, surrogate_, grad_syn.data());
   // 2) Propagate through the weight matrix.
   Tensor grad_in(Shape{T, num_inputs_});
+  const KernelMode mode = kernel_mode_;
   for (size_t t = 0; t < T; ++t) {
-    tensor::outer_accumulate(weight_grads_.data(), lif_.size(), num_inputs_, grad_syn.row(t),
-                             saved_input_.row(t), 1.0f);
+    if (param_grads_enabled_) {
+      const float* in_row = saved_input_.row(t);
+      if (mode == KernelMode::kDense) {
+        tensor::outer_accumulate(weight_grads_.data(), lif_.size(), num_inputs_, grad_syn.row(t),
+                                 in_row, 1.0f);
+      } else {
+        // dL/dW[i,j] = sum_t grad_syn[t,i] * s_in[t,j]: only the active
+        // input columns of the frame contribute (bit-identical skip, see
+        // outer_accumulate_gather).
+        const auto view = tensor::make_frame_view(in_row, num_inputs_, active_scratch_);
+        if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+          tensor::outer_accumulate_gather(weight_grads_.data(), lif_.size(), num_inputs_,
+                                          grad_syn.row(t), view.frame, view.active,
+                                          view.num_active, 1.0f);
+        } else {
+          tensor::outer_accumulate(weight_grads_.data(), lif_.size(), num_inputs_,
+                                   grad_syn.row(t), in_row, 1.0f);
+        }
+      }
+    }
+    // dL/d(input) flows through W^T into every input column (silent columns
+    // carry gradient too), so it stays dense in the columns; its row loop
+    // already skips zero grad_syn entries.
     tensor::matvec_transpose_accumulate(weights_.data(), lif_.size(), num_inputs_,
                                         grad_syn.row(t), grad_in.row(t));
   }

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,24 @@ enum class KernelMode : uint8_t {
 /// near 40-50% but 25% keeps a comfortable margin on all geometries).
 inline bool sparse_frame_wins(size_t num_active, size_t frame_size) {
   return num_active * 4 <= frame_size;
+}
+
+/// CLI-facing names for KernelMode (bench/example `--kernel-mode` flags).
+inline const char* kernel_mode_name(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kDense: return "dense";
+    case KernelMode::kSparse: return "sparse";
+    case KernelMode::kAuto: return "auto";
+  }
+  return "dense";
+}
+
+/// Inverse of kernel_mode_name; throws std::invalid_argument on bad input.
+inline KernelMode parse_kernel_mode(const std::string& name) {
+  if (name == "dense") return KernelMode::kDense;
+  if (name == "sparse") return KernelMode::kSparse;
+  if (name == "auto") return KernelMode::kAuto;
+  throw std::invalid_argument("unknown kernel mode '" + name + "' (expected dense|sparse|auto)");
 }
 
 /// A view over one trainable parameter array of a layer.
@@ -107,9 +126,20 @@ class Layer {
   void set_kernel_mode(KernelMode mode) { kernel_mode_ = mode; }
   KernelMode kernel_mode() const { return kernel_mode_; }
 
+  /// When disabled, backward() skips accumulating parameter gradients
+  /// (dL/dW) and computes only dL/d(input spikes). The input-optimization
+  /// hot loop (core/input_optimizer.cpp) zeroes and discards the weight
+  /// grads after every step, so skipping them removes roughly half the
+  /// backward work; dL/d(input) is bit-identical either way because the
+  /// parameter and input gradients use disjoint accumulators. Default on
+  /// (training needs dL/dW).
+  void set_param_grads_enabled(bool enabled) { param_grads_enabled_ = enabled; }
+  bool param_grads_enabled() const { return param_grads_enabled_; }
+
  protected:
   SurrogateConfig surrogate_{};
   KernelMode kernel_mode_ = KernelMode::kDense;
+  bool param_grads_enabled_ = true;
 };
 
 }  // namespace snntest::snn

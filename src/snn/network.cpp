@@ -227,4 +227,12 @@ KernelMode Network::kernel_mode() const {
   return layers_.empty() ? KernelMode::kDense : layers_.front()->kernel_mode();
 }
 
+void Network::set_param_grads_enabled(bool enabled) {
+  for (auto& l : layers_) l->set_param_grads_enabled(enabled);
+}
+
+bool Network::param_grads_enabled() const {
+  return layers_.empty() ? true : layers_.front()->param_grads_enabled();
+}
+
 }  // namespace snntest::snn

@@ -133,6 +133,14 @@ class Network {
   /// Mode of the first layer (all layers share one mode once set).
   KernelMode kernel_mode() const;
 
+  /// Enable/disable parameter-gradient accumulation in every layer's
+  /// backward (see Layer::set_param_grads_enabled). dL/d(input) is
+  /// bit-identical either way; the input optimizer disables it because it
+  /// discards dL/dW after every step.
+  void set_param_grads_enabled(bool enabled);
+  /// Flag of the first layer (all layers share one flag once set).
+  bool param_grads_enabled() const;
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Layer>> layers_;

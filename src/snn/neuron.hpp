@@ -77,6 +77,15 @@ class LifBank {
   size_t steps_run() const { return t_; }
   bool recording() const { return recording_; }
 
+  // --- recorded traces (valid after a recording run; time-major [T, n]) ---
+  // Read-only access for external gradient references: the gradient-check
+  // harness (tests/test_gradcheck.cpp) replays the window in double
+  // precision with the branch decisions (spike / integrated) frozen to
+  // these traces.
+  const std::vector<float>& trace_u_pre() const { return trace_u_pre_; }
+  const std::vector<uint8_t>& trace_spikes() const { return trace_spike_; }
+  const std::vector<uint8_t>& trace_integrated() const { return trace_integrated_; }
+
   // --- BPTT (requires a recorded forward run of exactly T steps) ---
 
   /// Full-window backward: grad_spikes and grad_syn are [T, n] time-major.

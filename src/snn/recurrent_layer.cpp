@@ -88,6 +88,24 @@ Tensor RecurrentLayer::backward(const Tensor& grad_out) {
   // V^T * dL/dsyn[t+1], so the LIF backward must run stepwise from the end.
   std::vector<float> grad_spike(n);
   std::vector<float> grad_syn(n);
+  // Both saved spike trains are sparse; each rank-1 weight-grad update can
+  // therefore gather over the active columns of its frame (bit-identical,
+  // see outer_accumulate_gather). The transpose matvecs stay dense in the
+  // columns — every presynaptic channel can carry input gradient.
+  const KernelMode mode = kernel_mode_;
+  auto outer = [&](float* grads, size_t cols, const float* frame) {
+    if (mode == KernelMode::kDense) {
+      tensor::outer_accumulate(grads, n, cols, grad_syn.data(), frame, 1.0f);
+      return;
+    }
+    const auto view = tensor::make_frame_view(frame, cols, active_scratch_);
+    if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+      tensor::outer_accumulate_gather(grads, n, cols, grad_syn.data(), view.frame, view.active,
+                                      view.num_active, 1.0f);
+    } else {
+      tensor::outer_accumulate(grads, n, cols, grad_syn.data(), frame, 1.0f);
+    }
+  };
   LifBank::Backward bw(lif_, surrogate_, T);
   for (size_t t = T; t-- > 0;) {
     // grad_spike currently holds V^T grad_syn[t+1] (zero at t = T-1).
@@ -95,14 +113,12 @@ Tensor RecurrentLayer::backward(const Tensor& grad_out) {
     for (size_t i = 0; i < n; ++i) grad_spike[i] += g_ext[i];
     bw.step(t, grad_spike.data(), grad_syn.data());
     // Parameter gradients for timestep t.
-    tensor::outer_accumulate(weight_grads_.data(), n, num_inputs_, grad_syn.data(),
-                             saved_input_.row(t), 1.0f);
+    if (param_grads_enabled_) outer(weight_grads_.data(), num_inputs_, saved_input_.row(t));
     tensor::matvec_transpose_accumulate(weights_.data(), n, num_inputs_, grad_syn.data(),
                                         grad_in.row(t));
     std::fill(grad_spike.begin(), grad_spike.end(), 0.0f);
     if (t > 0) {
-      tensor::outer_accumulate(recurrent_grads_.data(), n, n, grad_syn.data(),
-                               saved_output_.row(t - 1), 1.0f);
+      if (param_grads_enabled_) outer(recurrent_grads_.data(), n, saved_output_.row(t - 1));
       // Credit into s_out[t-1] for the next (earlier) iteration.
       tensor::matvec_transpose_accumulate(recurrent_.data(), n, n, grad_syn.data(),
                                           grad_spike.data());

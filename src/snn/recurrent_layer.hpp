@@ -50,6 +50,7 @@ class RecurrentLayer final : public Layer {
   std::vector<float> recurrent_grads_;
   Tensor saved_input_;
   Tensor saved_output_;  // needed: syn[t] depends on s_out[t-1]
+  std::vector<uint32_t> active_scratch_;  // per-frame active indices (sparse backward)
 };
 
 }  // namespace snntest::snn

@@ -65,6 +65,19 @@ void outer_accumulate(float* a, size_t rows, size_t cols, const float* u, const 
   }
 }
 
+void outer_accumulate_gather(float* a, size_t rows, size_t cols, const float* u, const float* v,
+                             const uint32_t* active, size_t num_active, float alpha) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float ur = alpha * u[r];
+    if (ur == 0.0f) continue;  // matches the dense kernel's silent-row skip
+    float* row = a + r * cols;
+    for (size_t i = 0; i < num_active; ++i) {
+      const uint32_t c = active[i];
+      row[c] += ur * v[c];
+    }
+  }
+}
+
 void add(const float* a, const float* b, float* out, size_t n) {
   for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
 }

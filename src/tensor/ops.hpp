@@ -52,6 +52,20 @@ SpikeFrameView make_frame_view(const float* frame, size_t n, std::vector<uint32_
 void matvec_accumulate_gather(const float* a, size_t rows, size_t cols, const float* x,
                               const uint32_t* active, size_t num_active, float* y);
 
+/// Sparse rank-1 update over the active entries of v only:
+/// A[r,c] += alpha * u[r] * v[c] for c in active.
+///
+/// Bit-identical to outer_accumulate when `active` lists exactly the
+/// nonzero entries of v in ascending order: each accumulator A[r,c]
+/// receives the identical float term (or none), and the skipped terms are
+/// exact +/-0.0 additions. A +/-0.0 add can only change an accumulator
+/// that currently holds -0.0, and a gradient accumulator zeroed to +0.0
+/// can never reach -0.0 through float additions (x + y == -0.0 requires
+/// x == y == -0.0), so skipping is exact. Used by the sparse backward
+/// paths for dL/dW += grad_syn (x) saved_input.
+void outer_accumulate_gather(float* a, size_t rows, size_t cols, const float* u, const float* v,
+                             const uint32_t* active, size_t num_active, float alpha);
+
 /// y += A^T x: y[c] += sum_r A[r,c]*x[r].
 void matvec_transpose_accumulate(const float* a, size_t rows, size_t cols, const float* x,
                                  float* y);

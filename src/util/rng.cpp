@@ -89,6 +89,18 @@ double Rng::gumbel() {
 
 Rng Rng::split() { return Rng(next()); }
 
+uint64_t mix_seed(uint64_t seed, uint64_t stream, uint64_t substream) {
+  // Three chained splitmix64 rounds, folding one component in per round;
+  // splitmix64's avalanche decorrelates neighbouring (stream, substream)
+  // pairs, and the multiplies keep stream/substream = 0 from collapsing.
+  uint64_t s = seed;
+  uint64_t h = splitmix64(s);
+  s ^= (stream + 1) * 0xBF58476D1CE4E5B9ull + h;
+  h = splitmix64(s);
+  s ^= (substream + 1) * 0x94D049BB133111EBull + h;
+  return splitmix64(s);
+}
+
 std::vector<size_t> Rng::permutation(size_t n) {
   std::vector<size_t> idx(n);
   for (size_t i = 0; i < n; ++i) idx[i] = i;

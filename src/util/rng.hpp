@@ -61,4 +61,12 @@ class Rng {
   double cached_normal_ = 0.0;
 };
 
+/// Deterministically derive a child seed from (seed, stream, substream).
+/// Unlike Rng::split(), the result does not depend on any generator state
+/// or call order — seeding a worker with mix_seed(master, iteration, r)
+/// gives the same stream no matter which thread runs it or when, which is
+/// what makes the multi-restart test generator bit-reproducible across
+/// thread counts (DESIGN.md §10).
+uint64_t mix_seed(uint64_t seed, uint64_t stream, uint64_t substream);
+
 }  // namespace snntest::util

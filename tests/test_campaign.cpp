@@ -475,5 +475,127 @@ TEST(Engine, KernelModesBitIdenticalWithFaultsAcrossThreads) {
   }
 }
 
+TEST(Checkpoint, RandomizedCorruptionFuzzKeepsExactAccounting) {
+  // Property fuzz over the JSONL reader: a random mix of valid records,
+  // garbage lines, out-of-range fault indices and truncated partial writes
+  // must load with (a) every valid record recovered bit-exactly, in order,
+  // and (b) skipped_lines equal to exactly the number of unusable lines —
+  // never silently more (swallowed data) or fewer (phantom results).
+  for (const uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull, 66ull}) {
+    util::Rng rng(seed);
+    const std::string path = temp_path("ck_fuzz_" + std::to_string(seed) + ".jsonl");
+    std::remove(path.c_str());
+
+    CheckpointHeader header;
+    header.fingerprint = rng.next();
+    header.num_faults = 40;
+    header.threshold = rng.uniform(0.0, 2.0);
+
+    std::vector<std::pair<size_t, fault::DetectionResult>> written;
+    {
+      CheckpointWriter writer(path, header, /*append=*/false, /*flush_every=*/1);
+      const size_t n_valid = 1 + rng.uniform_index(24);
+      for (size_t k = 0; k < n_valid; ++k) {
+        fault::DetectionResult r;
+        r.detected = rng.bernoulli(0.5);
+        r.output_l1 = rng.uniform(0.0, 100.0);
+        r.class_count_diff.resize(rng.uniform_index(5));
+        for (auto& d : r.class_count_diff) d = rng.uniform_int(-9, 9);
+        const size_t index = rng.uniform_index(header.num_faults);
+        writer.record(index, r);
+        written.emplace_back(index, std::move(r));
+      }
+    }
+
+    size_t bad_lines = 0;
+    {
+      std::ofstream out(path, std::ios::app);
+      const size_t n_bad = 1 + rng.uniform_index(8);
+      for (size_t k = 0; k < n_bad; ++k) {
+        switch (rng.uniform_index(4)) {
+          case 0:  // plain garbage
+            out << "@@ fuzz garbage " << rng.next() << " @@\n";
+            break;
+          case 1:  // well-formed JSON, index outside header.num_faults
+            out << "{\"type\":\"result\",\"index\":" << header.num_faults + rng.uniform_index(100)
+                << ",\"detected\":1,\"l1\":1,\"diff\":[]}\n";
+            break;
+          case 2:  // partial write: line chopped before the closing brace
+            out << "{\"type\":\"result\",\"index\":3,\"detected\":1,\"l1\":4\n";
+            break;
+          default:  // unknown record type
+            out << "{\"type\":\"mystery\",\"index\":1}\n";
+            break;
+        }
+        ++bad_lines;
+      }
+    }
+
+    const auto data = load_checkpoint(path);
+    ASSERT_TRUE(data.has_value()) << "seed " << seed;
+    EXPECT_EQ(data->header.fingerprint, header.fingerprint) << "seed " << seed;
+    EXPECT_EQ(data->header.threshold, header.threshold) << "seed " << seed;
+    EXPECT_EQ(data->skipped_lines, bad_lines) << "seed " << seed;
+    ASSERT_EQ(data->results.size(), written.size()) << "seed " << seed;
+    for (size_t k = 0; k < written.size(); ++k) {
+      EXPECT_EQ(data->results[k].first, written[k].first) << "seed " << seed << " record " << k;
+      EXPECT_EQ(data->results[k].second.detected, written[k].second.detected);
+      // %.17g round-trips doubles exactly
+      EXPECT_EQ(data->results[k].second.output_l1, written[k].second.output_l1);
+      EXPECT_EQ(data->results[k].second.class_count_diff, written[k].second.class_count_diff);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Checkpoint, FuzzTruncationAtEveryByteBoundaryNeverCrashes) {
+  // Chop a small valid checkpoint at every possible byte length: the loader
+  // must never crash or throw, and whenever the header line survives intact
+  // it must return data with consistent accounting (parsed + skipped lines
+  // covering everything after the header).
+  const std::string path = temp_path("ck_chop.jsonl");
+  CheckpointHeader header;
+  header.fingerprint = 0x1234abcdull;
+  header.num_faults = 8;
+  {
+    CheckpointWriter writer(path, header, /*append=*/false, /*flush_every=*/1);
+    for (size_t k = 0; k < 4; ++k) {
+      fault::DetectionResult r;
+      r.detected = k % 2 == 0;
+      r.output_l1 = static_cast<double>(k) / 3.0;
+      r.class_count_diff = {static_cast<long>(k), -1};
+      writer.record(k, r);
+    }
+  }
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    full = buffer.str();
+  }
+  const size_t header_end = full.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  for (size_t len = 0; len <= full.size(); ++len) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(len));
+    }
+    const auto data = load_checkpoint(path);
+    if (len <= header_end) {
+      // A chopped header may or may not scrape through the field scanners
+      // (strtod happily parses a prefix); the contract here is only "no
+      // crash, no phantom results".
+      if (data.has_value()) EXPECT_TRUE(data->results.empty()) << "len " << len;
+      continue;
+    }
+    ASSERT_TRUE(data.has_value()) << "len " << len;
+    EXPECT_EQ(data->header.fingerprint, header.fingerprint) << "len " << len;
+    EXPECT_LE(data->results.size(), 4u) << "len " << len;
+    EXPECT_LE(data->skipped_lines, 1u) << "len " << len;  // at most the chopped tail
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace snntest::campaign

@@ -1,0 +1,722 @@
+// Finite-difference validation of the analytic BPTT gradients.
+//
+// The spike function is a Heaviside step, so the network output is
+// piecewise-constant in its inputs and naive finite differences measure
+// nothing. What the backward pass actually computes is the derivative of a
+// *relaxed* model: spikes are locally replaced by the primitive of the
+// surrogate derivative, the reset branch is detached, and every discrete
+// decision (spike yes/no, refractory, integration) is frozen to the values
+// recorded during the forward pass. That relaxed model is smooth, so we
+// rebuild it here in double precision — "frozen-decision replay" — and
+// compare central finite differences through it against the float analytic
+// gradients, for every layer type and every loss, in both the dense and the
+// sparse (gather/scatter) backward modes. Agreement to ~1e-4 relative error
+// validates both the BPTT chain rule and the sparse kernels' bit-identity
+// claim end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/losses.hpp"
+#include "snn/conv_layer.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/pool_layer.hpp"
+#include "snn/recurrent_layer.hpp"
+#include "util/rng.hpp"
+
+namespace snntest {
+namespace {
+
+using snn::KernelMode;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Relaxed frozen-decision replay
+// ---------------------------------------------------------------------------
+
+/// Primitive S(x) of the surrogate derivative: the smooth stand-in for the
+/// Heaviside step whose slope the backward pass uses. S need only be defined
+/// up to a constant; S(0) = 0 is chosen for symmetry.
+double spike_primitive(const snn::SurrogateConfig& cfg, double x) {
+  switch (cfg.kind) {
+    case snn::SurrogateKind::kFastSigmoid:
+      // d/dx [x / (1 + a|x|)] = 1 / (1 + a|x|)^2
+      return x / (1.0 + cfg.alpha * std::fabs(x));
+    case snn::SurrogateKind::kAtan: {
+      // d/dx [atan(pi*a*x/2) / pi] = (a/2) / (1 + (pi*a*x/2)^2)
+      const double z = 0.5 * std::numbers::pi * cfg.alpha * x;
+      return std::atan(z) / std::numbers::pi;
+    }
+    case snn::SurrogateKind::kRectangular: {
+      const double lim = 1.0 / cfg.alpha;
+      return 0.5 * cfg.alpha * std::clamp(x, -lim, lim);
+    }
+  }
+  return 0.0;
+}
+
+/// Branch decisions recorded during the base forward pass.
+struct FrozenTraces {
+  size_t T = 0;
+  size_t n = 0;
+  std::vector<float> u_pre;
+  std::vector<uint8_t> spike;
+  std::vector<uint8_t> integrated;
+};
+
+FrozenTraces capture_traces(const snn::Layer& layer, size_t T) {
+  const auto& lif = layer.lif();
+  FrozenTraces tr;
+  tr.T = T;
+  tr.n = lif.size();
+  tr.u_pre = lif.trace_u_pre();
+  tr.spike = lif.trace_spikes();
+  tr.integrated = lif.trace_integrated();
+  return tr;
+}
+
+/// Replay the LIF dynamics in double with frozen decisions. `syn_fn(t, prev,
+/// syn)` must fill `syn` with the relaxed synaptic current of step t; `prev`
+/// holds the relaxed outputs of step t-1 (zeros at t = 0) so recurrent
+/// feedback stays differentiable. The relaxed output of an integrated step is
+///   s~[t] = s_rec[t] + S(u~_pre - th) - S(u_pre_rec - th),
+/// which equals the recorded spike at the base point and has slope
+/// S'(u_pre - th) — exactly the surrogate the analytic backward applies.
+/// Non-integrated (refractory) steps emit the recorded constant and hold the
+/// membrane at reset: the chain through time is cut, as in LifBank::Backward.
+template <typename SynFn>
+std::vector<double> relaxed_lif_run(const FrozenTraces& tr, const snn::LifParams& p,
+                                    const snn::SurrogateConfig& surr, SynFn&& syn_fn) {
+  std::vector<double> s_out(tr.T * tr.n, 0.0);
+  std::vector<double> u(tr.n, p.reset_potential);
+  std::vector<double> syn(tr.n, 0.0);
+  std::vector<double> prev(tr.n, 0.0);
+  for (size_t t = 0; t < tr.T; ++t) {
+    std::fill(syn.begin(), syn.end(), 0.0);
+    syn_fn(t, prev, syn);
+    for (size_t i = 0; i < tr.n; ++i) {
+      const size_t idx = t * tr.n + i;
+      if (!tr.integrated[idx]) {
+        s_out[idx] = tr.spike[idx];
+        u[i] = p.reset_potential;
+        continue;
+      }
+      const double u_pre = p.leak * u[i] + syn[i];
+      s_out[idx] = tr.spike[idx] + spike_primitive(surr, u_pre - p.threshold) -
+                   spike_primitive(surr, static_cast<double>(tr.u_pre[idx]) - p.threshold);
+      // Detached reset: after a recorded spike the membrane restarts from the
+      // constant reset potential and carries no gradient.
+      u[i] = tr.spike[idx] ? p.reset_potential : u_pre;
+    }
+    for (size_t i = 0; i < tr.n; ++i) prev[i] = s_out[t * tr.n + i];
+  }
+  return s_out;
+}
+
+// ---------------------------------------------------------------------------
+// FD driver
+// ---------------------------------------------------------------------------
+
+struct GradCheckStats {
+  double max_rel = 0.0;
+  size_t checked = 0;
+};
+
+/// Scale floor for the relative-error denominator: gradients far below the
+/// vector's dominant magnitude are checked in (scaled) absolute terms, so
+/// float rounding noise in near-zero entries cannot fake a large "relative"
+/// error while real formula bugs (which perturb at gradient scale) still
+/// blow past the 1e-4 bar.
+double grad_scale(const float* g, size_t count) {
+  double m = 0.0;
+  for (size_t i = 0; i < count; ++i) m = std::max(m, std::fabs(static_cast<double>(g[i])));
+  return std::max(0.01, 0.1 * m);
+}
+
+/// Central finite differences of `eval()` w.r.t. every entry of `param`,
+/// compared against the analytic gradient.
+template <typename F>
+void fd_compare(std::vector<double>& param, const float* analytic, size_t count, F&& eval,
+                GradCheckStats& stats) {
+  const double eps = 1e-5;
+  const double floor = grad_scale(analytic, count);
+  for (size_t j = 0; j < count; ++j) {
+    const double orig = param[j];
+    param[j] = orig + eps;
+    const double lp = eval();
+    param[j] = orig - eps;
+    const double lm = eval();
+    param[j] = orig;
+    const double fd = (lp - lm) / (2.0 * eps);
+    const double an = static_cast<double>(analytic[j]);
+    const double denom = std::max({std::fabs(fd), std::fabs(an), floor});
+    stats.max_rel = std::max(stats.max_rel, std::fabs(fd - an) / denom);
+    ++stats.checked;
+  }
+}
+
+double dot_objective(const std::vector<double>& s, const std::vector<float>& c) {
+  double acc = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) acc += static_cast<double>(c[i]) * s[i];
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Common fixtures
+// ---------------------------------------------------------------------------
+
+Tensor random_binary(size_t T, size_t n, double density, util::Rng& rng) {
+  Tensor t(Shape{T, n});
+  for (size_t i = 0; i < t.numel(); ++i) t[i] = rng.bernoulli(density) ? 1.0f : 0.0f;
+  return t;
+}
+
+std::vector<float> random_coeffs(size_t count, util::Rng& rng) {
+  std::vector<float> c(count);
+  for (auto& v : c) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return c;
+}
+
+std::vector<double> to_double(const float* data, size_t count) {
+  return std::vector<double>(data, data + count);
+}
+
+constexpr double kTol = 1e-4;
+const KernelMode kModes[] = {KernelMode::kDense, KernelMode::kSparse};
+
+// ---------------------------------------------------------------------------
+// Layer gradchecks: L = sum c[t,i] * s~[t,i] with fixed random coefficients.
+// Analytic dL/d(input) and dL/dW come from layer.backward(c); the reference
+// is the double replay above.
+// ---------------------------------------------------------------------------
+
+TEST(GradCheck, DenseLayerInputAndWeights) {
+  for (const auto kind : {snn::SurrogateKind::kFastSigmoid, snn::SurrogateKind::kAtan}) {
+    for (const KernelMode mode : kModes) {
+      const size_t T = 7, n_in = 6, n = 8;
+      util::Rng rng(101);
+      snn::LifParams lif;
+      snn::DenseLayer layer(n_in, n, lif);
+      layer.init_weights(rng, 1.1f);
+      layer.surrogate().kind = kind;
+      layer.set_kernel_mode(mode);
+      const Tensor in = random_binary(T, n_in, 0.4, rng);
+
+      layer.zero_grad();
+      const Tensor out = layer.forward(in, /*record_traces=*/true);
+      ASSERT_GT(out.count_nonzero(), 0u);
+      ASSERT_LT(out.count_nonzero(), out.numel());
+      const FrozenTraces tr = capture_traces(layer, T);
+
+      const std::vector<float> c = random_coeffs(out.numel(), rng);
+      Tensor grad_out(out.shape());
+      std::copy(c.begin(), c.end(), grad_out.data());
+      const Tensor grad_in = layer.backward(grad_out);
+      const auto params = layer.params();
+
+      std::vector<double> W = to_double(params[0].value, params[0].size);
+      std::vector<double> x = to_double(in.data(), in.numel());
+      const auto& surr = layer.surrogate();
+      auto eval = [&] {
+        auto syn_fn = [&](size_t t, const std::vector<double>&, std::vector<double>& syn) {
+          const double* xf = x.data() + t * n_in;
+          for (size_t i = 0; i < n; ++i) {
+            double acc = 0.0;
+            const double* w = W.data() + i * n_in;
+            for (size_t j = 0; j < n_in; ++j) acc += w[j] * xf[j];
+            syn[i] = acc;
+          }
+        };
+        return dot_objective(relaxed_lif_run(tr, lif, surr, syn_fn), c);
+      };
+
+      GradCheckStats input_stats, weight_stats;
+      fd_compare(x, grad_in.data(), grad_in.numel(), eval, input_stats);
+      fd_compare(W, params[0].grad, params[0].size, eval, weight_stats);
+      EXPECT_LT(input_stats.max_rel, kTol) << "mode " << snn::kernel_mode_name(mode);
+      EXPECT_LT(weight_stats.max_rel, kTol) << "mode " << snn::kernel_mode_name(mode);
+      EXPECT_EQ(input_stats.checked, in.numel());
+      EXPECT_EQ(weight_stats.checked, params[0].size);
+    }
+  }
+}
+
+TEST(GradCheck, ConvLayerInputAndWeights) {
+  const snn::Conv2dSpec specs[] = {
+      {/*in_channels=*/2, /*in_height=*/5, /*in_width=*/5, /*out_channels=*/3, /*kernel=*/3,
+       /*stride=*/1, /*padding=*/1},
+      {/*in_channels=*/2, /*in_height=*/6, /*in_width=*/6, /*out_channels=*/2, /*kernel=*/3,
+       /*stride=*/2, /*padding=*/0},
+  };
+  for (const auto& spec : specs) {
+    for (const KernelMode mode : kModes) {
+      const size_t T = 5;
+      util::Rng rng(202);
+      snn::LifParams lif;
+      snn::ConvLayer layer(spec, lif);
+      layer.init_weights(rng, 1.3f);
+      layer.set_kernel_mode(mode);
+      const Tensor in = random_binary(T, spec.input_size(), 0.35, rng);
+
+      layer.zero_grad();
+      const Tensor out = layer.forward(in, /*record_traces=*/true);
+      ASSERT_GT(out.count_nonzero(), 0u);
+      const FrozenTraces tr = capture_traces(layer, T);
+
+      const std::vector<float> c = random_coeffs(out.numel(), rng);
+      Tensor grad_out(out.shape());
+      std::copy(c.begin(), c.end(), grad_out.data());
+      const Tensor grad_in = layer.backward(grad_out);
+      const auto params = layer.params();
+
+      std::vector<double> W = to_double(params[0].value, params[0].size);
+      std::vector<double> x = to_double(in.data(), in.numel());
+      const auto& surr = layer.surrogate();
+      const size_t oh = spec.out_height(), ow = spec.out_width(), k = spec.kernel;
+      auto eval = [&] {
+        auto syn_fn = [&](size_t t, const std::vector<double>&, std::vector<double>& syn) {
+          const double* xf = x.data() + t * spec.input_size();
+          for (size_t oc = 0; oc < spec.out_channels; ++oc) {
+            for (size_t oy = 0; oy < oh; ++oy) {
+              for (size_t ox = 0; ox < ow; ++ox) {
+                double acc = 0.0;
+                for (size_t ic = 0; ic < spec.in_channels; ++ic) {
+                  const double* wb = W.data() + ((oc * spec.in_channels + ic) * k) * k;
+                  for (size_t ky = 0; ky < k; ++ky) {
+                    const long iy = static_cast<long>(oy * spec.stride + ky) -
+                                    static_cast<long>(spec.padding);
+                    if (iy < 0 || iy >= static_cast<long>(spec.in_height)) continue;
+                    for (size_t kx = 0; kx < k; ++kx) {
+                      const long ix = static_cast<long>(ox * spec.stride + kx) -
+                                      static_cast<long>(spec.padding);
+                      if (ix < 0 || ix >= static_cast<long>(spec.in_width)) continue;
+                      acc += wb[ky * k + kx] *
+                             xf[(ic * spec.in_height + static_cast<size_t>(iy)) * spec.in_width +
+                                static_cast<size_t>(ix)];
+                    }
+                  }
+                }
+                syn[(oc * oh + oy) * ow + ox] = acc;
+              }
+            }
+          }
+        };
+        return dot_objective(relaxed_lif_run(tr, lif, surr, syn_fn), c);
+      };
+
+      GradCheckStats input_stats, weight_stats;
+      fd_compare(x, grad_in.data(), grad_in.numel(), eval, input_stats);
+      fd_compare(W, params[0].grad, params[0].size, eval, weight_stats);
+      EXPECT_LT(input_stats.max_rel, kTol)
+          << "mode " << snn::kernel_mode_name(mode) << " stride " << spec.stride;
+      EXPECT_LT(weight_stats.max_rel, kTol)
+          << "mode " << snn::kernel_mode_name(mode) << " stride " << spec.stride;
+    }
+  }
+}
+
+TEST(GradCheck, RecurrentLayerInputAndBothWeightMatrices) {
+  for (const KernelMode mode : kModes) {
+    const size_t T = 8, n_in = 4, n = 6;
+    util::Rng rng(303);
+    snn::LifParams lif;
+    snn::RecurrentLayer layer(n_in, n, lif);
+    layer.init_weights(rng, 1.2f, 0.8f);
+    layer.set_kernel_mode(mode);
+    const Tensor in = random_binary(T, n_in, 0.45, rng);
+
+    layer.zero_grad();
+    const Tensor out = layer.forward(in, /*record_traces=*/true);
+    ASSERT_GT(out.count_nonzero(), 0u);
+    const FrozenTraces tr = capture_traces(layer, T);
+
+    const std::vector<float> c = random_coeffs(out.numel(), rng);
+    Tensor grad_out(out.shape());
+    std::copy(c.begin(), c.end(), grad_out.data());
+    const Tensor grad_in = layer.backward(grad_out);
+    const auto params = layer.params();  // [0] feed-forward, [1] recurrent
+
+    std::vector<double> W = to_double(params[0].value, params[0].size);
+    std::vector<double> V = to_double(params[1].value, params[1].size);
+    std::vector<double> x = to_double(in.data(), in.numel());
+    const auto& surr = layer.surrogate();
+    auto eval = [&] {
+      // The lateral feedback consumes the *relaxed* previous outputs, so the
+      // FD path exercises the V^T credit assignment through time.
+      auto syn_fn = [&](size_t t, const std::vector<double>& prev, std::vector<double>& syn) {
+        const double* xf = x.data() + t * n_in;
+        for (size_t i = 0; i < n; ++i) {
+          double acc = 0.0;
+          const double* w = W.data() + i * n_in;
+          for (size_t j = 0; j < n_in; ++j) acc += w[j] * xf[j];
+          if (t > 0) {
+            const double* v = V.data() + i * n;
+            for (size_t j = 0; j < n; ++j) acc += v[j] * prev[j];
+          }
+          syn[i] = acc;
+        }
+      };
+      return dot_objective(relaxed_lif_run(tr, lif, surr, syn_fn), c);
+    };
+
+    GradCheckStats input_stats, w_stats, v_stats;
+    fd_compare(x, grad_in.data(), grad_in.numel(), eval, input_stats);
+    fd_compare(W, params[0].grad, params[0].size, eval, w_stats);
+    fd_compare(V, params[1].grad, params[1].size, eval, v_stats);
+    EXPECT_LT(input_stats.max_rel, kTol) << "mode " << snn::kernel_mode_name(mode);
+    EXPECT_LT(w_stats.max_rel, kTol) << "mode " << snn::kernel_mode_name(mode);
+    EXPECT_LT(v_stats.max_rel, kTol) << "mode " << snn::kernel_mode_name(mode);
+  }
+}
+
+TEST(GradCheck, SumPoolLayerInput) {
+  const size_t T = 6;
+  snn::SumPoolSpec spec;
+  spec.channels = 1;
+  spec.in_height = 4;
+  spec.in_width = 4;
+  spec.window = 2;
+  util::Rng rng(404);
+  snn::LifParams lif;
+  snn::SumPoolLayer layer(spec, lif);
+  const Tensor in = random_binary(T, spec.input_size(), 0.4, rng);
+
+  const Tensor out = layer.forward(in, /*record_traces=*/true);
+  ASSERT_GT(out.count_nonzero(), 0u);
+  const FrozenTraces tr = capture_traces(layer, T);
+
+  const std::vector<float> c = random_coeffs(out.numel(), rng);
+  Tensor grad_out(out.shape());
+  std::copy(c.begin(), c.end(), grad_out.data());
+  const Tensor grad_in = layer.backward(grad_out);
+
+  std::vector<double> x = to_double(in.data(), in.numel());
+  const auto& surr = layer.surrogate();
+  const size_t oh = spec.out_height(), ow = spec.out_width();
+  auto eval = [&] {
+    auto syn_fn = [&](size_t t, const std::vector<double>&, std::vector<double>& syn) {
+      const double* xf = x.data() + t * spec.input_size();
+      for (size_t ch = 0; ch < spec.channels; ++ch) {
+        const double* base = xf + ch * spec.in_height * spec.in_width;
+        for (size_t oy = 0; oy < oh; ++oy) {
+          for (size_t ox = 0; ox < ow; ++ox) {
+            double acc = 0.0;
+            for (size_t wy = 0; wy < spec.window; ++wy) {
+              for (size_t wx = 0; wx < spec.window; ++wx) {
+                acc += base[(oy * spec.window + wy) * spec.in_width + ox * spec.window + wx];
+              }
+            }
+            syn[(ch * oh + oy) * ow + ox] = acc;
+          }
+        }
+      }
+    };
+    return dot_objective(relaxed_lif_run(tr, lif, surr, syn_fn), c);
+  };
+
+  GradCheckStats input_stats;
+  fd_compare(x, grad_in.data(), grad_in.numel(), eval, input_stats);
+  EXPECT_LT(input_stats.max_rel, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Loss gradchecks.
+//
+// The literal loss values are piecewise-constant in the spike trains (counts
+// threshold at 0.5, signs are frozen), so FD runs against the per-loss
+// *relaxed functional*: the smooth local model whose gradient the loss code
+// reports. Branch decisions (which neurons are silent, transition signs,
+// output-mismatch signs) are frozen from the base binary trains; within those
+// branches the functional is linear or quadratic in the train entries.
+// ---------------------------------------------------------------------------
+
+namespace core_check {
+
+using namespace snntest::core;
+
+struct LossFixture {
+  snn::Network net{"gradcheck-loss-net"};
+  snn::ForwardResult base;                 // fabricated binary trains
+  std::vector<std::vector<double>> relax;  // double copies, FD perturbs these
+  size_t T = 6;
+
+  LossFixture() {
+    util::Rng rng(505);
+    snn::LifParams lif;
+    auto l0 = std::make_unique<snn::DenseLayer>(5, 6, lif);
+    l0->init_weights(rng, 1.0f);
+    net.add_layer(std::move(l0));
+    auto l1 = std::make_unique<snn::DenseLayer>(6, 4, lif);
+    l1->init_weights(rng, 1.0f);
+    net.add_layer(std::move(l1));
+    auto l2 = std::make_unique<snn::RecurrentLayer>(4, 3, lif);
+    l2->init_weights(rng, 1.0f, 0.7f);
+    net.add_layer(std::move(l2));
+
+    // L4 / the activation losses only read o.layer_outputs and the weights,
+    // so fabricated binary trains are fine — and give full control over which
+    // neurons are silent (column 0 of every layer stays dark so the
+    // activation hinge and its -1-per-timestep subgradient are exercised).
+    for (const size_t width : {6u, 4u, 3u}) {
+      Tensor train = random_binary(T, width, 0.4, rng);
+      for (size_t t = 0; t < T; ++t) train.row(t)[0] = 0.0f;
+      base.layer_outputs.push_back(std::move(train));
+    }
+    for (const auto& train : base.layer_outputs) {
+      relax.push_back(to_double(train.data(), train.numel()));
+    }
+  }
+
+  std::vector<Tensor> analytic(const SpikeLoss& loss, double* value = nullptr) {
+    std::vector<Tensor> grads = make_grad_accumulators(base);
+    const double v = loss.compute(base, grads);
+    if (value) *value = v;
+    return grads;
+  }
+
+  double loss_value(const SpikeLoss& loss) {
+    std::vector<Tensor> scratch = make_grad_accumulators(base);
+    return loss.compute(base, scratch);
+  }
+};
+
+/// Relaxed activation hinge for one train: silent-at-base neurons contribute
+/// 1 - sum_t s~[t]; active neurons are constant 0.
+double ref_activation(const std::vector<double>& s, const Tensor& b, size_t T, size_t n,
+                      const std::vector<uint8_t>* mask) {
+  double v = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (mask && !(*mask)[i]) continue;
+    size_t count = 0;
+    for (size_t t = 0; t < T; ++t) count += b.data()[t * n + i] > 0.5f;
+    if (count >= 1) continue;
+    double acc = 0.0;
+    for (size_t t = 0; t < T; ++t) acc += s[t * n + i];
+    v += 1.0 - acc;
+  }
+  return v;
+}
+
+int sign_of(float a, float b) {
+  const bool sa = a > 0.5f, sb = b > 0.5f;
+  if (sa == sb) return 0;
+  return sa ? 1 : -1;
+}
+
+}  // namespace core_check
+
+TEST(GradCheck, OutputActivationLossL1) {
+  using namespace core_check;
+  LossFixture fx;
+  core::OutputActivationLoss loss;
+  const auto grads = fx.analytic(loss);
+  auto reference = [&] {
+    const size_t last = fx.base.layer_outputs.size() - 1;
+    const auto& b = fx.base.layer_outputs[last];
+    return ref_activation(fx.relax[last], b, fx.T, b.shape().dim(1), nullptr);
+  };
+  EXPECT_NEAR(reference(), fx.loss_value(loss), 1e-9);
+  for (size_t l = 0; l < fx.relax.size(); ++l) {
+    GradCheckStats stats;
+    fd_compare(fx.relax[l], grads[l].data(), grads[l].numel(), reference, stats);
+    EXPECT_LT(stats.max_rel, kTol) << "layer " << l;
+  }
+}
+
+TEST(GradCheck, NeuronActivationLossL2WithMask) {
+  using namespace core_check;
+  LossFixture fx;
+  // A mask with holes exercises the target-set path used by the generator.
+  core::NeuronMask mask;
+  util::Rng rng(606);
+  for (const auto& train : fx.base.layer_outputs) {
+    std::vector<uint8_t> m(train.shape().dim(1));
+    for (auto& bit : m) bit = rng.bernoulli(0.7) ? 1 : 0;
+    m[0] = 1;  // keep the guaranteed-silent neuron in the target set
+    mask.push_back(std::move(m));
+  }
+  core::NeuronActivationLoss loss(&mask);
+  const auto grads = fx.analytic(loss);
+  auto reference = [&] {
+    double v = 0.0;
+    for (size_t l = 0; l < fx.relax.size(); ++l) {
+      const auto& b = fx.base.layer_outputs[l];
+      v += ref_activation(fx.relax[l], b, fx.T, b.shape().dim(1), &mask[l]);
+    }
+    return v;
+  };
+  EXPECT_NEAR(reference(), fx.loss_value(loss), 1e-9);
+  for (size_t l = 0; l < fx.relax.size(); ++l) {
+    GradCheckStats stats;
+    fd_compare(fx.relax[l], grads[l].data(), grads[l].numel(), reference, stats);
+    EXPECT_LT(stats.max_rel, kTol) << "layer " << l;
+  }
+}
+
+TEST(GradCheck, TemporalDiversityLossL3) {
+  using namespace core_check;
+  LossFixture fx;
+  const size_t td_min = 4;
+  core::TemporalDiversityLoss loss(td_min);
+  const auto grads = fx.analytic(loss);
+  auto reference = [&] {
+    double v = 0.0;
+    for (size_t l = 0; l < fx.relax.size(); ++l) {
+      const auto& b = fx.base.layer_outputs[l];
+      const size_t n = b.shape().dim(1);
+      for (size_t i = 0; i < n; ++i) {
+        size_t td_base = 0;
+        for (size_t t = 1; t < fx.T; ++t) {
+          td_base += (b.data()[t * n + i] > 0.5f) != (b.data()[(t - 1) * n + i] > 0.5f);
+        }
+        if (td_base >= td_min) continue;  // frozen branch: no contribution
+        // Frozen-sign relaxation of TD = sum_t |s[t] - s[t-1]|.
+        double td = 0.0;
+        for (size_t t = 1; t < fx.T; ++t) {
+          const int sg = sign_of(b.data()[t * n + i], b.data()[(t - 1) * n + i]);
+          td += sg * (fx.relax[l][t * n + i] - fx.relax[l][(t - 1) * n + i]);
+        }
+        v += static_cast<double>(td_min) - td;
+      }
+    }
+    return v;
+  };
+  EXPECT_NEAR(reference(), fx.loss_value(loss), 1e-9);
+  for (size_t l = 0; l < fx.relax.size(); ++l) {
+    GradCheckStats stats;
+    fd_compare(fx.relax[l], grads[l].data(), grads[l].numel(), reference, stats);
+    EXPECT_LT(stats.max_rel, kTol) << "layer " << l;
+  }
+}
+
+TEST(GradCheck, SynapseUniformityLossL4) {
+  using namespace core_check;
+  LossFixture fx;
+  core::SynapseUniformityLoss loss(fx.net);
+  const auto grads = fx.analytic(loss);
+  auto reference = [&] {
+    // Relaxed counts are real-valued sums, making the row variance genuinely
+    // quadratic; the branch structure (w == 0 skips, k < 2 rows) is fixed by
+    // the weights, which FD never perturbs.
+    double total = 0.0;
+    for (size_t l = 1; l < fx.base.layer_outputs.size(); ++l) {
+      const size_t m = fx.base.layer_outputs[l - 1].shape().dim(1);
+      std::vector<double> counts(m, 0.0);
+      for (size_t t = 0; t < fx.T; ++t) {
+        for (size_t j = 0; j < m; ++j) counts[j] += fx.relax[l - 1][t * m + j];
+      }
+      const auto params = fx.net.layer(l).params();
+      const float* w = params[0].value;  // feed-forward matrix, rows x m
+      const size_t rows = fx.net.layer(l).num_neurons();
+      for (size_t r = 0; r < rows; ++r) {
+        double sum = 0.0, sum_sq = 0.0;
+        size_t k = 0;
+        for (size_t j = 0; j < m; ++j) {
+          if (w[r * m + j] == 0.0f) continue;
+          const double c = static_cast<double>(w[r * m + j]) * counts[j];
+          sum += c;
+          sum_sq += c * c;
+          ++k;
+        }
+        if (k < 2) continue;
+        const double mean = sum / static_cast<double>(k);
+        total += std::max(0.0, sum_sq / static_cast<double>(k) - mean * mean);
+      }
+    }
+    return total;
+  };
+  EXPECT_NEAR(reference(), fx.loss_value(loss), 1e-6);
+  for (size_t l = 0; l < fx.relax.size(); ++l) {
+    GradCheckStats stats;
+    fd_compare(fx.relax[l], grads[l].data(), grads[l].numel(), reference, stats);
+    EXPECT_LT(stats.max_rel, kTol) << "layer " << l;
+  }
+}
+
+TEST(GradCheck, SparsityLossL5) {
+  using namespace core_check;
+  LossFixture fx;
+  core::SparsityLoss loss;
+  const auto grads = fx.analytic(loss);
+  auto reference = [&] {
+    double v = 0.0;
+    for (size_t l = 0; l + 1 < fx.relax.size(); ++l) {
+      for (const double s : fx.relax[l]) v += s;
+    }
+    return v;
+  };
+  EXPECT_NEAR(reference(), fx.loss_value(loss), 1e-9);
+  for (size_t l = 0; l < fx.relax.size(); ++l) {
+    GradCheckStats stats;
+    fd_compare(fx.relax[l], grads[l].data(), grads[l].numel(), reference, stats);
+    EXPECT_LT(stats.max_rel, kTol) << "layer " << l;
+  }
+}
+
+TEST(GradCheck, OutputConstancyPenalty) {
+  using namespace core_check;
+  LossFixture fx;
+  const double mu = 4.0;
+  const size_t last = fx.base.layer_outputs.size() - 1;
+  // Reference output differing from the base in ~25% of entries, so all three
+  // sign branches (+1, -1, match) occur.
+  Tensor reference_out = fx.base.layer_outputs[last];
+  util::Rng rng(707);
+  for (size_t i = 0; i < reference_out.numel(); ++i) {
+    if (rng.bernoulli(0.25)) reference_out[i] = reference_out[i] > 0.5f ? 0.0f : 1.0f;
+  }
+  core::OutputConstancyPenalty loss(reference_out, mu);
+  const auto grads = fx.analytic(loss);
+  auto reference = [&] {
+    const Tensor& b = fx.base.layer_outputs[last];
+    double v = 0.0;
+    for (size_t i = 0; i < b.numel(); ++i) {
+      const float diff = b[i] - reference_out[i];
+      if (diff > 0.5f) {
+        v += mu * (fx.relax[last][i] - static_cast<double>(reference_out[i]));
+      } else if (diff < -0.5f) {
+        v += mu * (static_cast<double>(reference_out[i]) - fx.relax[last][i]);
+      }
+      // matching entries: frozen zero contribution
+    }
+    return v;
+  };
+  EXPECT_NEAR(reference(), fx.loss_value(loss), 1e-9);
+  for (size_t l = 0; l < fx.relax.size(); ++l) {
+    GradCheckStats stats;
+    fd_compare(fx.relax[l], grads[l].data(), grads[l].numel(), reference, stats);
+    EXPECT_LT(stats.max_rel, kTol) << "layer " << l;
+  }
+}
+
+TEST(GradCheck, CompositeLossIsWeightedSumOfTerms) {
+  using namespace core_check;
+  LossFixture fx;
+  core::CompositeLoss composite;
+  composite.add(std::make_shared<core::OutputActivationLoss>(), 0.5);
+  composite.add(std::make_shared<core::SparsityLoss>(), 2.0);
+  std::vector<Tensor> grads = core::make_grad_accumulators(fx.base);
+  const double base_value = composite.compute(fx.base, grads);
+  auto reference = [&] {
+    const size_t last = fx.base.layer_outputs.size() - 1;
+    const auto& b = fx.base.layer_outputs[last];
+    double v = 0.5 * ref_activation(fx.relax[last], b, fx.T, b.shape().dim(1), nullptr);
+    for (size_t l = 0; l + 1 < fx.relax.size(); ++l) {
+      for (const double s : fx.relax[l]) v += 2.0 * s;
+    }
+    return v;
+  };
+  EXPECT_NEAR(reference(), base_value, 1e-9);
+  for (size_t l = 0; l < fx.relax.size(); ++l) {
+    GradCheckStats stats;
+    fd_compare(fx.relax[l], grads[l].data(), grads[l].numel(), reference, stats);
+    EXPECT_LT(stats.max_rel, kTol) << "layer " << l;
+  }
+}
+
+}  // namespace
+}  // namespace snntest

@@ -5,6 +5,8 @@
 // and the T_in,min search.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/input_optimizer.hpp"
 #include "core/naive_fc_optimizer.hpp"
 #include "core/test_generator.hpp"
@@ -89,7 +91,9 @@ TEST(TestGenerator, BeatsDensityMatchedRandomOnWeakNet) {
   // random stimulus with the *same duration and spike budget* activates
   // fewer neurons and covers fewer faults.
   auto net = make_net(10, 16, 5, 7, /*gain=*/0.7f);
-  TestGenerator generator(net, fast_config());
+  auto cfg = fast_config();
+  cfg.restarts = 3;  // multi-restart picks the best of three Gumbel streams
+  TestGenerator generator(net, cfg);
   const auto report = generator.generate();
   const auto optimized = report.stimulus.assemble();
 
@@ -116,7 +120,9 @@ TEST(TestGenerator, BeatsDensityMatchedRandomOnWeakNet) {
 
 TEST(TestGenerator, NearPerfectCriticalNeuronCoverageOnSmallNet) {
   auto net = make_net(8, 10, 4, 9);
-  TestGenerator generator(net, fast_config());
+  auto cfg = fast_config();
+  cfg.restarts = 3;  // multi-restart picks the best of three Gumbel streams
+  TestGenerator generator(net, cfg);
   const auto report = generator.generate();
   // On a fully activated small net, every dead/saturated neuron fault on an
   // *activated* neuron must be detected.
@@ -145,6 +151,62 @@ TEST(TestGenerator, DeterministicForFixedSeed) {
   const auto b = r2.stimulus.assemble();
   ASSERT_EQ(a.numel(), b.numel());
   for (size_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(TestGenerator, BitIdenticalAcrossThreadsAndKernelModes) {
+  // The DESIGN.md §10 contract: for a fixed seed the assembled stimulus is
+  // byte-identical no matter how many threads run the restart fan-out and
+  // no matter which kernel mode computes the forward/backward passes.
+  auto net = make_net(8, 12, 4, 15);
+  auto cfg = fast_config();
+  cfg.seed = 4321;
+  cfg.restarts = 3;
+  cfg.steps_stage1 = 20;
+  cfg.t_in_min = 6;
+  cfg.max_iterations = 3;
+
+  std::vector<float> reference;
+  size_t reference_chunks = 0;
+  const size_t thread_counts[] = {1, 2, 8};
+  const snn::KernelMode modes[] = {snn::KernelMode::kDense, snn::KernelMode::kSparse,
+                                   snn::KernelMode::kAuto};
+  for (size_t threads : thread_counts) {
+    for (snn::KernelMode mode : modes) {
+      auto run_cfg = cfg;
+      run_cfg.num_threads = threads;
+      run_cfg.kernel_mode = mode;
+      TestGenerator generator(net, run_cfg);
+      const auto report = generator.generate();
+      const auto stimulus = report.stimulus.assemble();
+      if (reference.empty()) {
+        reference.assign(stimulus.data(), stimulus.data() + stimulus.numel());
+        reference_chunks = report.stimulus.num_chunks();
+        ASSERT_FALSE(reference.empty());
+        continue;
+      }
+      ASSERT_EQ(report.stimulus.num_chunks(), reference_chunks)
+          << "threads=" << threads << " mode=" << snn::kernel_mode_name(mode);
+      ASSERT_EQ(stimulus.numel(), reference.size())
+          << "threads=" << threads << " mode=" << snn::kernel_mode_name(mode);
+      // byte-identical, not just numerically close
+      ASSERT_EQ(std::memcmp(stimulus.data(), reference.data(),
+                            reference.size() * sizeof(float)),
+                0)
+          << "threads=" << threads << " mode=" << snn::kernel_mode_name(mode);
+    }
+  }
+}
+
+TEST(TestGenerator, WinningRestartIsRecorded) {
+  auto net = make_net(8, 10, 4, 16);
+  auto cfg = fast_config();
+  cfg.restarts = 3;
+  cfg.num_threads = 2;
+  cfg.steps_stage1 = 20;
+  TestGenerator generator(net, cfg);
+  const auto report = generator.generate();
+  ASSERT_GT(report.iterations.size(), 0u);
+  for (const auto& it : report.iterations) EXPECT_LT(it.winning_restart, cfg.restarts);
 }
 
 TEST(TestGenerator, RespectsTimeLimit) {
