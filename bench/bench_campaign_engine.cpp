@@ -61,9 +61,10 @@ bool results_identical(const std::vector<fault::DetectionResult>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::CliParser cli({{"json", ""}},
+  util::CliParser cli({{"json", ""}, {"trace-out", ""}, {"metrics-out", ""}},
                       "Differential campaign engine vs naive fault simulation.");
   if (!cli.parse(argc, argv)) return 0;
+  bench::wire_observability(cli);
   const std::string json_path = cli.get("json");
 
   bench::print_header("Differential campaign engine vs naive fault simulation",

@@ -17,7 +17,10 @@
 
 #include "core/test_generator.hpp"
 #include "fault/registry.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "zoo/model_zoo.hpp"
 
@@ -116,6 +119,13 @@ inline StimulusResult get_stimulus(zoo::BenchmarkId id, snn::Network& net) {
   return result;
 }
 
+/// Enable telemetry + install the exit writer when --trace-out /
+/// --metrics-out / $SNNTEST_TRACE ask for it (obs::configure semantics).
+/// Callers add {"trace-out", ""} and {"metrics-out", ""} to their CLI spec.
+inline void wire_observability(const util::CliParser& cli) {
+  obs::configure(cli.get("trace-out"), cli.get("metrics-out"));
+}
+
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n(reproduces %s)\n", title, paper_ref);
@@ -123,16 +133,16 @@ inline void print_header(const char* title, const char* paper_ref) {
 }
 
 /// Minimal JSON object builder for the machine-readable `--json` bench
-/// reports. Field order is insertion order; string values are escaped for
-/// quotes and backslashes (bench names and config strings never contain
-/// control characters). Doubles round-trip via %.17g.
+/// reports. Field order is insertion order; string values are fully escaped
+/// via util::json_escape (quotes, backslashes, control characters — model
+/// and path names are caller-controlled). Doubles round-trip via %.17g.
 class JsonObject {
  public:
   JsonObject& field(const std::string& key, const std::string& value) {
     std::string quoted;
     quoted.reserve(value.size() + 2);
     quoted += '"';
-    quoted += escape(value);
+    quoted += util::json_escape(value);
     quoted += '"';
     return raw(key, std::move(quoted));
   }
@@ -174,15 +184,6 @@ class JsonObject {
   JsonObject& raw(const std::string& key, std::string rendered) {
     fields_.emplace_back(key, std::move(rendered));
     return *this;
-  }
-  static std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out;
   }
   std::vector<std::pair<std::string, std::string>> fields_;
 };

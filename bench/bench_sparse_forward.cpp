@@ -130,9 +130,14 @@ std::vector<SweepPoint> sweep(const snn::Network& net, size_t T, size_t repeats,
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::CliParser cli({{"json", ""}, {"repeats", "9"}, {"timesteps", "64"}},
+  util::CliParser cli({{"json", ""},
+                       {"repeats", "9"},
+                       {"timesteps", "64"},
+                       {"trace-out", ""},
+                       {"metrics-out", ""}},
                       "Sparse vs dense forward kernels swept over input activity.");
   if (!cli.parse(argc, argv)) return 0;
+  bench::wire_observability(cli);
   const std::string json_path = cli.get("json");
   const size_t repeats = static_cast<size_t>(cli.get_int("repeats"));
   const size_t T = static_cast<size_t>(cli.get_int("timesteps"));

@@ -80,9 +80,14 @@ bool stimuli_identical(const tensor::Tensor& a, const tensor::Tensor& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::CliParser cli({{"json", ""}, {"threads", "4"}, {"restarts", "4"}},
+  util::CliParser cli({{"json", ""},
+                       {"threads", "4"},
+                       {"restarts", "4"},
+                       {"trace-out", ""},
+                       {"metrics-out", ""}},
                       "Multi-restart test generation: parallel+sparse vs 1-thread dense.");
   if (!cli.parse(argc, argv)) return 0;
+  bench::wire_observability(cli);
   const std::string json_path = cli.get("json");
   const size_t threads = static_cast<size_t>(std::max(1, cli.get_int("threads")));
   const size_t restarts = static_cast<size_t>(std::max(1, cli.get_int("restarts")));

@@ -18,6 +18,7 @@
 #include "campaign/engine.hpp"
 #include "fault/injector.hpp"
 #include "fault/registry.hpp"
+#include "obs/report.hpp"
 #include "snn/spike_train.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -31,7 +32,9 @@ int main(int argc, char** argv) {
                        {"checkpoint", ""},
                        {"resume", "0"},
                        {"campaign-faults", "400"},
-                       {"interrupt-after", "0"}},
+                       {"interrupt-after", "0"},
+                       {"trace-out", ""},
+                       {"metrics-out", ""}},
                       "Inject one fault of each kind and visualize the output corruption; "
                       "with --checkpoint, run a resumable detection campaign.");
   try {
@@ -40,6 +43,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  obs::configure(cli.get("trace-out"), cli.get("metrics-out"));
+  obs::set_report_field("benchmark", cli.get("benchmark"));
 
   auto bundle = zoo::load_or_train(zoo::parse_benchmark(cli.get("benchmark")));
   auto& net = bundle.network;

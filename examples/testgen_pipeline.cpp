@@ -6,13 +6,15 @@
 //
 // Run:  ./build/examples/testgen_pipeline --benchmark shd
 //       [--steps 300] [--restarts 1] [--threads 1] [--kernel-mode auto]
-//       [--fault-sample 4000] [--out stimulus.bin]
+//       [--fault-sample 4000] [--out stimulus.bin] [--iters 0]
+//       [--train-budget 1.0] [--trace-out trace.json] [--metrics-out m.json]
 #include <cstdio>
 
 #include "core/test_generator.hpp"
 #include "fault/campaign.hpp"
 #include "fault/classifier.hpp"
 #include "fault/coverage.hpp"
+#include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/timer.hpp"
@@ -28,7 +30,11 @@ int main(int argc, char** argv) {
                        {"kernel-mode", "auto"},
                        {"fault-sample", "4000"},
                        {"classify-samples", "48"},
-                       {"out", ""}},
+                       {"iters", "0"},
+                       {"train-budget", "1.0"},
+                       {"out", ""},
+                       {"trace-out", ""},
+                       {"metrics-out", ""}},
                       "Full test-generation pipeline on a benchmark SNN.");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -36,9 +42,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  obs::configure(cli.get("trace-out"), cli.get("metrics-out"));
+  obs::set_report_field("benchmark", cli.get("benchmark"));
+  obs::set_report_field("kernel_mode", cli.get("kernel-mode"));
 
   const auto id = zoo::parse_benchmark(cli.get("benchmark"));
-  auto bundle = zoo::load_or_train(id);
+  zoo::ZooOptions zoo_opts;
+  zoo_opts.train_budget = cli.get_double("train-budget");
+  auto bundle = zoo::load_or_train(id, zoo_opts);
   auto& net = bundle.network;
   std::printf("\nmodel: %s — %zu neurons, %zu weights, accuracy %s\n", net.name().c_str(),
               net.total_neurons(), net.total_weights(),
@@ -58,6 +69,7 @@ int main(int argc, char** argv) {
   cfg.steps_stage1 = static_cast<size_t>(cli.get_int("steps"));
   cfg.restarts = static_cast<size_t>(cli.get_int("restarts"));
   cfg.num_threads = static_cast<size_t>(cli.get_int("threads"));
+  if (cli.get_int("iters") > 0) cfg.max_iterations = static_cast<size_t>(cli.get_int("iters"));
   try {
     cfg.kernel_mode = snn::parse_kernel_mode(cli.get("kernel-mode"));
   } catch (const std::exception& e) {

@@ -6,8 +6,27 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace snntest::campaign {
 namespace {
+
+/// Flush the checkpoint stream, recording the write latency (gated) so a
+/// slow disk mid-campaign shows up in the metrics report instead of only as
+/// mysteriously long fault times.
+void timed_flush(std::ofstream& out) {
+  if (!obs::telemetry_enabled()) {
+    out.flush();
+    return;
+  }
+  OBS_SPAN("campaign/checkpoint_flush");
+  static obs::Histogram& latency = obs::Registry::instance().histogram(
+      "campaign/checkpoint_flush_seconds", obs::Histogram::exponential_bounds(1e-6, 4.0, 12));
+  const int64_t t0 = obs::trace_now_us();
+  out.flush();
+  latency.observe(static_cast<double>(obs::trace_now_us() - t0) * 1e-6);
+}
 
 // --- tiny field scanners for the exact JSONL we emit ---------------------
 // Not a general JSON parser: each accessor finds `"key":` and parses the
@@ -148,14 +167,14 @@ void CheckpointWriter::record(size_t index, const fault::DetectionResult& result
   std::lock_guard<std::mutex> lock(mutex_);
   out_ << line;
   if (++since_flush_ >= flush_every_) {
-    out_.flush();
+    timed_flush(out_);
     since_flush_ = 0;
   }
 }
 
 void CheckpointWriter::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
-  out_.flush();
+  timed_flush(out_);
   since_flush_ = 0;
 }
 

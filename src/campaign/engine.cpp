@@ -1,7 +1,9 @@
 #include "campaign/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -10,6 +12,9 @@
 
 #include "campaign/checkpoint.hpp"
 #include "campaign/golden_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "snn/spike_train.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -81,6 +86,11 @@ void fill_detect_only_result(fault::DetectionResult& r, const tensor::Tensor& fa
     if (acc > threshold) {
       r.detected = true;
       r.output_l1 = acc;
+      if (obs::telemetry_enabled()) {
+        static obs::Counter& early_exits =
+            obs::Registry::instance().counter("campaign/detect_only_early_exits");
+        early_exits.add(1);
+      }
       return;
     }
   }
@@ -172,6 +182,7 @@ size_t fault_layer(const fault::FaultDescriptor& fault) {
 CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimulus,
                             const std::vector<fault::FaultDescriptor>& faults,
                             const EngineConfig& config) {
+  OBS_SPAN("campaign/run");
   util::Timer timer;
   CampaignResult outcome;
   outcome.results.resize(faults.size());
@@ -241,6 +252,17 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   counters.completed.store(outcome.stats.faults_resumed);
   std::atomic<bool> cancelled{false};
 
+  // Per-fault telemetry (sim-time and prefix-depth histograms, one span per
+  // fault) is resolved once here and gated per fault on a single branch, so
+  // the disabled path adds nothing measurable to the worker loop. None of
+  // it feeds back into the simulation — campaign results stay bit-identical
+  // with telemetry on or off (tests/test_obs.cpp).
+  const bool obs_on = obs::telemetry_enabled();
+  obs::Histogram& fault_sim_seconds = obs::Registry::instance().histogram(
+      "campaign/fault_sim_seconds", obs::Histogram::exponential_bounds(1e-5, 4.0, 12));
+  obs::Histogram& prefix_depth = obs::Registry::instance().histogram(
+      "campaign/prefix_depth", obs::Histogram::linear_bounds(0.0, 15.0, 16));
+
   util::parallel_for_dynamic(pool_ptr, worklist.size(), config.grain, [&](size_t w, size_t i) {
     if (cancelled.load(std::memory_order_relaxed)) return;
     if (config.cancel && config.cancel()) {
@@ -248,8 +270,18 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
       return;
     }
     const size_t j = worklist[i];
-    simulate_fault(*workers[w], faults[j], stimulus, cache, config, outcome.results[j],
-                   counters);
+    if (obs_on) {
+      OBS_SPAN("campaign/fault_sim");
+      const int64_t t0 = obs::trace_now_us();
+      simulate_fault(*workers[w], faults[j], stimulus, cache, config, outcome.results[j],
+                     counters);
+      fault_sim_seconds.observe(static_cast<double>(obs::trace_now_us() - t0) * 1e-6);
+      prefix_depth.observe(
+          static_cast<double>(config.prefix_reuse ? fault_layer(faults[j]) : 0));
+    } else {
+      simulate_fault(*workers[w], faults[j], stimulus, cache, config, outcome.results[j],
+                     counters);
+    }
     have[j] = 1;
     counters.simulated.fetch_add(1, std::memory_order_relaxed);
     if (writer) writer->record(j, outcome.results[j]);
@@ -269,6 +301,28 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   outcome.stats.layer_forwards = counters.layer_forwards.load();
   outcome.stats.layer_forwards_naive = outcome.stats.faults_simulated * L;
   outcome.stats.elapsed_seconds = timer.seconds();
+
+  // Campaign-total metrics (coarse, unconditional). "Golden-cache hits" are
+  // the layer forwards the naive all-layers path would have run but the
+  // differential engine served from the cache (prefix reuse) or proved
+  // unnecessary (convergence pruning); misses are the forwards executed.
+  {
+    obs::Registry& reg = obs::Registry::instance();
+    const EngineStats& s = outcome.stats;
+    reg.counter("campaign/faults_simulated").add(s.faults_simulated);
+    reg.counter("campaign/faults_resumed").add(s.faults_resumed);
+    reg.counter("campaign/faults_pruned").add(s.faults_pruned);
+    reg.counter("campaign/checkpoint_lines_skipped").add(s.checkpoint_lines_skipped);
+    reg.counter("campaign/golden_cache_misses").add(s.layer_forwards);
+    reg.counter("campaign/golden_cache_hits")
+        .add(s.layer_forwards_naive - std::min(s.layer_forwards, s.layer_forwards_naive));
+    reg.gauge("campaign/golden_cache_hit_rate").set(s.forward_savings());
+    reg.gauge("campaign/elapsed_seconds").set(s.elapsed_seconds);
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(header.fingerprint));
+    obs::set_report_field("campaign_fingerprint", std::string(fp));
+  }
   return outcome;
 }
 

@@ -1,5 +1,7 @@
 #include "campaign/golden_cache.hpp"
 
+#include "obs/trace.hpp"
+
 namespace snntest::campaign {
 
 uint64_t fnv1a(const void* data, size_t bytes, uint64_t seed) {
@@ -34,6 +36,7 @@ uint64_t hash_network_topology(const snn::Network& net, uint64_t seed) {
 
 GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& stimulus,
                                snn::KernelMode mode) {
+  OBS_SPAN("campaign/golden_pass");
   GoldenCache cache;
   snn::Network golden(net);
   golden.set_kernel_mode(mode);

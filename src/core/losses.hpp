@@ -125,6 +125,8 @@ class CompositeLoss {
  public:
   void add(std::shared_ptr<const SpikeLoss> loss, double weight = 1.0);
   size_t terms() const { return losses_.size(); }
+  /// Name of term i (registration order) — per-term telemetry labels.
+  std::string term_name(size_t i) const { return losses_[i]->name(); }
 
   /// Evaluate; `per_term` (optional) receives each unweighted L_i value.
   double compute(const ForwardResult& o, std::vector<Tensor>& grad_accum,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "snn/spike_train.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -68,6 +71,22 @@ bool all_output_neurons_fire(const snn::ForwardResult& fwd) {
   return std::all_of(counts.begin(), counts.end(), [](size_t c) { return c >= 1; });
 }
 
+/// Re-evaluate a stage's composite on its best forward pass and record the
+/// unweighted per-term values into "testgen/loss/<term>" histograms (L1-L5
+/// plus the stage-2 constancy penalty). Telemetry only — the local gradient
+/// accumulators are discarded, nothing observable by the optimizer changes.
+void record_loss_terms(const CompositeLoss& loss, const snn::ForwardResult& fwd) {
+  auto accum = make_grad_accumulators(fwd);
+  std::vector<double> per_term;
+  loss.compute(fwd, accum, &per_term);
+  obs::Registry& reg = obs::Registry::instance();
+  for (size_t i = 0; i < per_term.size(); ++i) {
+    reg.histogram("testgen/loss/" + loss.term_name(i),
+                  obs::Histogram::exponential_bounds(1e-3, 4.0, 14))
+        .observe(per_term[i]);
+  }
+}
+
 /// Result of one independent stage-1/stage-2 restart within an iteration.
 struct RestartOutcome {
   Tensor chunk;
@@ -117,10 +136,17 @@ size_t TestGenerator::find_min_input_duration(snn::Network& net, const TestGenCo
 }
 
 TestGenReport TestGenerator::generate() {
+  OBS_SPAN("testgen/generate");
   util::Timer total_timer;
   util::Rng rng(config_.seed);
   TestGenReport report;
   report.total_neurons = net_->total_neurons();
+
+  // Config fingerprint for the run report (obs/report.hpp).
+  obs::set_report_field("testgen_seed", static_cast<uint64_t>(config_.seed));
+  obs::set_report_field("testgen_restarts",
+                        static_cast<uint64_t>(std::max<size_t>(1, config_.restarts)));
+  obs::set_report_field("testgen_kernel_mode", snn::kernel_mode_name(config_.kernel_mode));
 
   // The Gumbel input emits hard 0/1 spike frames, so every optimization
   // forward *and* backward benefits from the sparse kernels; kAuto falls
@@ -163,6 +189,11 @@ TestGenReport TestGenerator::generate() {
   // never consults the wall clock — its outcome is a pure function of the
   // master seed.
   auto run_restart = [&](size_t iteration, size_t r, const NeuronMask& target) {
+    OBS_SPAN("testgen/restart");
+    // Telemetry clocks below observe the restart, they never steer it: no
+    // decision (growth, acceptance, winner) reads them, so the stimulus
+    // stays a pure function of the master seed with tracing on or off.
+    const bool obs_on = obs::telemetry_enabled();
     RestartOutcome out;
     snn::Network net(*net_);  // kernel mode is cloned with the layers
     util::Rng restart_rng(util::mix_seed(config_.seed, iteration, r));
@@ -188,27 +219,37 @@ TestGenReport TestGenerator::generate() {
     }
 
     StageOutcome stage1;
-    for (size_t growth = 0;; ++growth) {
-      InputOptimizer optimizer(net, input, stage1_cfg);
-      stage1 = optimizer.run(stage1_loss);
-      // Did this candidate activate anything new?
-      ActivationSet probe = activated;
-      const size_t newly =
-          stage1.best_input.empty()
-              ? 0
-              : probe.absorb(stage1.best_forward, config_.activation_min_spikes);
-      if (newly > 0 || growth >= config_.max_growths_per_iteration) {
-        out.growths = growth;
-        break;
+    {
+      OBS_SPAN("testgen/stage1");
+      const int64_t t0 = obs_on ? obs::trace_now_us() : 0;
+      for (size_t growth = 0;; ++growth) {
+        InputOptimizer optimizer(net, input, stage1_cfg);
+        stage1 = optimizer.run(stage1_loss);
+        // Did this candidate activate anything new?
+        ActivationSet probe = activated;
+        const size_t newly =
+            stage1.best_input.empty()
+                ? 0
+                : probe.absorb(stage1.best_forward, config_.activation_min_spikes);
+        if (newly > 0 || growth >= config_.max_growths_per_iteration) {
+          out.growths = growth;
+          break;
+        }
+        // Sec. IV-C3: no new neuron activated -> extend the window by beta
+        // (doubling each time) and rerun the stage. The time limit is
+        // enforced between iterations only — the decision to grow must not
+        // depend on any clock read, telemetry ones included.
+        input.grow(beta, restart_rng, static_cast<float>(config_.input_init_bias));
+        beta *= 2;
       }
-      // Sec. IV-C3: no new neuron activated -> extend the window by beta
-      // (doubling each time) and rerun the stage. The time limit is
-      // enforced between iterations only — a mid-restart clock read would
-      // tie the stimulus to thread scheduling.
-      input.grow(beta, restart_rng, static_cast<float>(config_.input_init_bias));
-      beta *= 2;
+      if (obs_on) {
+        static obs::Histogram& stage1_seconds = obs::Registry::instance().histogram(
+            "testgen/stage1_seconds", obs::Histogram::exponential_bounds(1e-3, 2.0, 16));
+        stage1_seconds.observe(static_cast<double>(obs::trace_now_us() - t0) * 1e-6);
+      }
     }
     if (stage1.best_input.empty()) return out;  // nothing usable; valid stays false
+    if (obs_on) record_loss_terms(stage1_loss, stage1.best_forward);
     out.duration_steps = stage1.best_input.shape().dim(0);
     out.stage1_loss = stage1.best_loss;
     out.chunk = stage1.best_input;
@@ -216,6 +257,8 @@ TestGenReport TestGenerator::generate() {
 
     // --- stage 2: spike sparsification under constant O^L ---
     if (config_.enable_stage2 && config_.steps_stage2 > 0) {
+      OBS_SPAN("testgen/stage2");
+      const int64_t stage2_t0 = obs_on ? obs::trace_now_us() : 0;
       seed_logits_from(input, out.chunk);
       const Tensor reference = out.chunk_fwd.output();
       CompositeLoss stage2_loss;
@@ -244,6 +287,12 @@ TestGenReport TestGenerator::generate() {
           out.stage2_accepted = true;
         }
         out.stage2_loss = stage2.best_loss;
+        if (obs_on) record_loss_terms(stage2_loss, stage2.best_forward);
+      }
+      if (obs_on) {
+        static obs::Histogram& stage2_seconds = obs::Registry::instance().histogram(
+            "testgen/stage2_seconds", obs::Histogram::exponential_bounds(1e-3, 2.0, 16));
+        stage2_seconds.observe(static_cast<double>(obs::trace_now_us() - stage2_t0) * 1e-6);
       }
     }
 
@@ -259,6 +308,7 @@ TestGenReport TestGenerator::generate() {
       report.hit_time_limit = true;
       break;
     }
+    OBS_SPAN("testgen/iteration");
     util::Timer iter_timer;
     const NeuronMask target = activated.target_mask();
 
@@ -304,6 +354,23 @@ TestGenReport TestGenerator::generate() {
     record.total_activated = activated.count();
     record.seconds = iter_timer.seconds();
     report.stimulus.add_chunk(std::move(winner.chunk));
+
+    // Coarse per-iteration metrics: one registry touch each per iteration,
+    // recorded regardless of the telemetry flag (negligible cost).
+    {
+      obs::Registry& reg = obs::Registry::instance();
+      static obs::Counter& iters = reg.counter("testgen/iterations");
+      static obs::Gauge& win_r = reg.gauge("testgen/winning_restart");
+      static obs::Gauge& gain = reg.gauge("testgen/activation_gain");
+      static obs::Gauge& total = reg.gauge("testgen/total_activated");
+      static obs::Histogram& iter_seconds = reg.histogram(
+          "testgen/iteration_seconds", obs::Histogram::exponential_bounds(1e-3, 2.0, 16));
+      iters.add(1);
+      win_r.set(static_cast<double>(record.winning_restart));
+      gain.set(static_cast<double>(record.newly_activated));
+      total.set(static_cast<double>(record.total_activated));
+      iter_seconds.observe(record.seconds);
+    }
     report.iterations.push_back(record);
 
     if (config_.verbose) {

@@ -1,0 +1,176 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace snntest::obs {
+namespace detail {
+
+// SNNTEST_TRACE=<path> enables the hot-loop telemetry from the environment;
+// the path itself is consumed by obs::configure / the report exit writer.
+std::atomic<bool> g_telemetry_enabled{[] {
+  const char* env = std::getenv("SNNTEST_TRACE");
+  return env != nullptr && *env != '\0';
+}()};
+
+size_t shard_index() {
+  static std::atomic<size_t> next{0};
+  static thread_local size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx & (kMetricShards - 1);
+}
+
+}  // namespace detail
+
+void set_telemetry_enabled(bool enabled) {
+  detail::g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// --- Counter ---------------------------------------------------------------
+
+uint64_t Counter::value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset_values() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  const size_t n = bounds_.size() + 1;
+  for (Shard& s : shards_) s.buckets.reset(new std::atomic<uint64_t>[n]());
+}
+
+void Histogram::observe(double v) {
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& s = shards_[detail::shard_index()];
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Shard& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < out.size(); ++b) {
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::reset_values() {
+  for (Shard& s : shards_) {
+    for (size_t b = 0; b < bounds_.size() + 1; ++b) {
+      s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::linear_bounds(double lo, double hi, size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  const double step = n > 1 ? (hi - lo) / static_cast<double>(n - 1) : 0.0;
+  for (size_t i = 0; i < n; ++i) out.push_back(lo + step * static_cast<double>(i));
+  return out;
+}
+
+std::vector<double> Histogram::exponential_bounds(double lo, double factor, size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  double edge = lo;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(edge);
+    edge *= factor;
+  }
+  return out;
+}
+
+// --- Registry --------------------------------------------------------------
+
+Registry& Registry::instance() {
+  // Leaked on purpose: metric handles are cached across the process (layer
+  // clones, static span sites) and the atexit report writer reads the
+  // registry during shutdown — destruction-order bugs are not worth a free.
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.buckets = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset_values();
+  for (auto& [name, g] : gauges_) g->reset_values();
+  for (auto& [name, h] : histograms_) h->reset_values();
+}
+
+// --- KernelDispatchObs -----------------------------------------------------
+
+void KernelDispatchObs::ensure_bound(const std::string& layer_name) {
+  if (dense_ != nullptr) return;
+  Registry& reg = Registry::instance();
+  const std::string prefix = "kernel/" + layer_name + "/";
+  sparse_ = &reg.counter(prefix + "sparse_frames");
+  active_fraction_ =
+      &reg.histogram(prefix + "active_fraction", Histogram::linear_bounds(0.05, 1.0, 20));
+  // dense_ last: it doubles as the bound() flag, so every handle above must
+  // be resolved before a concurrent reader can see bound() == true.
+  dense_ = &reg.counter(prefix + "dense_frames");
+}
+
+}  // namespace snntest::obs

@@ -1,0 +1,176 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms (DESIGN.md §11).
+//
+// Hot-loop friendliness is the design constraint: every counter/histogram
+// is striped across cache-line-aligned per-thread shards, so an increment
+// from a campaign worker or a kernel inner loop is a single uncontended
+// relaxed atomic add — no locks, no registry lookup (call sites cache the
+// handle returned by Registry::counter()/histogram(), which stays valid for
+// the process lifetime). Aggregation across shards happens on demand when a
+// report is written.
+//
+// Telemetry inside per-frame / per-fault hot loops is additionally gated by
+// `telemetry_enabled()` — a single relaxed bool load — so the disabled path
+// costs one predictable branch and the PR3 bench numbers are untouched when
+// tracing is off. Coarse metrics (per-epoch, per-iteration, campaign
+// totals) are recorded unconditionally.
+//
+// Determinism contract: metrics and spans observe the computation, they
+// never feed back into it. No RNG draw, loss value, winner selection or
+// early-exit decision may depend on a metric value or on a telemetry clock
+// read; the byte-identity tests in tests/test_obs.cpp enforce this by
+// comparing stimulus and campaign bits with telemetry on vs. off.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace snntest::obs {
+
+namespace detail {
+extern std::atomic<bool> g_telemetry_enabled;
+/// Stable per-thread stripe index in [0, kMetricShards).
+size_t shard_index();
+}  // namespace detail
+
+/// Shard count per metric. Power of two; threads are assigned stripes
+/// round-robin, so up to this many threads increment without sharing a
+/// cache line (beyond it the adds stay correct, just occasionally shared).
+inline constexpr size_t kMetricShards = 16;
+
+/// Runtime switch for the hot-loop telemetry (spans, per-frame kernel
+/// metrics, per-fault timing). Defaults to off; SNNTEST_TRACE or
+/// obs::configure() turn it on. Reading it is one relaxed atomic load.
+inline bool telemetry_enabled() {
+  return detail::g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+void set_telemetry_enabled(bool enabled);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(uint64_t n = 1) {
+    shards_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const;
+  void reset_values();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset_values() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first bounds.size() buckets, plus one overflow bucket. Bucket b counts
+/// observations v with bounds[b-1] < v <= bounds[b].
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  uint64_t count() const;
+  double sum() const;
+  /// Aggregated per-bucket counts, bounds().size() + 1 entries.
+  std::vector<uint64_t> bucket_counts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void reset_values();
+
+  static std::vector<double> linear_bounds(double lo, double hi, size_t n);
+  /// lo, lo*factor, lo*factor^2, ... (n edges).
+  static std::vector<double> exponential_bounds(double lo, double factor, size_t n);
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  Shard shards_[kMetricShards];
+};
+
+/// Process-wide registry. Lookup takes a mutex — resolve handles once and
+/// cache them; the returned references are valid for the process lifetime
+/// (metrics are never destroyed, even by reset_values()).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the bucket bounds; later calls with the same
+  /// name return the existing histogram (bounds argument ignored).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  struct HistogramSnapshot {
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Zero every metric value in place. Registrations (and therefore cached
+  /// handles) survive — this is test isolation, not deregistration.
+  void reset_values();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Cached handles for the per-layer kernel-dispatch metrics
+///   kernel/<layer>/dense_frames    — frames run through the dense kernel
+///   kernel/<layer>/sparse_frames   — frames run through the gather/scatter kernel
+///   kernel/<layer>/active_fraction — per-frame input activity histogram
+/// so the kAuto per-frame decision (snn::sparse_frame_wins) is auditable.
+/// Bind once per layer name; copies (campaign worker clones) share the
+/// registry-owned metrics, so the cached pointers stay valid forever.
+class KernelDispatchObs {
+ public:
+  void ensure_bound(const std::string& layer_name);
+  bool bound() const { return dense_ != nullptr; }
+
+  void record_dense_frame() { dense_->add(1); }
+  void record_frame(size_t num_active, size_t frame_size, bool used_sparse) {
+    (used_sparse ? sparse_ : dense_)->add(1);
+    if (frame_size != 0) {
+      active_fraction_->observe(static_cast<double>(num_active) /
+                                static_cast<double>(frame_size));
+    }
+  }
+
+ private:
+  Counter* dense_ = nullptr;
+  Counter* sparse_ = nullptr;
+  Histogram* active_fraction_ = nullptr;
+};
+
+}  // namespace snntest::obs

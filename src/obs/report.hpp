@@ -1,0 +1,44 @@
+// Run-report writer: serialize the full metrics registry plus config
+// fingerprint fields to a machine-readable JSON file, typically at process
+// exit (DESIGN.md §11).
+//
+// The report schema ("snntest-metrics-v1"):
+//   {
+//     "schema":   "snntest-metrics-v1",
+//     "fields":   { "<key>": "<value>", ... },          // set_report_field()
+//     "counters": { "<name>": <uint>, ... },
+//     "gauges":   { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "count": <uint>, "sum": <double>,
+//                                 "bounds": [...], "buckets": [...] }, ... }
+//   }
+// Histogram "buckets" has bounds.size()+1 entries (last = overflow).
+#pragma once
+
+#include <string>
+
+namespace snntest::obs {
+
+/// Attach a config-fingerprint field to the report (model name, seed,
+/// kernel mode, campaign fingerprint, ...). Last write per key wins.
+void set_report_field(const std::string& key, const std::string& value);
+void set_report_field(const std::string& key, double value);
+void set_report_field(const std::string& key, uint64_t value);
+
+/// Render the report from the current registry snapshot.
+std::string metrics_report_json();
+
+/// Write metrics_report_json() to `path`; false (with a warning) on error.
+bool write_metrics_report(const std::string& path);
+
+/// Register a std::atexit handler that writes the metrics report and/or the
+/// Chrome trace to the given paths (empty path = skip that file). Calling
+/// again replaces the paths; the handler is installed once.
+void install_exit_writer(const std::string& metrics_path, const std::string& trace_path);
+
+/// Standard wiring for the --trace-out/--metrics-out flags of the bench and
+/// example binaries: an empty trace path falls back to $SNNTEST_TRACE; if
+/// either path ends up non-empty, telemetry is enabled and the exit writer
+/// installed. A no-op when both are empty and the env var is unset.
+void configure(const std::string& trace_out, const std::string& metrics_out);
+
+}  // namespace snntest::obs

@@ -308,12 +308,18 @@ Tensor ConvLayer::forward(const Tensor& in, bool record_traces) {
   lif_.begin_run(T, record_traces);
   std::vector<float> syn(lif_.size());
   const KernelMode mode = kernel_mode_;
+  const bool obs_on = obs::telemetry_enabled();
+  if (obs_on) kernel_obs_.ensure_bound(name());
   for (size_t t = 0; t < T; ++t) {
     if (mode == KernelMode::kDense) {
       conv_forward_frame(in.row(t), syn.data());
+      if (obs_on) kernel_obs_.record_dense_frame();
     } else {
       const auto view = tensor::make_frame_view(in.row(t), spec_.input_size(), active_scratch_);
-      if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+      const bool use_sparse =
+          mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size);
+      if (obs_on) kernel_obs_.record_frame(view.num_active, view.size, use_sparse);
+      if (use_sparse) {
         conv_forward_frame_sparse(view.frame, view.active, view.num_active, syn.data());
       } else {
         conv_forward_frame(in.row(t), syn.data());

@@ -39,13 +39,19 @@ Tensor DenseLayer::forward(const Tensor& in, bool record_traces) {
   lif_.begin_run(T, record_traces);
   std::vector<float> syn(lif_.size());
   const KernelMode mode = kernel_mode_;
+  const bool obs_on = obs::telemetry_enabled();
+  if (obs_on) kernel_obs_.ensure_bound(name());
   for (size_t t = 0; t < T; ++t) {
     std::fill(syn.begin(), syn.end(), 0.0f);
     if (mode == KernelMode::kDense) {
       tensor::matvec_accumulate(weights_.data(), lif_.size(), num_inputs_, in.row(t), syn.data());
+      if (obs_on) kernel_obs_.record_dense_frame();
     } else {
       const auto view = tensor::make_frame_view(in.row(t), num_inputs_, active_scratch_);
-      if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+      const bool use_sparse =
+          mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size);
+      if (obs_on) kernel_obs_.record_frame(view.num_active, view.size, use_sparse);
+      if (use_sparse) {
         tensor::matvec_accumulate_gather(weights_.data(), lif_.size(), num_inputs_, view.frame,
                                          view.active, view.num_active, syn.data());
       } else {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "snn/neuron.hpp"
 #include "snn/surrogate.hpp"
 #include "tensor/tensor.hpp"
@@ -140,6 +141,11 @@ class Layer {
   SurrogateConfig surrogate_{};
   KernelMode kernel_mode_ = KernelMode::kDense;
   bool param_grads_enabled_ = true;
+  /// Per-layer kernel-dispatch telemetry ("kernel/<name>/..."): forward
+  /// kernels record one dense/sparse dispatch count and the input
+  /// active-fraction per frame, gated on obs::telemetry_enabled(). Copied
+  /// handles (worker clones) alias the same registry-owned metrics.
+  obs::KernelDispatchObs kernel_obs_;
 };
 
 }  // namespace snntest::snn

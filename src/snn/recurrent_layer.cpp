@@ -49,13 +49,19 @@ Tensor RecurrentLayer::forward(const Tensor& in, bool record_traces) {
   // so each matvec independently picks the sparse gather when its frame is
   // sparse enough (bit-identical either way; see tensor/ops.hpp).
   std::vector<uint32_t> active;
+  const bool obs_on = obs::telemetry_enabled();
+  if (obs_on) kernel_obs_.ensure_bound(name());
   auto accumulate = [&](const float* w, size_t cols, const float* x) {
     if (mode == KernelMode::kDense) {
       tensor::matvec_accumulate(w, n, cols, x, syn.data());
+      if (obs_on) kernel_obs_.record_dense_frame();
       return;
     }
     const auto view = tensor::make_frame_view(x, cols, active);
-    if (mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size)) {
+    const bool use_sparse =
+        mode == KernelMode::kSparse || sparse_frame_wins(view.num_active, view.size);
+    if (obs_on) kernel_obs_.record_frame(view.num_active, view.size, use_sparse);
+    if (use_sparse) {
       tensor::matvec_accumulate_gather(w, n, cols, view.frame, view.active, view.num_active,
                                        syn.data());
     } else {

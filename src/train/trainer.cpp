@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "train/schedule.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -26,6 +28,7 @@ EvalResult Trainer::fit(const data::Dataset& train, const data::Dataset& test) {
                              : std::min(config_.max_train_samples, train.size());
 
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    OBS_SPAN("train/epoch");
     adam.set_lr(lr_schedule.at(epoch, config_.epochs));
     const auto order = rng.permutation(train.size());
     util::Timer timer;
@@ -51,6 +54,16 @@ EvalResult Trainer::fit(const data::Dataset& train, const data::Dataset& test) {
     stats.epoch = epoch;
     stats.mean_loss = n_train ? loss_sum / static_cast<double>(n_train) : 0.0;
     stats.train_seconds = timer.seconds();
+    // Per-epoch registry metrics (coarse — recorded unconditionally).
+    {
+      obs::Registry& reg = obs::Registry::instance();
+      static obs::Counter& epochs = reg.counter("train/epochs");
+      static obs::Gauge& epoch_loss = reg.gauge("train/epoch_loss");
+      static obs::Gauge& epoch_seconds = reg.gauge("train/epoch_seconds");
+      epochs.add(1);
+      epoch_loss.set(stats.mean_loss);
+      epoch_seconds.set(stats.train_seconds);
+    }
     if (config_.verbose) {
       SNNTEST_LOG_INFO("epoch %zu/%zu: mean loss %.4f (%s)", epoch + 1, config_.epochs,
                        stats.mean_loss, util::format_duration(stats.train_seconds).c_str());

@@ -1,0 +1,17 @@
+// Shared JSON string escaping.
+//
+// One escaper for every JSON emitter in the tree (bench `--json` reports,
+// the obs run-report writer, the Chrome-trace exporter) so a crafted model
+// name or path can never produce invalid JSON in any of them.
+#pragma once
+
+#include <string>
+
+namespace snntest::util {
+
+/// Escape `s` for embedding inside a JSON string literal: quote, backslash,
+/// and every control character below 0x20 (\b \f \n \r \t get their short
+/// forms, the rest become \u00XX). Does NOT add the surrounding quotes.
+std::string json_escape(const std::string& s);
+
+}  // namespace snntest::util

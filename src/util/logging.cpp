@@ -50,6 +50,16 @@ LogLevel parse_log_level(const std::string& name) {
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
   if (lower == "off" || lower == "none" || lower == "quiet") return LogLevel::kOff;
+  // Direct fprintf, not log_message: this runs while the level global is
+  // still being initialized (SNNTEST_LOG parsing), where a log_level() call
+  // would re-enter the in-flight static initializer.
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "[warn] unknown SNNTEST_LOG level '%s'; expected "
+                 "trace|debug|info|warn|error|off — using info\n",
+                 name.c_str());
+  }
   return LogLevel::kInfo;
 }
 

@@ -19,7 +19,8 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 
 /// Parse "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
-/// Unknown strings map to kInfo.
+/// Unknown strings map to kInfo with a one-time stderr warning naming the
+/// bad value and the accepted set.
 LogLevel parse_log_level(const std::string& name);
 
 /// Core sink: writes "[level] message\n" to stderr if `level` passes the

@@ -10,6 +10,8 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 #include "util/thread_pool.hpp"
@@ -143,6 +145,61 @@ TEST(Timer, FormatDurationUnits) {
   EXPECT_EQ(format_duration(2.5), "2.50 s");
   EXPECT_EQ(format_duration(180.0), "3.0 min");
   EXPECT_EQ(format_duration(2.0 * 3600.0), "2.00 h");
+}
+
+TEST(Timer, FormatDurationBoundaryUnits) {
+  EXPECT_EQ(format_duration(0.0), "0 us");
+  EXPECT_EQ(format_duration(-1.0), "0 us");  // negative clamps to zero
+  // Each unit's switchover: the value just below stays in the smaller unit,
+  // the boundary itself moves to the larger one.
+  EXPECT_EQ(format_duration(0.000999), "999 us");
+  EXPECT_EQ(format_duration(0.001), "1 ms");
+  EXPECT_EQ(format_duration(0.999), "999 ms");
+  EXPECT_EQ(format_duration(1.0), "1.00 s");
+  EXPECT_EQ(format_duration(119.99), "119.99 s");
+  EXPECT_EQ(format_duration(120.0), "2.0 min");
+  EXPECT_EQ(format_duration(7199.0), "120.0 min");
+  EXPECT_EQ(format_duration(7200.0), "2.00 h");
+}
+
+TEST(Json, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("\b\f\r\t"), "\\b\\f\\r\\t");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  // Printable non-ASCII bytes pass through untouched (UTF-8 stays UTF-8).
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(Logging, ParseLogLevelAcceptsKnownNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(Logging, ParseLogLevelWarnsOnceOnUnknownName) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+  const std::string first = testing::internal::GetCapturedStderr();
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("also-bogus"), LogLevel::kInfo);
+  const std::string second = testing::internal::GetCapturedStderr();
+  // First bad value names itself and the accepted set; later ones are silent
+  // (the warning is once-per-process).
+  if (!first.empty()) {
+    EXPECT_NE(first.find("bogus"), std::string::npos);
+    EXPECT_NE(first.find("trace|debug|info|warn|error|off"), std::string::npos);
+    EXPECT_TRUE(second.empty());
+  } else {
+    // Another test (or the env) already tripped the warning; the once-only
+    // property is still what we observe.
+    EXPECT_TRUE(second.empty());
+  }
 }
 
 TEST(Csv, WritesAndQuotesFields) {
