@@ -10,6 +10,14 @@
 // fraction of layer forwards avoided, and a result-equality check so the
 // speedup is never bought with wrong answers. The detect-only mode is
 // reported on the mixed bucket as an extra row.
+//
+// A second section sweeps EngineConfig::lane_width over a dense same-layer
+// synapse-fault population — the best case for fault-batched lanes, where
+// every batch fills all its lanes — and reports wall-clock speedup vs. the
+// scalar (width 1) engine plus mean lane occupancy, again gated on
+// bit-identical results.
+#include <thread>
+
 #include "bench_common.hpp"
 
 #include "campaign/engine.hpp"
@@ -155,6 +163,56 @@ int main(int argc, char** argv) {
   std::printf("naive = same engine and scheduler with prefix reuse + pruning disabled, so the\n"
               "speedup isolates the differential algorithm, not threading differences.\n");
   std::printf("results identical across all buckets: %s\n", all_identical ? "yes" : "NO");
+
+  // Lane-width sweep: a dense synapse-fault population confined to layer 1
+  // packs every batch full, so the sweep isolates the per-lane cost of the
+  // shared forward (weight streaming amortized, serial double-add chains
+  // broken across lanes) against the scalar one-fault-per-pass engine.
+  const auto lane_pop = bucket_faults(universe, 1, kPerBucket, 2024);
+  std::printf("\nlane-width sweep: %zu same-layer synapse faults, %u hardware threads\n",
+              lane_pop.size(), std::thread::hardware_concurrency());
+  util::TextTable lane_table(
+      {"lane width", "seconds", "speedup vs scalar", "lane occupancy", "identical"});
+  std::vector<bench::JsonObject> lane_rows;
+  double scalar_seconds = 0.0;
+  std::vector<fault::DetectionResult> scalar_results;
+  for (const size_t width : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    campaign::EngineConfig cfg;
+    cfg.lane_width = width;
+    const auto run = campaign::run_campaign(net, stimulus, lane_pop, cfg);
+    if (width == 1) {
+      scalar_seconds = run.stats.elapsed_seconds;
+      scalar_results = run.results;
+    }
+    const bool identical = results_identical(run.results, scalar_results);
+    all_identical &= identical;
+    const double speedup =
+        run.stats.elapsed_seconds > 0.0 ? scalar_seconds / run.stats.elapsed_seconds : 0.0;
+    const double occupancy =
+        run.stats.lane_batches > 0
+            ? static_cast<double>(run.stats.lane_batched_faults) /
+                  static_cast<double>(run.stats.lane_batches * width)
+            : 0.0;
+    lane_table.add_row({std::to_string(width), util::format_duration(run.stats.elapsed_seconds),
+                        util::fmt_double(speedup, 2) + "x", util::fmt_double(occupancy, 3),
+                        identical ? "yes" : "NO"});
+    csv.write_row({"lane_width_" + std::to_string(width),
+                   util::CsvWriter::field(lane_pop.size()),
+                   util::CsvWriter::field(scalar_seconds),
+                   util::CsvWriter::field(run.stats.elapsed_seconds),
+                   util::CsvWriter::field(speedup), util::CsvWriter::field(occupancy),
+                   identical ? "1" : "0"});
+    lane_rows.push_back(bench::JsonObject()
+                            .field("lane_width", width)
+                            .field("seconds", run.stats.elapsed_seconds)
+                            .field("speedup_vs_scalar", speedup)
+                            .field("lane_batches", run.stats.lane_batches)
+                            .field("lane_occupancy", occupancy)
+                            .field("lanes_retired_early", run.stats.lanes_retired_early)
+                            .field("identical", identical));
+  }
+  std::printf("%s\n", lane_table.render().c_str());
+  std::printf("results identical across all lane widths: %s\n", all_identical ? "yes" : "NO");
   std::printf("CSV: %s/campaign_engine.csv\n", bench::out_dir().c_str());
 
   if (!json_path.empty()) {
@@ -164,8 +222,11 @@ int main(int argc, char** argv) {
                               .field("layers", net.num_layers())
                               .field("timesteps", size_t{48})
                               .field("faults_per_bucket", kPerBucket)
-                              .field("universe_size", universe.size()))
+                              .field("universe_size", universe.size())
+                              .field("hardware_threads",
+                                     size_t{std::thread::hardware_concurrency()}))
         .array("results", json_rows)
+        .array("lane_sweep", lane_rows)
         .field("all_identical", all_identical);
     bench::write_json_report(json_path, report);
   }

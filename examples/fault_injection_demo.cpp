@@ -12,6 +12,7 @@
 //   fault_injection_demo --checkpoint /tmp/demo.jsonl --interrupt-after 150
 //   # pick up from the last completed shard and finish
 //   fault_injection_demo --checkpoint /tmp/demo.jsonl --resume 1
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 
@@ -33,10 +34,13 @@ int main(int argc, char** argv) {
                        {"resume", "0"},
                        {"campaign-faults", "400"},
                        {"interrupt-after", "0"},
+                       {"lane-width", "8"},
                        {"trace-out", ""},
                        {"metrics-out", ""}},
                       "Inject one fault of each kind and visualize the output corruption; "
-                      "with --checkpoint, run a resumable detection campaign.");
+                      "with --checkpoint, run a resumable detection campaign. --lane-width N "
+                      "batches N same-layer faults per forward pass (1 = scalar engine; "
+                      "results are bit-identical at every width).");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -121,6 +125,7 @@ int main(int argc, char** argv) {
   campaign::EngineConfig cfg;
   cfg.checkpoint_path = checkpoint;
   cfg.checkpoint_flush_every = 16;
+  cfg.lane_width = static_cast<size_t>(std::max(1, cli.get_int("lane-width")));
   const long interrupt_after = cli.get_int("interrupt-after");
   std::atomic<long> budget{interrupt_after};
   if (interrupt_after > 0) {
@@ -141,6 +146,11 @@ int main(int argc, char** argv) {
   std::printf("resumed from checkpoint: %zu, simulated now: %zu, detected: %zu/%zu\n",
               result.stats.faults_resumed, result.stats.faults_simulated,
               result.detected_count(), faults.size());
+  if (result.stats.lane_batches > 0) {
+    std::printf("lane batches: %zu carrying %zu faults (width %zu), %zu lanes retired early\n",
+                result.stats.lane_batches, result.stats.lane_batched_faults, cfg.lane_width,
+                result.stats.lanes_retired_early);
+  }
   std::printf("layer forwards: %zu of %zu naive (%s saved), %s elapsed\n",
               result.stats.layer_forwards, result.stats.layer_forwards_naive,
               util::fmt_pct(result.stats.forward_savings()).c_str(),

@@ -12,6 +12,8 @@
 
 #include "campaign/checkpoint.hpp"
 #include "campaign/golden_cache.hpp"
+#include "campaign/lane_sim.hpp"
+#include "campaign/sim_internal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -54,63 +56,15 @@ uint64_t campaign_fingerprint(const GoldenCache& cache,
   return fnv1a(settings, sizeof(settings), h);
 }
 
-bool trains_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
-  return std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
-}
-
-/// Full Eq. (3) comparison: exact L1 plus per-class count differences.
-void fill_full_result(fault::DetectionResult& r, const tensor::Tensor& faulty_output,
-                      const GoldenCache& cache, double threshold) {
-  r.output_l1 = snn::output_distance(cache.output(), faulty_output);
-  r.detected = r.output_l1 > threshold;
-  const auto counts = snn::spike_counts(faulty_output);
-  r.class_count_diff.resize(counts.size());
-  for (size_t c = 0; c < counts.size(); ++c) {
-    r.class_count_diff[c] =
-        static_cast<long>(counts[c]) - static_cast<long>(cache.output_counts[c]);
-  }
-}
-
-/// Detect-only comparison: stop at the first timestep where the accumulated
-/// L1 mass crosses the threshold. output_l1 is a lower bound of the full L1.
-void fill_detect_only_result(fault::DetectionResult& r, const tensor::Tensor& faulty_output,
-                             const GoldenCache& cache, double threshold) {
-  const tensor::Tensor& golden = cache.output();
-  const size_t T = golden.shape().dim(0);
-  const size_t n = golden.shape().dim(1);
-  double acc = 0.0;
-  for (size_t t = 0; t < T; ++t) {
-    const float* a = golden.data() + t * n;
-    const float* b = faulty_output.data() + t * n;
-    for (size_t i = 0; i < n; ++i) acc += std::abs(static_cast<double>(a[i]) - b[i]);
-    if (acc > threshold) {
-      r.detected = true;
-      r.output_l1 = acc;
-      if (obs::telemetry_enabled()) {
-        static obs::Counter& early_exits =
-            obs::Registry::instance().counter("campaign/detect_only_early_exits");
-        early_exits.add(1);
-      }
-      return;
-    }
-  }
-  r.detected = false;
-  r.output_l1 = acc;
-}
-
-/// Result for a fault whose layer output re-converged onto the golden
-/// trajectory: every downstream train is bit-identical, so this is exactly
-/// the naive result without running the remaining layers.
-void fill_converged_result(fault::DetectionResult& r, const GoldenCache& cache,
-                           const EngineConfig& config) {
-  r.output_l1 = 0.0;
-  r.detected = 0.0 > config.detection_threshold;
-  if (!config.detect_only) r.class_count_diff.assign(cache.output_counts.size(), 0);
-}
-
 struct WorkerContext {
   snn::Network net;
   fault::FaultInjector injector;
+  /// Ping-pong spike-train buffers for the scalar pruning loop: sized on
+  /// the first fault, reused (storage kept) for every subsequent layer
+  /// forward instead of allocating a fresh train per call.
+  tensor::Tensor bufs[2];
+  /// Lane-batched path scratch, likewise reused across batches.
+  LaneSimContext lane;
 
   WorkerContext(const snn::Network& reference, const std::vector<fault::LayerWeightStats>& stats,
                 snn::KernelMode mode)
@@ -119,17 +73,10 @@ struct WorkerContext {
   }
 };
 
-struct SimCounters {
-  std::atomic<size_t> simulated{0};
-  std::atomic<size_t> pruned{0};
-  std::atomic<size_t> layer_forwards{0};
-  std::atomic<size_t> completed{0};
-};
-
 void simulate_fault(WorkerContext& worker, const fault::FaultDescriptor& f,
                     const tensor::Tensor& stimulus, const GoldenCache& cache,
                     const EngineConfig& config, fault::DetectionResult& r,
-                    SimCounters& counters) {
+                    detail::SimCounters& counters) {
   const size_t L = cache.num_layers();
   const size_t k = config.prefix_reuse ? fault_layer(f) : 0;
   const tensor::Tensor& start_input = k == 0 ? stimulus : cache.layer_output(k - 1);
@@ -139,29 +86,73 @@ void simulate_fault(WorkerContext& worker, const fault::FaultDescriptor& f,
     const auto fr = worker.net.forward_from(k, start_input, /*record_traces=*/false);
     counters.layer_forwards.fetch_add(L - k, std::memory_order_relaxed);
     if (config.detect_only) {
-      fill_detect_only_result(r, fr.output(), cache, config.detection_threshold);
+      detail::fill_detect_only_result(r, fr.output(), cache, config.detection_threshold);
     } else {
-      fill_full_result(r, fr.output(), cache, config.detection_threshold);
+      detail::fill_full_result(r, fr.output(), cache, config.detection_threshold);
     }
     return;
   }
 
-  tensor::Tensor current;
+  // Convergence is only decisive at layers >= the faulty one: before it the
+  // output trivially equals golden (the fault has not acted yet), which
+  // matters when prefix_reuse is off and the walk starts at layer 0.
+  const size_t fk = config.prefix_reuse ? k : fault_layer(f);
   const tensor::Tensor* input = &start_input;
+  int flip = 0;
   for (size_t l = k; l < L; ++l) {
-    current = worker.net.layer(l).forward(*input, /*record_traces=*/false);
+    tensor::Tensor& out = worker.bufs[flip];
+    worker.net.layer(l).forward_into(*input, /*record_traces=*/false, out);
     counters.layer_forwards.fetch_add(1, std::memory_order_relaxed);
-    if (trains_equal(current, cache.layer_output(l))) {
-      fill_converged_result(r, cache, config);
+    if (l >= fk && detail::trains_equal(out, cache.layer_output(l))) {
+      detail::fill_converged_result(r, cache, config);
       if (l + 1 < L) counters.pruned.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    input = &current;
+    input = &out;
+    flip ^= 1;
   }
   if (config.detect_only) {
-    fill_detect_only_result(r, current, cache, config.detection_threshold);
+    detail::fill_detect_only_result(r, *input, cache, config.detection_threshold);
   } else {
-    fill_full_result(r, current, cache, config.detection_threshold);
+    detail::fill_full_result(r, *input, cache, config.detection_threshold);
+  }
+}
+
+/// One dynamic-scheduler work unit: `count` pending fault indices starting
+/// at `begin` in the batched order array. count > 1 means a lane batch of
+/// same-layer faults; count == 1 runs the scalar path.
+struct WorkItem {
+  size_t begin = 0;
+  size_t count = 0;
+};
+
+/// Group the pending faults by fault layer and chunk each group into lane
+/// batches of up to `lane_width`, preserving the campaign order within a
+/// group. Leftover singletons become scalar items.
+void build_worklist(const std::vector<fault::FaultDescriptor>& faults,
+                    const std::vector<char>& have, size_t num_layers, size_t lane_width,
+                    bool lane_batching, std::vector<size_t>& order,
+                    std::vector<WorkItem>& items) {
+  order.clear();
+  items.clear();
+  if (!lane_batching) {
+    for (size_t j = 0; j < faults.size(); ++j) {
+      if (!have[j]) order.push_back(j);
+    }
+    items.reserve(order.size());
+    for (size_t i = 0; i < order.size(); ++i) items.push_back({i, 1});
+    return;
+  }
+  std::vector<std::vector<size_t>> by_layer(num_layers);
+  for (size_t j = 0; j < faults.size(); ++j) {
+    if (!have[j]) by_layer[fault_layer(faults[j])].push_back(j);
+  }
+  for (const auto& group : by_layer) {
+    for (size_t i = 0; i < group.size(); i += lane_width) {
+      const size_t count = std::min(lane_width, group.size() - i);
+      items.push_back({order.size(), count});
+      order.insert(order.end(), group.begin() + i, group.begin() + i + count);
+    }
   }
 }
 
@@ -228,17 +219,23 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
     writer.emplace(config.checkpoint_path, header, append, config.checkpoint_flush_every);
   }
 
-  std::vector<size_t> worklist;
-  worklist.reserve(faults.size());
-  for (size_t j = 0; j < faults.size(); ++j) {
-    if (!have[j]) worklist.push_back(j);
-  }
+  // --- lane-batched worklist -----------------------------------------------
+  // Same-layer faults share a golden prefix, so up to lane_width of them
+  // ride one multi-lane forward (campaign/lane_sim.cpp). Without prefix
+  // reuse there is no shared prefix to batch from (and the "naive" baseline
+  // configuration must stay truly naive), so batching requires it.
+  const size_t lane_width = std::min(std::max<size_t>(config.lane_width, 1),
+                                     snn::kMaxLaneWidth);
+  const bool lane_batching = lane_width > 1 && config.prefix_reuse;
+  std::vector<size_t> order;
+  std::vector<WorkItem> items;
+  build_worklist(faults, have, L, lane_width, lane_batching, order, items);
 
   // --- dynamic-schedule simulation -----------------------------------------
   const size_t hw = std::max(1u, std::thread::hardware_concurrency());
   const size_t requested = config.num_threads == 0 ? hw : config.num_threads;
   std::optional<util::ThreadPool> pool;
-  if (requested > 1 && worklist.size() > 1) pool.emplace(requested);
+  if (requested > 1 && items.size() > 1) pool.emplace(requested);
   util::ThreadPool* pool_ptr = pool ? &*pool : nullptr;
 
   const size_t num_workers = util::dynamic_workers(pool_ptr);
@@ -248,7 +245,15 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
     workers.push_back(std::make_unique<WorkerContext>(net, cache.stats, config.kernel_mode));
   }
 
-  SimCounters counters;
+  // Auto grain (config.grain == 0): ~8 scheduler round-trips per worker
+  // balances the orders-of-magnitude spread in per-item cost without
+  // hammering the shared counter. An explicit grain is authoritative.
+  const size_t grain =
+      config.grain != 0
+          ? config.grain
+          : std::clamp<size_t>(items.size() / (num_workers * 8), 1, 64);
+
+  detail::SimCounters counters;
   counters.completed.store(outcome.stats.faults_resumed);
   std::atomic<bool> cancelled{false};
 
@@ -263,30 +268,43 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   obs::Histogram& prefix_depth = obs::Registry::instance().histogram(
       "campaign/prefix_depth", obs::Histogram::linear_bounds(0.0, 15.0, 16));
 
-  util::parallel_for_dynamic(pool_ptr, worklist.size(), config.grain, [&](size_t w, size_t i) {
+  util::parallel_for_dynamic(pool_ptr, items.size(), grain, [&](size_t w, size_t i) {
     if (cancelled.load(std::memory_order_relaxed)) return;
     if (config.cancel && config.cancel()) {
       cancelled.store(true, std::memory_order_relaxed);
       return;
     }
-    const size_t j = worklist[i];
+    const WorkItem item = items[i];
+    const size_t* batch = order.data() + item.begin;
+    auto run_item = [&] {
+      if (item.count > 1) {
+        simulate_fault_batch(net, stimulus, cache, config, cache.stats, faults, batch,
+                             item.count, outcome.results, counters, workers[w]->lane);
+      } else {
+        simulate_fault(*workers[w], faults[batch[0]], stimulus, cache, config,
+                       outcome.results[batch[0]], counters);
+      }
+    };
     if (obs_on) {
       OBS_SPAN("campaign/fault_sim");
       const int64_t t0 = obs::trace_now_us();
-      simulate_fault(*workers[w], faults[j], stimulus, cache, config, outcome.results[j],
-                     counters);
+      run_item();
       fault_sim_seconds.observe(static_cast<double>(obs::trace_now_us() - t0) * 1e-6);
-      prefix_depth.observe(
-          static_cast<double>(config.prefix_reuse ? fault_layer(faults[j]) : 0));
+      for (size_t b = 0; b < item.count; ++b) {
+        prefix_depth.observe(
+            static_cast<double>(config.prefix_reuse ? fault_layer(faults[batch[b]]) : 0));
+      }
     } else {
-      simulate_fault(*workers[w], faults[j], stimulus, cache, config, outcome.results[j],
-                     counters);
+      run_item();
     }
-    have[j] = 1;
-    counters.simulated.fetch_add(1, std::memory_order_relaxed);
-    if (writer) writer->record(j, outcome.results[j]);
-    const size_t done = counters.completed.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (config.progress) config.progress(done, faults.size());
+    counters.simulated.fetch_add(item.count, std::memory_order_relaxed);
+    for (size_t b = 0; b < item.count; ++b) {
+      const size_t j = batch[b];
+      have[j] = 1;
+      if (writer) writer->record(j, outcome.results[j]);
+      const size_t done = counters.completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (config.progress) config.progress(done, faults.size());
+    }
   });
   if (writer) writer->flush();
 
@@ -300,6 +318,9 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   outcome.stats.faults_pruned = counters.pruned.load();
   outcome.stats.layer_forwards = counters.layer_forwards.load();
   outcome.stats.layer_forwards_naive = outcome.stats.faults_simulated * L;
+  outcome.stats.lane_batches = counters.lane_batches.load();
+  outcome.stats.lane_batched_faults = counters.lane_batched_faults.load();
+  outcome.stats.lanes_retired_early = counters.lanes_retired_early.load();
   outcome.stats.elapsed_seconds = timer.seconds();
 
   // Campaign-total metrics (coarse, unconditional). "Golden-cache hits" are
@@ -318,6 +339,13 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
         .add(s.layer_forwards_naive - std::min(s.layer_forwards, s.layer_forwards_naive));
     reg.gauge("campaign/golden_cache_hit_rate").set(s.forward_savings());
     reg.gauge("campaign/elapsed_seconds").set(s.elapsed_seconds);
+    reg.counter("campaign/lane_batches").add(s.lane_batches);
+    reg.counter("campaign/lane_retired_early").add(s.lanes_retired_early);
+    if (s.lane_batches > 0) {
+      reg.gauge("campaign/lane_occupancy")
+          .set(static_cast<double>(s.lane_batched_faults) /
+               static_cast<double>(s.lane_batches * lane_width));
+    }
     char fp[24];
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(header.fingerprint));

@@ -14,9 +14,18 @@
 //    layers, and the emitted DetectionResult is exactly what the naive
 //    path would have produced.
 //  * Detect-only early exit — when only Eq. (3)'s detected/undetected bit
-//    is needed, the output comparison stops at the first timestep whose
-//    rows diverge. `output_l1` then holds a lower bound (the L1 mass up to
-//    and including that timestep) and class_count_diff is left empty.
+//    is needed, the output comparison keeps accumulating the L1 mass
+//    timestep by timestep and stops as soon as it crosses the detection
+//    threshold (a decisive divergence — later timesteps can only grow it).
+//    `output_l1` then holds a lower bound of the full L1 (exact when the
+//    train ends below the threshold) and class_count_diff is left empty.
+//  * Lane batching — up to `lane_width` pending faults confined to the
+//    same layer share one multi-lane forward from the golden prefix: each
+//    layer streams its weights once per frame for all lanes (per-lane
+//    membrane state, per-lane spike trains), and retired lanes (converged
+//    or decisively divergent in detect-only mode) are compacted away so
+//    the remaining frames run narrower. Results stay bit-identical to the
+//    scalar path (snn/lane_network.hpp, DESIGN.md §12).
 //  * Dynamic scheduling — per-fault cost varies by orders of magnitude
 //    with fault depth, so workers claim small chunks from a shared atomic
 //    counter (util::parallel_for_dynamic) instead of static ranges.
@@ -40,18 +49,29 @@ namespace snntest::campaign {
 
 struct EngineConfig {
   size_t num_threads = 0;  // 0 = hardware concurrency
-  /// Faults claimed per scheduler round-trip. Small enough to balance
-  /// uneven per-fault cost, large enough to amortize the atomic traffic.
-  size_t grain = 8;
+  /// Worklist items claimed per scheduler round-trip (one item is a lane
+  /// batch or a single scalar fault). 0 (default) auto-tunes from the
+  /// worklist size: items / (workers * 8), clamped to [1, 64] — small
+  /// enough to balance uneven per-fault cost, large enough to amortize the
+  /// atomic traffic. An explicit value is authoritative.
+  size_t grain = 0;
+  /// Faults evaluated per forward pass: pending faults confined to the
+  /// same layer are packed into lane batches of up to this many lanes
+  /// (clamped to snn::kMaxLaneWidth). 1 disables lane batching (pure
+  /// scalar path); batching also falls back to scalar for single-fault
+  /// groups and when prefix_reuse is off. Results are bit-identical at
+  /// every width.
+  size_t lane_width = 8;
   /// detected = output_l1 > detection_threshold (default keeps Eq. (3)).
   double detection_threshold = 0.0;
   /// Reuse golden activations of the layers before the faulty one.
   bool prefix_reuse = true;
   /// Stop as soon as a layer's faulty output matches its golden output.
   bool convergence_pruning = true;
-  /// Only decide detected/undetected: stop the output comparison at the
-  /// first divergent timestep. output_l1 becomes a lower bound and
-  /// class_count_diff is left empty. Off by default (full results).
+  /// Only decide detected/undetected: accumulate the output L1 timestep by
+  /// timestep and stop once it crosses detection_threshold (or the train
+  /// ends). output_l1 becomes a lower bound (exact for undetected faults)
+  /// and class_count_diff is left empty. Off by default (full results).
   bool detect_only = false;
   /// Forward-kernel selection for the golden pass and every worker clone.
   /// All modes produce bit-identical spike trains (snn::KernelMode); the
@@ -88,6 +108,15 @@ struct EngineStats {
   /// expected artifact of a kill mid-write; more than one means the file
   /// was corrupted and those faults were re-simulated.
   size_t checkpoint_lines_skipped = 0;
+  /// Lane-batched passes executed and the faults they carried; the
+  /// remaining simulated faults ran the scalar path (singleton layer
+  /// groups, lane_width 1, or prefix_reuse off).
+  size_t lane_batches = 0;
+  size_t lane_batched_faults = 0;
+  /// Lanes retired before their batch finished: converged onto the golden
+  /// trajectory at an intermediate layer, or (detect-only) decisively
+  /// divergent mid-window.
+  size_t lanes_retired_early = 0;
   double elapsed_seconds = 0.0;
 
   double forward_savings() const {

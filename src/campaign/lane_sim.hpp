@@ -1,0 +1,51 @@
+// Lane-batched fault simulation: W same-layer faults per forward pass.
+//
+// simulate_fault_batch packs up to lane_width pending faults that share a
+// fault layer into one multi-lane forward from the shared golden prefix
+// (snn/lane_network.hpp): each downstream layer streams its weights once
+// per frame for all lanes instead of once per fault. Every lane's
+// DetectionResult is bit-identical to the scalar simulate_fault path —
+// the lane kernels replay the scalar ordered-double accumulation per lane,
+// and retirement (convergence pruning, detect-only threshold crossing)
+// reproduces the scalar early exits exactly (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "campaign/golden_cache.hpp"
+#include "campaign/sim_internal.hpp"
+#include "fault/lane_injector.hpp"
+#include "snn/lane_network.hpp"
+
+namespace snntest::campaign {
+
+/// Per-worker scratch for the lane path — sized on first use, reused for
+/// every batch the worker claims (no per-batch allocation at steady state).
+struct LaneSimContext {
+  std::vector<snn::LaneFault> lane_faults;  // resolved per-lane faults
+  std::vector<size_t> result_index;         // lane -> fault index (compacted)
+  std::vector<float> bufs[2];               // ping-pong lane trains [T, n, lanes]
+  std::vector<float> frame;                 // detect-only per-frame output [n, lanes]
+  std::vector<uint8_t> keep;                // retirement mask
+  std::vector<double> l1_acc;               // detect-only per-lane L1
+  tensor::Tensor slice;                     // per-lane [T, n] extraction
+  snn::LaneLayerRun run;
+};
+
+/// Simulate the `count` faults `faults[batch[0..count)]` — all confined to
+/// the same layer — in one lane-batched pass, writing `results[batch[i]]`.
+/// Requires prefix_reuse (the caller falls back to the scalar path
+/// otherwise) and 2 <= count <= snn::kMaxLaneWidth. `net` is the fault-free
+/// reference network and is never mutated, so workers share the caller's
+/// instance; `stats` must come from compute_weight_stats on it.
+void simulate_fault_batch(const snn::Network& net, const tensor::Tensor& stimulus,
+                          const GoldenCache& cache, const EngineConfig& config,
+                          const std::vector<fault::LayerWeightStats>& stats,
+                          const std::vector<fault::FaultDescriptor>& faults,
+                          const size_t* batch, size_t count,
+                          std::vector<fault::DetectionResult>& results,
+                          detail::SimCounters& counters, LaneSimContext& ctx);
+
+}  // namespace snntest::campaign

@@ -1,0 +1,86 @@
+// Internals shared by the scalar (engine.cpp) and lane-batched
+// (lane_sim.cpp) fault-simulation paths. Both paths must emit identical
+// DetectionResults, so the result-filling helpers live here in one audited
+// place rather than being duplicated.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "campaign/engine.hpp"
+#include "campaign/golden_cache.hpp"
+#include "obs/metrics.hpp"
+#include "snn/spike_train.hpp"
+
+namespace snntest::campaign::detail {
+
+inline bool trains_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+/// Full Eq. (3) comparison: exact L1 plus per-class count differences.
+inline void fill_full_result(fault::DetectionResult& r, const tensor::Tensor& faulty_output,
+                             const GoldenCache& cache, double threshold) {
+  r.output_l1 = snn::output_distance(cache.output(), faulty_output);
+  r.detected = r.output_l1 > threshold;
+  const auto counts = snn::spike_counts(faulty_output);
+  r.class_count_diff.resize(counts.size());
+  for (size_t c = 0; c < counts.size(); ++c) {
+    r.class_count_diff[c] =
+        static_cast<long>(counts[c]) - static_cast<long>(cache.output_counts[c]);
+  }
+}
+
+/// Detect-only comparison: accumulate the L1 mass timestep by timestep and
+/// return as soon as it crosses the threshold (decisive — later timesteps
+/// can only grow it). output_l1 is then a lower bound of the full L1; when
+/// the train ends below the threshold it is the exact L1.
+inline void fill_detect_only_result(fault::DetectionResult& r,
+                                    const tensor::Tensor& faulty_output,
+                                    const GoldenCache& cache, double threshold) {
+  const tensor::Tensor& golden = cache.output();
+  const size_t T = golden.shape().dim(0);
+  const size_t n = golden.shape().dim(1);
+  double acc = 0.0;
+  for (size_t t = 0; t < T; ++t) {
+    const float* a = golden.data() + t * n;
+    const float* b = faulty_output.data() + t * n;
+    for (size_t i = 0; i < n; ++i) acc += std::abs(static_cast<double>(a[i]) - b[i]);
+    if (acc > threshold) {
+      r.detected = true;
+      r.output_l1 = acc;
+      if (obs::telemetry_enabled()) {
+        static obs::Counter& early_exits =
+            obs::Registry::instance().counter("campaign/detect_only_early_exits");
+        early_exits.add(1);
+      }
+      return;
+    }
+  }
+  r.detected = false;
+  r.output_l1 = acc;
+}
+
+/// Result for a fault whose layer output re-converged onto the golden
+/// trajectory: every downstream train is bit-identical, so this is exactly
+/// the naive result without running the remaining layers.
+inline void fill_converged_result(fault::DetectionResult& r, const GoldenCache& cache,
+                                  const EngineConfig& config) {
+  r.output_l1 = 0.0;
+  r.detected = 0.0 > config.detection_threshold;
+  if (!config.detect_only) r.class_count_diff.assign(cache.output_counts.size(), 0);
+}
+
+struct SimCounters {
+  std::atomic<size_t> simulated{0};
+  std::atomic<size_t> pruned{0};
+  std::atomic<size_t> layer_forwards{0};
+  std::atomic<size_t> completed{0};
+  // lane-batched path only
+  std::atomic<size_t> lane_batches{0};
+  std::atomic<size_t> lane_batched_faults{0};
+  std::atomic<size_t> lanes_retired_early{0};
+};
+
+}  // namespace snntest::campaign::detail

@@ -1,0 +1,132 @@
+#include "fault/lane_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "snn/conv_layer.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/recurrent_layer.hpp"
+
+namespace snntest::fault {
+namespace {
+
+/// Stored (fault-free) weight behind a WeightRef, via the const per-kind
+/// accessors (Layer::params() is non-const), plus the lane fault kind the
+/// ref maps to. Mirrors weight_slot in injector.cpp.
+float stored_weight(const snn::Network& net, const snn::WeightRef& ref,
+                    snn::LaneSynapseFault::Kind& kind) {
+  const snn::Layer& layer = net.layer(ref.layer);
+  switch (layer.kind()) {
+    case snn::LayerKind::kDense: {
+      const auto& w = static_cast<const snn::DenseLayer&>(layer).weights();
+      if (ref.param != 0 || ref.index >= w.size()) {
+        throw std::out_of_range("resolve_lane_fault: bad weight ref");
+      }
+      kind = snn::LaneSynapseFault::Kind::kWeight;
+      return w[ref.index];
+    }
+    case snn::LayerKind::kConv2d: {
+      const auto& w = static_cast<const snn::ConvLayer&>(layer).weights();
+      if (ref.param != 0 || ref.index >= w.size()) {
+        throw std::out_of_range("resolve_lane_fault: bad weight ref");
+      }
+      kind = snn::LaneSynapseFault::Kind::kConvWeight;
+      return w[ref.index];
+    }
+    case snn::LayerKind::kRecurrent: {
+      const auto& rec = static_cast<const snn::RecurrentLayer&>(layer);
+      const auto& w = ref.param == 0 ? rec.weights() : rec.recurrent_weights();
+      if (ref.param > 1 || ref.index >= w.size()) {
+        throw std::out_of_range("resolve_lane_fault: bad weight ref");
+      }
+      kind = ref.param == 0 ? snn::LaneSynapseFault::Kind::kWeight
+                            : snn::LaneSynapseFault::Kind::kRecurrentWeight;
+      return w[ref.index];
+    }
+    case snn::LayerKind::kSumPool:
+      break;
+  }
+  throw std::logic_error("resolve_lane_fault: layer has no weights");
+}
+
+/// Faulty stored-weight value — the exact expressions FaultInjector::inject
+/// writes into the weight slot.
+float faulty_weight_value(FaultKind kind, float stored, float magnitude, float quant_scale) {
+  switch (kind) {
+    case FaultKind::kSynapseDead:
+      return 0.0f;
+    case FaultKind::kSynapseSaturatedPositive:
+      return std::fabs(magnitude);
+    case FaultKind::kSynapseSaturatedNegative:
+      return -std::fabs(magnitude);
+    case FaultKind::kSynapseBitFlip:
+      return bitflip_weight(stored, quant_scale, static_cast<int>(magnitude));
+    default:
+      throw std::logic_error("resolve_lane_fault: kind/target mismatch");
+  }
+}
+
+}  // namespace
+
+snn::LaneFault resolve_lane_fault(const snn::Network& net,
+                                  const std::vector<LayerWeightStats>& stats,
+                                  const FaultDescriptor& fault) {
+  snn::LaneFault lane;
+  if (fault.targets_neuron()) {
+    const snn::LifBank& lif = net.layer(fault.neuron.layer).lif();
+    const size_t i = fault.neuron.index;
+    if (i >= lif.size()) throw std::out_of_range("resolve_lane_fault: bad neuron index");
+    snn::LaneNeuronOverride& o = lane.neuron;
+    o.active = true;
+    o.neuron = static_cast<uint32_t>(i);
+    o.threshold = lif.thresholds()[i];
+    o.leak = lif.leaks()[i];
+    o.refractory = lif.refractories()[i];
+    o.mode = lif.modes()[i];
+    switch (fault.kind) {
+      case FaultKind::kNeuronDead:
+        o.mode = snn::NeuronMode::kDead;
+        break;
+      case FaultKind::kNeuronSaturated:
+        o.mode = snn::NeuronMode::kSaturated;
+        break;
+      case FaultKind::kNeuronThresholdVariation:
+        o.threshold = std::max(1e-3f, o.threshold * (1.0f + fault.magnitude));
+        break;
+      case FaultKind::kNeuronLeakVariation:
+        o.leak = std::clamp(o.leak * (1.0f + fault.magnitude), 0.01f, 1.0f);
+        break;
+      case FaultKind::kNeuronRefractoryVariation:
+        o.refractory = std::max(0, o.refractory + static_cast<int>(fault.magnitude));
+        break;
+      default:
+        throw std::logic_error("resolve_lane_fault: kind/target mismatch");
+    }
+  } else if (fault.connection_granularity) {
+    const snn::Layer& layer = net.layer(fault.connection.layer);
+    if (layer.kind() != snn::LayerKind::kConv2d) {
+      throw std::logic_error("resolve_lane_fault: connection faults target conv layers");
+    }
+    const auto& conv = static_cast<const snn::ConvLayer&>(layer);
+    const float stored = conv.connection_weight(fault.connection.out_index,
+                                                fault.connection.in_index);
+    const float value = faulty_weight_value(fault.kind, stored, fault.magnitude,
+                                            stats[fault.connection.layer].quant_scale);
+    snn::LaneSynapseFault& sf = lane.synapse;
+    sf.kind = snn::LaneSynapseFault::Kind::kConvConnection;
+    sf.out_index = fault.connection.out_index;
+    sf.in_index = fault.connection.in_index;
+    // Same delta ConvLayer::set_connection_override stores.
+    sf.delta = value - stored;
+  } else {
+    snn::LaneSynapseFault& sf = lane.synapse;
+    const float stored = stored_weight(net, fault.weight, sf.kind);
+    sf.index = fault.weight.index;
+    sf.value = faulty_weight_value(fault.kind, stored, fault.magnitude,
+                                   stats[fault.weight.layer].quant_scale);
+  }
+  return lane;
+}
+
+}  // namespace snntest::fault

@@ -1,0 +1,27 @@
+// Fault resolution for the lane-batched simulation path (DESIGN.md §12).
+//
+// The scalar campaign path injects a fault by mutating a worker's network
+// clone (fault/injector.hpp). The lane path runs on a const, shared,
+// fault-free network instead, so the fault must be expressed as a per-lane
+// perturbation: resolve_lane_fault computes the exact faulty values the
+// injector would have written — the same float expressions on the same
+// stored weights / neuron parameters — and packs them into the plain
+// snn::LaneFault POD the lane kernels consume.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/registry.hpp"
+#include "snn/lane_network.hpp"
+
+namespace snntest::fault {
+
+/// Resolve `fault` against the fault-free reference network. `stats` must
+/// come from compute_weight_stats on the same network (bit-flip faults need
+/// the layer quantization scale, exactly like FaultInjector).
+snn::LaneFault resolve_lane_fault(const snn::Network& net,
+                                  const std::vector<LayerWeightStats>& stats,
+                                  const FaultDescriptor& fault);
+
+}  // namespace snntest::fault

@@ -297,16 +297,17 @@ void ConvLayer::set_connection_override(size_t out_index, size_t in_index, float
 
 void ConvLayer::clear_connection_override() { override_.active = false; }
 
-Tensor ConvLayer::forward(const Tensor& in, bool record_traces) {
+void ConvLayer::forward_into(const Tensor& in, bool record_traces, Tensor& out) {
   if (in.shape().rank() != 2 || in.shape().dim(1) != spec_.input_size()) {
     throw std::invalid_argument("ConvLayer::forward: expected [T, " +
                                 std::to_string(spec_.input_size()) + "], got " +
                                 in.shape().to_string());
   }
   const size_t T = in.shape().dim(0);
-  Tensor out(Shape{T, lif_.size()});
+  out.resize_zero(Shape{T, lif_.size()});
   lif_.begin_run(T, record_traces);
-  std::vector<float> syn(lif_.size());
+  syn_scratch_.resize(lif_.size());
+  std::vector<float>& syn = syn_scratch_;
   const KernelMode mode = kernel_mode_;
   const bool obs_on = obs::telemetry_enabled();
   if (obs_on) kernel_obs_.ensure_bound(name());
@@ -332,7 +333,6 @@ Tensor ConvLayer::forward(const Tensor& in, bool record_traces) {
     lif_.step(syn.data(), out.row(t));
   }
   if (record_traces) saved_input_ = in;
-  return out;
 }
 
 Tensor ConvLayer::backward(const Tensor& grad_out) {

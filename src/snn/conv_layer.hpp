@@ -41,7 +41,7 @@ class ConvLayer final : public Layer {
   size_t num_weights() const override { return weights_.size(); }
   size_t num_connections() const override;
 
-  Tensor forward(const Tensor& in, bool record_traces) override;
+  void forward_into(const Tensor& in, bool record_traces, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
 
   std::vector<ParamView> params() override;
@@ -68,9 +68,13 @@ class ConvLayer final : public Layer {
   void clear_connection_override();
   bool connection_override_active() const { return override_.active; }
 
- private:
-  /// syn frame (length output_size) from one input spike frame.
+  /// syn frame (length output_size) from one input spike frame — the dense
+  /// (oc, oy, ox) gather with ordered double accumulation. Public and const
+  /// so the lane-batched simulation path (snn/lane_network.cpp) can compute
+  /// the shared fault-free base frame without mutating the layer.
   void conv_forward_frame(const float* in, float* syn) const;
+
+ private:
   /// Event-driven forward: scatter the kernel taps of each active input
   /// pixel instead of gathering all taps of each output. Bit-identical to
   /// conv_forward_frame: iterating active pixels in ascending flat order
@@ -119,6 +123,7 @@ class ConvLayer final : public Layer {
   ConnectionOverride override_;
   std::vector<uint32_t> active_scratch_;  // per-frame active indices (sparse path)
   std::vector<double> syn_acc_;           // per-output double accumulators (sparse path)
+  std::vector<float> syn_scratch_;        // per-frame synaptic currents (no realloc per window)
 };
 
 }  // namespace snntest::snn

@@ -29,15 +29,16 @@ void DenseLayer::init_weights(util::Rng& rng, float gain) {
   for (auto& w : weights_) w = static_cast<float>(rng.uniform(-bound, bound));
 }
 
-Tensor DenseLayer::forward(const Tensor& in, bool record_traces) {
+void DenseLayer::forward_into(const Tensor& in, bool record_traces, Tensor& out) {
   if (in.shape().rank() != 2 || in.shape().dim(1) != num_inputs_) {
     throw std::invalid_argument("DenseLayer::forward: expected [T, " +
                                 std::to_string(num_inputs_) + "], got " + in.shape().to_string());
   }
   const size_t T = in.shape().dim(0);
-  Tensor out(Shape{T, lif_.size()});
+  out.resize_zero(Shape{T, lif_.size()});
   lif_.begin_run(T, record_traces);
-  std::vector<float> syn(lif_.size());
+  syn_scratch_.resize(lif_.size());
+  std::vector<float>& syn = syn_scratch_;
   const KernelMode mode = kernel_mode_;
   const bool obs_on = obs::telemetry_enabled();
   if (obs_on) kernel_obs_.ensure_bound(name());
@@ -62,7 +63,6 @@ Tensor DenseLayer::forward(const Tensor& in, bool record_traces) {
     lif_.step(syn.data(), out.row(t));
   }
   if (record_traces) saved_input_ = in;
-  return out;
 }
 
 Tensor DenseLayer::backward(const Tensor& grad_out) {

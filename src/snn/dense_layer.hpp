@@ -23,7 +23,7 @@ class DenseLayer final : public Layer {
   size_t num_weights() const override { return weights_.size(); }
   size_t num_connections() const override { return weights_.size(); }
 
-  Tensor forward(const Tensor& in, bool record_traces) override;
+  void forward_into(const Tensor& in, bool record_traces, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
 
   std::vector<ParamView> params() override;
@@ -41,6 +41,7 @@ class DenseLayer final : public Layer {
   std::vector<float> weight_grads_;
   Tensor saved_input_;  // [T, num_inputs], kept when recording traces
   std::vector<uint32_t> active_scratch_;  // per-frame active indices (sparse path)
+  std::vector<float> syn_scratch_;        // per-frame synaptic currents (no realloc per window)
 };
 
 }  // namespace snntest::snn

@@ -1,0 +1,582 @@
+#include "snn/lane_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "snn/conv_layer.hpp"
+#include "snn/dense_layer.hpp"
+#include "snn/pool_layer.hpp"
+#include "snn/recurrent_layer.hpp"
+
+namespace snntest::snn {
+
+namespace {
+
+/// Faulty dense/recurrent row: the scalar path stores `value` at flat weight
+/// `col` and runs the ordered-double matvec row; substituting the value in
+/// the same sweep yields the identical float.
+float recompute_row(const float* row, size_t cols, size_t col, float value, const float* x) {
+  double acc = 0.0;
+  for (size_t c = 0; c < cols; ++c) {
+    const float w = (c == col) ? value : row[c];
+    acc += static_cast<double>(w) * x[c];
+  }
+  return static_cast<float>(acc);
+}
+
+/// recompute_row over the frame's active (nonzero) columns only, ascending.
+/// Bit-identical to the dense sweep: every skipped term is w * 0.0f, an
+/// exact +/-0.0 double addend that never changes the accumulator (the
+/// matvec_accumulate_gather argument). The faulty column needs no special
+/// casing — if x[col] is zero its term vanishes for any weight value.
+float recompute_row_gather(const float* row, size_t col, float value, const float* x,
+                           const uint32_t* active, size_t num_active) {
+  double acc = 0.0;
+  for (size_t a = 0; a < num_active; ++a) {
+    const size_t c = active[a];
+    const float w = (c == col) ? value : row[c];
+    acc += static_cast<double>(w) * x[c];
+  }
+  return static_cast<float>(acc);
+}
+
+/// Faulty conv output channel: conv_forward_frame restricted to the channel
+/// owning `tap`, with the tap's stored weight substituted — the identical
+/// (oy, ox) -> (ic, ky, kx) ordered double sums the scalar faulty pass
+/// computes for that channel (other channels never read the tap).
+void recompute_conv_channel(const ConvLayer& conv, size_t tap, float value, const float* in,
+                            float* chan) {
+  const Conv2dSpec& s = conv.spec();
+  const size_t oh = s.out_height();
+  const size_t ow = s.out_width();
+  const size_t k = s.kernel;
+  const size_t oc = tap / (s.in_channels * k * k);
+  const float* weights = conv.weights().data();
+  for (size_t oy = 0; oy < oh; ++oy) {
+    for (size_t ox = 0; ox < ow; ++ox) {
+      double acc = 0.0;
+      for (size_t ic = 0; ic < s.in_channels; ++ic) {
+        const size_t w_off = ((oc * s.in_channels + ic) * k) * k;
+        const float* w_base = weights + w_off;
+        const float* in_base = in + ic * s.in_height * s.in_width;
+        for (size_t ky = 0; ky < k; ++ky) {
+          const long iy = static_cast<long>(oy * s.stride + ky) - static_cast<long>(s.padding);
+          if (iy < 0 || iy >= static_cast<long>(s.in_height)) continue;
+          for (size_t kx = 0; kx < k; ++kx) {
+            const long ix = static_cast<long>(ox * s.stride + kx) - static_cast<long>(s.padding);
+            if (ix < 0 || ix >= static_cast<long>(s.in_width)) continue;
+            const float w = (w_off + ky * k + kx == tap) ? value : w_base[ky * k + kx];
+            acc += static_cast<double>(w) * in_base[iy * static_cast<long>(s.in_width) + ix];
+          }
+        }
+      }
+      chan[oy * ow + ox] = static_cast<float>(acc);
+    }
+  }
+}
+
+/// Lane-strided conv gather: conv_forward_frame with per-lane double
+/// accumulators fed in the identical term order.
+void conv_frame_lanes_dense(const ConvLayer& conv, const float* in_lanes, size_t lanes,
+                            float* syn_lanes) {
+  const Conv2dSpec& s = conv.spec();
+  const size_t oh = s.out_height();
+  const size_t ow = s.out_width();
+  const size_t k = s.kernel;
+  const size_t plane = s.in_height * s.in_width;
+  const float* weights = conv.weights().data();
+  for (size_t oc = 0; oc < s.out_channels; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        double acc[tensor::kMaxLanes] = {};
+        for (size_t ic = 0; ic < s.in_channels; ++ic) {
+          const float* w_base = weights + ((oc * s.in_channels + ic) * k) * k;
+          const float* in_base = in_lanes + ic * plane * lanes;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const long iy = static_cast<long>(oy * s.stride + ky) - static_cast<long>(s.padding);
+            if (iy < 0 || iy >= static_cast<long>(s.in_height)) continue;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const long ix = static_cast<long>(ox * s.stride + kx) - static_cast<long>(s.padding);
+              if (ix < 0 || ix >= static_cast<long>(s.in_width)) continue;
+              const double w = w_base[ky * k + kx];
+              const float* xv =
+                  in_base + (iy * static_cast<long>(s.in_width) + ix) * static_cast<long>(lanes);
+              for (size_t l = 0; l < lanes; ++l) acc[l] += w * xv[l];
+            }
+          }
+        }
+        float* out = syn_lanes + ((oc * oh + oy) * ow + ox) * lanes;
+        for (size_t l = 0; l < lanes; ++l) out[l] = static_cast<float>(acc[l]);
+      }
+    }
+  }
+}
+
+/// Lane-strided conv scatter over the union-active input pixels. Per lane
+/// this is conv_forward_frame_sparse on a superset active list: pixels where
+/// the lane is silent contribute exact +/-0.0 terms, so each lane matches
+/// the scalar sparse (hence dense) kernel bit for bit.
+void conv_frame_lanes_scatter(const ConvLayer& conv, const float* in_lanes, size_t lanes,
+                              const uint32_t* active, size_t num_active, std::vector<double>& acc,
+                              float* syn_lanes) {
+  const Conv2dSpec& s = conv.spec();
+  const size_t oh = s.out_height();
+  const size_t ow = s.out_width();
+  const size_t k = s.kernel;
+  const size_t out_size = s.output_size();
+  const size_t plane = s.in_height * s.in_width;
+  const long stride = static_cast<long>(s.stride);
+  const float* weights = conv.weights().data();
+  acc.assign(out_size * lanes, 0.0);
+  for (size_t i = 0; i < num_active; ++i) {
+    const size_t flat = active[i];
+    const size_t ic = flat / plane;
+    const size_t rem = flat % plane;
+    const size_t iy = rem / s.in_width;
+    const size_t ix = rem % s.in_width;
+    const float* vals = in_lanes + flat * lanes;
+    for (size_t oc = 0; oc < s.out_channels; ++oc) {
+      const float* w_base = weights + ((oc * s.in_channels + ic) * k) * k;
+      double* acc_base = acc.data() + oc * oh * ow * lanes;
+      for (size_t ky = 0; ky < k; ++ky) {
+        const long num_y = static_cast<long>(iy + s.padding) - static_cast<long>(ky);
+        if (num_y < 0 || num_y % stride != 0) continue;
+        const long oy = num_y / stride;
+        if (oy >= static_cast<long>(oh)) continue;
+        for (size_t kx = 0; kx < k; ++kx) {
+          const long num_x = static_cast<long>(ix + s.padding) - static_cast<long>(kx);
+          if (num_x < 0 || num_x % stride != 0) continue;
+          const long ox = num_x / stride;
+          if (ox >= static_cast<long>(ow)) continue;
+          const double w = w_base[ky * k + kx];
+          double* a = acc_base + (oy * static_cast<long>(ow) + ox) * static_cast<long>(lanes);
+          for (size_t l = 0; l < lanes; ++l) a[l] += w * vals[l];
+        }
+      }
+    }
+  }
+  for (size_t o = 0; o < out_size; ++o) {
+    for (size_t l = 0; l < lanes; ++l) {
+      syn_lanes[o * lanes + l] = static_cast<float>(acc[o * lanes + l]);
+    }
+  }
+}
+
+/// Lane-strided sum pool: float window sums in the scalar (wy, wx) order.
+void pool_frame_lanes(const SumPoolLayer& pool, const float* in_lanes, size_t lanes,
+                      float* syn_lanes) {
+  const SumPoolSpec& s = pool.spec();
+  const size_t oh = s.out_height();
+  const size_t ow = s.out_width();
+  for (size_t c = 0; c < s.channels; ++c) {
+    const float* in_base = in_lanes + c * s.in_height * s.in_width * lanes;
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        float acc[tensor::kMaxLanes] = {};
+        for (size_t wy = 0; wy < s.window; ++wy) {
+          const size_t iy = oy * s.window + wy;
+          for (size_t wx = 0; wx < s.window; ++wx) {
+            const float* p = in_base + (iy * s.in_width + ox * s.window + wx) * lanes;
+            for (size_t l = 0; l < lanes; ++l) acc[l] += p[l];
+          }
+        }
+        float* out = syn_lanes + ((c * oh + oy) * ow + ox) * lanes;
+        for (size_t l = 0; l < lanes; ++l) out[l] = acc[l];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// --- LaneLif -------------------------------------------------------------
+
+void LaneLif::reset(const LifBank& bank, size_t lanes, const LaneFault* faults) {
+  if (lanes == 0 || lanes > kMaxLaneWidth) {
+    throw std::invalid_argument("LaneLif: lanes out of range");
+  }
+  bank_ = &bank;
+  n_ = bank.size();
+  lanes_ = lanes;
+  override_.fill(LaneNeuronOverride{});
+  if (faults) {
+    for (size_t l = 0; l < lanes; ++l) override_[l] = faults[l].neuron;
+  }
+  rebuild_override_map();
+  u_.assign(n_ * lanes, bank.defaults().reset_potential);
+  refrac_.assign(n_ * lanes, 0);
+}
+
+void LaneLif::rebuild_override_map() {
+  overridden_.clear();
+  for (size_t l = 0; l < lanes_; ++l) {
+    if (!override_[l].active) continue;
+    if (overridden_.empty()) overridden_.assign(n_, 0);
+    overridden_[override_[l].neuron] = 1;
+  }
+}
+
+void LaneLif::step(const float* syn_lanes, float* out_lanes) {
+  const float reset_v = bank_->defaults().reset_potential;
+  const float* thr = bank_->thresholds().data();
+  const float* lk = bank_->leaks().data();
+  const int* rf = bank_->refractories().data();
+  const NeuronMode* md = bank_->modes().data();
+  const bool has_overrides = !overridden_.empty();
+  const size_t lanes = lanes_;
+  for (size_t i = 0; i < n_; ++i) {
+    const size_t base = i * lanes;
+    if (!has_overrides || !overridden_[i]) {
+      // Every lane of this neuron shares the bank parameters: hoist them
+      // out of the lane loop (the hot path — overrides exist only on the
+      // fault layer, and there on a single neuron per lane).
+      const NeuronMode mode = md[i];
+      if (mode == NeuronMode::kNormal) {
+        const float threshold = thr[i];
+        const float leak = lk[i];
+        const int refractory = rf[i];
+        for (size_t l = 0; l < lanes; ++l) {
+          const size_t s = base + l;
+          float spike = 0.0f;
+          if (refrac_[s] > 0) {
+            --refrac_[s];
+            u_[s] = reset_v;
+          } else {
+            const float u_pre = leak * u_[s] + syn_lanes[s];
+            if (u_pre >= threshold) {
+              spike = 1.0f;
+              u_[s] = reset_v;
+              refrac_[s] = refractory;
+            } else {
+              u_[s] = u_pre;
+            }
+          }
+          out_lanes[s] = spike;
+        }
+      } else {
+        // Dead / saturated neurons emit a constant and, exactly like
+        // LifBank::step, leave their membrane and refractory state alone.
+        const float spike = mode == NeuronMode::kSaturated ? 1.0f : 0.0f;
+        for (size_t l = 0; l < lanes; ++l) out_lanes[base + l] = spike;
+      }
+      continue;
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+      float threshold = thr[i];
+      float leak = lk[i];
+      int refractory = rf[i];
+      NeuronMode mode = md[i];
+      const LaneNeuronOverride& o = override_[l];
+      if (o.active && o.neuron == i) {
+        threshold = o.threshold;
+        leak = o.leak;
+        refractory = o.refractory;
+        mode = o.mode;
+      }
+      float spike = 0.0f;
+      switch (mode) {
+        case NeuronMode::kDead:
+          break;
+        case NeuronMode::kSaturated:
+          spike = 1.0f;
+          break;
+        case NeuronMode::kNormal: {
+          const size_t s = base + l;
+          if (refrac_[s] > 0) {
+            --refrac_[s];
+            u_[s] = reset_v;
+          } else {
+            const float u_pre = leak * u_[s] + syn_lanes[s];
+            if (u_pre >= threshold) {
+              spike = 1.0f;
+              u_[s] = reset_v;
+              refrac_[s] = refractory;
+            } else {
+              u_[s] = u_pre;
+            }
+          }
+          break;
+        }
+      }
+      out_lanes[base + l] = spike;
+    }
+  }
+}
+
+void LaneLif::compact(const uint8_t* keep) {
+  size_t kept = 0;
+  std::array<LaneNeuronOverride, kMaxLaneWidth> packed{};
+  for (size_t l = 0; l < lanes_; ++l) {
+    if (keep[l]) packed[kept++] = override_[l];
+  }
+  if (kept == lanes_) return;
+  // In-place forward repack: the write index never overtakes the read index
+  // (kept <= lanes per neuron), so no slot is read after being overwritten.
+  size_t w = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    const size_t base = i * lanes_;
+    for (size_t l = 0; l < lanes_; ++l) {
+      if (!keep[l]) continue;
+      u_[w] = u_[base + l];
+      refrac_[w] = refrac_[base + l];
+      ++w;
+    }
+  }
+  override_ = packed;
+  lanes_ = kept;
+  rebuild_override_map();
+  u_.resize(n_ * kept);
+  refrac_.resize(n_ * kept);
+}
+
+// --- LaneLayerRun --------------------------------------------------------
+
+void LaneLayerRun::reset(const Layer& layer, size_t lanes, const LaneFault* faults,
+                         KernelMode mode) {
+  layer_ = &layer;
+  lanes_ = lanes;
+  n_ = layer.num_neurons();
+  mode_ = mode;
+  t_ = 0;
+  has_synapse_faults_ = false;
+  faults_.clear();
+  if (faults) {
+    faults_.assign(faults, faults + lanes);
+    for (const LaneFault& f : faults_) {
+      has_synapse_faults_ |= f.synapse.kind != LaneSynapseFault::Kind::kNone;
+    }
+  }
+  lif_.reset(layer.lif(), lanes, faults);
+  base_.resize(n_);
+  syn_.resize(n_ * lanes);
+  if (layer.kind() == LayerKind::kRecurrent) {
+    prev_out_.assign(n_ * lanes, 0.0f);
+  } else {
+    prev_out_.clear();
+  }
+  if (layer.kind() == LayerKind::kConv2d) {
+    const auto& conv = static_cast<const ConvLayer&>(layer);
+    chan_.resize(conv.spec().out_height() * conv.spec().out_width());
+  }
+}
+
+void LaneLayerRun::broadcast_base(float* syn_lanes) const {
+  for (size_t i = 0; i < n_; ++i) {
+    const float v = base_[i];
+    float* s = syn_lanes + i * lanes_;
+    for (size_t l = 0; l < lanes_; ++l) s[l] = v;
+  }
+}
+
+void LaneLayerRun::apply_shared_synapse_faults(const float* in_frame, size_t num_active,
+                                               float* syn_lanes) {
+  for (size_t l = 0; l < lanes_; ++l) {
+    const LaneSynapseFault& sf = faults_[l].synapse;
+    switch (sf.kind) {
+      case LaneSynapseFault::Kind::kNone:
+      case LaneSynapseFault::Kind::kRecurrentWeight:
+        // Recurrent lateral faults only perturb the feedback term, which is
+        // handled after the lane feedback matvec (see step_shared).
+        break;
+      case LaneSynapseFault::Kind::kWeight: {
+        const size_t cols = layer_->num_inputs();
+        const float* w = layer_->kind() == LayerKind::kRecurrent
+                             ? static_cast<const RecurrentLayer&>(*layer_).weights().data()
+                             : static_cast<const DenseLayer&>(*layer_).weights().data();
+        const size_t r = sf.index / cols;
+        syn_lanes[r * lanes_ + l] =
+            num_active == SIZE_MAX
+                ? recompute_row(w + r * cols, cols, sf.index % cols, sf.value, in_frame)
+                : recompute_row_gather(w + r * cols, sf.index % cols, sf.value, in_frame,
+                                       active_.data(), num_active);
+        break;
+      }
+      case LaneSynapseFault::Kind::kConvWeight: {
+        const auto& conv = static_cast<const ConvLayer&>(*layer_);
+        const Conv2dSpec& s = conv.spec();
+        const size_t hw = s.out_height() * s.out_width();
+        const size_t oc = sf.index / (s.in_channels * s.kernel * s.kernel);
+        recompute_conv_channel(conv, sf.index, sf.value, in_frame, chan_.data());
+        for (size_t p = 0; p < hw; ++p) {
+          syn_lanes[(oc * hw + p) * lanes_ + l] = chan_[p];
+        }
+        break;
+      }
+      case LaneSynapseFault::Kind::kConvConnection: {
+        // Mirrors the scalar override: syn[out] += delta * in[in] after the
+        // fault-free frame (base already broadcast into this slot).
+        syn_lanes[sf.out_index * lanes_ + l] =
+            base_[sf.out_index] + sf.delta * in_frame[sf.in_index];
+        break;
+      }
+    }
+  }
+}
+
+void LaneLayerRun::step_shared(const float* in_frame, float* out_lanes) {
+  // Shared fault-free base frame via the scalar kernels (bit-identical
+  // dense or sparse; decided per frame like Layer::forward does). Returns
+  // the active count when an active set was extracted (SIZE_MAX otherwise)
+  // so the weight-fault row recomputes can reuse it.
+  auto matvec_base = [&](const float* w, size_t cols) -> size_t {
+    std::fill(base_.begin(), base_.end(), 0.0f);
+    if (mode_ == KernelMode::kDense) {
+      tensor::matvec_accumulate(w, n_, cols, in_frame, base_.data());
+      return SIZE_MAX;
+    }
+    const size_t na = tensor::extract_active(in_frame, cols, active_);
+    if (mode_ == KernelMode::kSparse || sparse_frame_wins(na, cols)) {
+      tensor::matvec_accumulate_gather(w, n_, cols, in_frame, active_.data(), na, base_.data());
+    } else {
+      tensor::matvec_accumulate(w, n_, cols, in_frame, base_.data());
+    }
+    return na;
+  };
+  size_t num_active = SIZE_MAX;
+  switch (layer_->kind()) {
+    case LayerKind::kDense:
+      num_active = matvec_base(static_cast<const DenseLayer&>(*layer_).weights().data(),
+                               layer_->num_inputs());
+      break;
+    case LayerKind::kRecurrent:
+      num_active = matvec_base(static_cast<const RecurrentLayer&>(*layer_).weights().data(),
+                               layer_->num_inputs());
+      break;
+    case LayerKind::kConv2d:
+      static_cast<const ConvLayer&>(*layer_).conv_forward_frame(in_frame, base_.data());
+      break;
+    case LayerKind::kSumPool:
+      static_cast<const SumPoolLayer&>(*layer_).pool_frame(in_frame, base_.data());
+      break;
+  }
+  broadcast_base(syn_.data());
+  if (has_synapse_faults_) apply_shared_synapse_faults(in_frame, num_active, syn_.data());
+  if (layer_->kind() == LayerKind::kRecurrent && t_ > 0) {
+    const auto& rec = static_cast<const RecurrentLayer&>(*layer_);
+    const float* v = rec.recurrent_weights().data();
+    // Per-lane feedback: prev outputs already diverge across lanes, so this
+    // is a lane matvec even though the layer input frame is shared.
+    if (mode_ == KernelMode::kDense) {
+      tensor::matvec_accumulate_lanes(v, n_, n_, prev_out_.data(), lanes_, syn_.data());
+    } else {
+      const size_t na = tensor::extract_active_union(prev_out_.data(), n_, lanes_, active_);
+      if (mode_ == KernelMode::kSparse || sparse_frame_wins(na, n_)) {
+        tensor::matvec_accumulate_gather_lanes(v, n_, n_, prev_out_.data(), lanes_,
+                                               active_.data(), na, syn_.data());
+      } else {
+        tensor::matvec_accumulate_lanes(v, n_, n_, prev_out_.data(), lanes_, syn_.data());
+      }
+    }
+    if (has_synapse_faults_) {
+      for (size_t l = 0; l < lanes_; ++l) {
+        const LaneSynapseFault& sf = faults_[l].synapse;
+        if (sf.kind != LaneSynapseFault::Kind::kRecurrentWeight) continue;
+        // Scalar path: syn[r] = float(W row . in) then += float(V' row .
+        // prev). This lane carries no W fault (single fault), so the first
+        // term is base_[r]; recompute the faulty V term against the lane's
+        // own prev frame and overwrite the unfaulted feedback added above.
+        const size_t r = sf.index / n_;
+        const size_t col = sf.index % n_;
+        const float* vrow = v + r * n_;
+        double acc = 0.0;
+        for (size_t c = 0; c < n_; ++c) {
+          const float w = (c == col) ? sf.value : vrow[c];
+          acc += static_cast<double>(w) * prev_out_[c * lanes_ + l];
+        }
+        syn_[r * lanes_ + l] = base_[r] + static_cast<float>(acc);
+      }
+    }
+  }
+  finish_step(out_lanes);
+}
+
+void LaneLayerRun::synaptic_lanes(const float* in_lanes, float* syn_lanes) {
+  const size_t cols = layer_->num_inputs();
+  auto matvec = [&](const float* w, size_t wc, const float* x_lanes) {
+    if (mode_ == KernelMode::kDense) {
+      tensor::matvec_accumulate_lanes(w, n_, wc, x_lanes, lanes_, syn_lanes);
+      return;
+    }
+    const size_t na = tensor::extract_active_union(x_lanes, wc, lanes_, active_);
+    if (mode_ == KernelMode::kSparse || sparse_frame_wins(na, wc)) {
+      tensor::matvec_accumulate_gather_lanes(w, n_, wc, x_lanes, lanes_, active_.data(), na,
+                                             syn_lanes);
+    } else {
+      tensor::matvec_accumulate_lanes(w, n_, wc, x_lanes, lanes_, syn_lanes);
+    }
+  };
+  switch (layer_->kind()) {
+    case LayerKind::kDense:
+      std::fill(syn_lanes, syn_lanes + n_ * lanes_, 0.0f);
+      matvec(static_cast<const DenseLayer&>(*layer_).weights().data(), cols, in_lanes);
+      break;
+    case LayerKind::kRecurrent: {
+      const auto& rec = static_cast<const RecurrentLayer&>(*layer_);
+      std::fill(syn_lanes, syn_lanes + n_ * lanes_, 0.0f);
+      matvec(rec.weights().data(), cols, in_lanes);
+      if (t_ > 0) matvec(rec.recurrent_weights().data(), n_, prev_out_.data());
+      break;
+    }
+    case LayerKind::kConv2d: {
+      const auto& conv = static_cast<const ConvLayer&>(*layer_);
+      if (mode_ == KernelMode::kDense) {
+        conv_frame_lanes_dense(conv, in_lanes, lanes_, syn_lanes);
+      } else {
+        const size_t na = tensor::extract_active_union(in_lanes, cols, lanes_, active_);
+        if (mode_ == KernelMode::kSparse || sparse_frame_wins(na, cols)) {
+          conv_frame_lanes_scatter(conv, in_lanes, lanes_, active_.data(), na, acc_, syn_lanes);
+        } else {
+          conv_frame_lanes_dense(conv, in_lanes, lanes_, syn_lanes);
+        }
+      }
+      break;
+    }
+    case LayerKind::kSumPool:
+      pool_frame_lanes(static_cast<const SumPoolLayer&>(*layer_), in_lanes, lanes_, syn_lanes);
+      break;
+  }
+}
+
+void LaneLayerRun::step_lanes(const float* in_lanes, float* out_lanes) {
+  synaptic_lanes(in_lanes, syn_.data());
+  finish_step(out_lanes);
+}
+
+void LaneLayerRun::finish_step(float* out_lanes) {
+  lif_.step(syn_.data(), out_lanes);
+  if (layer_->kind() == LayerKind::kRecurrent) {
+    std::copy(out_lanes, out_lanes + n_ * lanes_, prev_out_.begin());
+  }
+  ++t_;
+}
+
+void LaneLayerRun::compact(const uint8_t* keep) {
+  size_t kept = 0;
+  for (size_t l = 0; l < lanes_; ++l) kept += keep[l] ? 1 : 0;
+  if (kept == lanes_) return;
+  lif_.compact(keep);
+  if (!prev_out_.empty()) {
+    size_t w = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      const size_t base = i * lanes_;
+      for (size_t l = 0; l < lanes_; ++l) {
+        if (keep[l]) prev_out_[w++] = prev_out_[base + l];
+      }
+    }
+    prev_out_.resize(n_ * kept);
+  }
+  if (!faults_.empty()) {
+    size_t w = 0;
+    for (size_t l = 0; l < lanes_; ++l) {
+      if (keep[l]) faults_[w++] = faults_[l];
+    }
+    faults_.resize(kept);
+    has_synapse_faults_ = false;
+    for (const LaneFault& f : faults_) {
+      has_synapse_faults_ |= f.synapse.kind != LaneSynapseFault::Kind::kNone;
+    }
+  }
+  lanes_ = kept;
+}
+
+}  // namespace snntest::snn

@@ -1,0 +1,163 @@
+// Lane-batched layer execution for parallel fault simulation (DESIGN.md §12).
+//
+// The campaign engine packs up to W same-layer faults into one multi-lane
+// pass: every lane shares the identical fault-free prefix and the identical
+// weights, so each layer streams its weight matrix once per frame and feeds
+// W per-lane accumulators (tensor/ops.hpp lane kernels), with per-lane
+// membrane/refractory state and per-lane spike output.
+//
+// Bit-identity discipline: a lane must produce exactly the spike train the
+// scalar engine produces for that lane's fault.
+//  * At the fault layer the input is shared (golden prefix), so the fault-
+//    free synaptic frame is computed once with the scalar kernels and
+//    broadcast; a lane's synapse fault only changes the rows/outputs it
+//    touches, and those are recomputed per lane with the faulty value
+//    substituted in the scalar accumulation order (ordered double sums).
+//  * At the layers after the fault the weights are fault-free and shared;
+//    the lane-strided kernels accumulate each lane's ordered double sum
+//    exactly like the scalar kernels (see tensor/ops.hpp), and the sparse
+//    variants gather over the union of the lanes' active sets (the skipped
+//    terms are exact +/-0.0 for every lane).
+//  * Neuron faults never touch the synaptic frame: LaneLif applies a
+//    per-lane single-neuron parameter override inside the (elementwise)
+//    LIF update, replicating fault/injector.cpp's perturbed values.
+//
+// Layering note: this header knows nothing about fault descriptors — the
+// campaign side resolves fault::FaultDescriptor into the plain LaneFault
+// PODs below (fault/lane_injector.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "snn/network.hpp"
+#include "tensor/ops.hpp"
+
+namespace snntest::snn {
+
+/// Hard upper bound on lanes per batch (fixed accumulator arrays in the
+/// lane kernels); campaign::EngineConfig::lane_width is clamped to this.
+inline constexpr size_t kMaxLaneWidth = tensor::kMaxLanes;
+
+/// Per-lane override of one neuron's LIF parameters — the resolved effect
+/// of a neuron fault, applied to a single lane during LaneLif::step.
+struct LaneNeuronOverride {
+  bool active = false;
+  uint32_t neuron = 0;
+  float threshold = 0.0f;
+  float leak = 0.0f;
+  int refractory = 0;
+  NeuronMode mode = NeuronMode::kNormal;
+};
+
+/// Per-lane synaptic perturbation at the fault layer — the resolved effect
+/// of a synapse fault (the faulty stored value, not a delta, so the
+/// affected row is recomputed exactly as the scalar path computes it).
+struct LaneSynapseFault {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kWeight = 1,           // dense / recurrent feed-forward weight (param 0)
+    kRecurrentWeight = 2,  // recurrent lateral weight (param 1)
+    kConvWeight = 3,       // conv stored kernel tap
+    kConvConnection = 4,   // conv single-connection override
+  };
+  Kind kind = Kind::kNone;
+  size_t index = 0;      // flat weight index within the faulted parameter
+  float value = 0.0f;    // faulty stored-weight value
+  size_t out_index = 0;  // conv connection endpoints
+  size_t in_index = 0;
+  float delta = 0.0f;    // conv connection: effective - stored weight
+};
+
+/// One lane's fault. At most one of {neuron, synapse} is active
+/// (single-fault assumption, as in fault/injector.hpp).
+struct LaneFault {
+  LaneNeuronOverride neuron;
+  LaneSynapseFault synapse;
+};
+
+/// Lane-strided LIF state: element (neuron i, lane l) lives at
+/// state[i*lanes + l]. The update is elementwise, so each lane replays the
+/// scalar LifBank::step float expressions exactly; shared per-neuron
+/// parameters come from the (fault-free) reference bank, with at most one
+/// per-lane neuron override.
+class LaneLif {
+ public:
+  /// Bind to `bank` (borrowed; must outlive the run) and reset state for a
+  /// fresh window. `faults` is null (no overrides) or length `lanes`.
+  void reset(const LifBank& bank, size_t lanes, const LaneFault* faults);
+  void step(const float* syn_lanes, float* out_lanes);
+  /// Drop lanes with keep[l] == 0 (retirement compaction).
+  void compact(const uint8_t* keep);
+
+  size_t lanes() const { return lanes_; }
+
+ private:
+  void rebuild_override_map();
+
+  const LifBank* bank_ = nullptr;
+  size_t n_ = 0;
+  size_t lanes_ = 0;
+  std::array<LaneNeuronOverride, kMaxLaneWidth> override_{};
+  /// Per-neuron flag: some lane overrides this neuron. Empty when no lane
+  /// has an override, which keeps step() on the hoisted fast path.
+  std::vector<uint8_t> overridden_;
+  std::vector<float> u_;       // [n * lanes]
+  std::vector<int> refrac_;    // [n * lanes]
+};
+
+/// Runs one layer of a (const, fault-free) network over a window for W
+/// lanes, one timestep at a time, so the caller can interleave per-frame
+/// detection checks and lane retirement. Reusable: reset() rebinds without
+/// reallocating scratch.
+class LaneLayerRun {
+ public:
+  /// `layer` is borrowed and never mutated. `faults` is null for a
+  /// downstream (fault-free) layer, else length `lanes` — per-lane faults
+  /// of THIS layer. `mode` picks dense/sparse kernels per frame
+  /// (bit-identical either way).
+  void reset(const Layer& layer, size_t lanes, const LaneFault* faults, KernelMode mode);
+
+  size_t lanes() const { return lanes_; }
+
+  /// Advance one timestep from a SHARED input frame [num_inputs] — the
+  /// fault-layer entry point (every lane sees the golden prefix).
+  /// `out_lanes` receives the lane-strided spike frame [num_neurons*lanes].
+  void step_shared(const float* in_frame, float* out_lanes);
+
+  /// Advance one timestep from a lane-strided input frame
+  /// [num_inputs*lanes] — the downstream-layer entry point.
+  void step_lanes(const float* in_lanes, float* out_lanes);
+
+  /// Drop lanes with keep[l] == 0: compacts LIF state, recurrent feedback
+  /// and the per-lane fault table. Call between timesteps only.
+  void compact(const uint8_t* keep);
+
+ private:
+  void broadcast_base(float* syn_lanes) const;
+  /// `num_active` is the length of the input frame's active set in
+  /// `active_` (SIZE_MAX when none was extracted): weight-fault row
+  /// recomputes then walk only the active columns — bit-identical, the
+  /// skipped terms are exact +/-0.0 contributions.
+  void apply_shared_synapse_faults(const float* in_frame, size_t num_active, float* syn_lanes);
+  void synaptic_lanes(const float* in_lanes, float* syn_lanes);
+  void finish_step(float* out_lanes);
+
+  const Layer* layer_ = nullptr;
+  size_t lanes_ = 0;
+  size_t n_ = 0;  // num_neurons
+  KernelMode mode_ = KernelMode::kAuto;
+  size_t t_ = 0;
+  bool has_synapse_faults_ = false;
+  std::vector<LaneFault> faults_;  // per-lane, compacted along with state
+  LaneLif lif_;
+  std::vector<float> base_;       // shared fault-free syn frame [n]
+  std::vector<float> syn_;        // lane-strided syn frame [n*lanes]
+  std::vector<float> prev_out_;   // recurrent feedback [n*lanes]
+  std::vector<float> chan_;       // conv channel-recompute scratch [oh*ow]
+  std::vector<double> acc_;       // conv lane scatter accumulators [n*lanes]
+  std::vector<uint32_t> active_;  // per-frame active / union-active indices
+};
+
+}  // namespace snntest::snn

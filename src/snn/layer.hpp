@@ -95,10 +95,22 @@ class Layer {
   /// dense layers equals num_weights, for conv layers counts every reuse.
   virtual size_t num_connections() const = 0;
 
+  /// Forward over a full window into a caller-owned buffer. `in` is
+  /// [T, num_inputs] with values {0,1}; `out` is resized (storage reused)
+  /// to [T, num_neurons] and overwritten with the output spike train. When
+  /// `record_traces`, keeps everything needed for a subsequent backward().
+  /// `out` must not alias `in`. The buffer-reuse entry point of the
+  /// fault-simulation hot loop: a worker passes the same two ping-pong
+  /// tensors for every fault instead of allocating a train per layer call.
+  virtual void forward_into(const Tensor& in, bool record_traces, Tensor& out) = 0;
+
   /// Forward over a full window. `in` is [T, num_inputs] with values {0,1}.
-  /// Returns the spike train [T, num_neurons]. When `record_traces`, keeps
-  /// everything needed for a subsequent backward().
-  virtual Tensor forward(const Tensor& in, bool record_traces) = 0;
+  /// Returns the spike train [T, num_neurons].
+  Tensor forward(const Tensor& in, bool record_traces) {
+    Tensor out;
+    forward_into(in, record_traces, out);
+    return out;
+  }
 
   /// BPTT through the recorded window. `grad_out` is dL/d(output spikes),
   /// [T, num_neurons]. Accumulates weight gradients and returns

@@ -36,20 +36,20 @@ void SumPoolLayer::pool_frame(const float* in, float* syn) const {
   }
 }
 
-Tensor SumPoolLayer::forward(const Tensor& in, bool record_traces) {
+void SumPoolLayer::forward_into(const Tensor& in, bool record_traces, Tensor& out) {
   if (in.shape().rank() != 2 || in.shape().dim(1) != spec_.input_size()) {
     throw std::invalid_argument("SumPoolLayer::forward: bad input shape " +
                                 in.shape().to_string());
   }
   const size_t T = in.shape().dim(0);
-  Tensor out(Shape{T, lif_.size()});
+  out.resize_zero(Shape{T, lif_.size()});
   lif_.begin_run(T, record_traces);
-  std::vector<float> syn(lif_.size());
+  syn_scratch_.resize(lif_.size());
+  std::vector<float>& syn = syn_scratch_;
   for (size_t t = 0; t < T; ++t) {
     pool_frame(in.row(t), syn.data());
     lif_.step(syn.data(), out.row(t));
   }
-  return out;
 }
 
 Tensor SumPoolLayer::backward(const Tensor& grad_out) {

@@ -38,7 +38,7 @@ class SumPoolLayer final : public Layer {
     return spec_.output_size() * spec_.window * spec_.window;
   }
 
-  Tensor forward(const Tensor& in, bool record_traces) override;
+  void forward_into(const Tensor& in, bool record_traces, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
 
   std::vector<ParamView> params() override { return {}; }
@@ -48,11 +48,16 @@ class SumPoolLayer final : public Layer {
 
   const SumPoolSpec& spec() const { return spec_; }
 
- private:
+  /// syn frame (length output_size) from one input spike frame — float
+  /// window sums in ascending (wy, wx) order. Public and const so the
+  /// lane-batched simulation path (snn/lane_network.cpp) can compute the
+  /// shared base frame without mutating the layer.
   void pool_frame(const float* in, float* syn) const;
 
+ private:
   SumPoolSpec spec_;
   LifBank lif_;
+  std::vector<float> syn_scratch_;  // per-frame synaptic currents (no realloc per window)
 };
 
 }  // namespace snntest::snn

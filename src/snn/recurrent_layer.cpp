@@ -34,16 +34,17 @@ void RecurrentLayer::init_weights(util::Rng& rng, float gain, float recurrent_ga
   for (size_t i = 0; i < lif_.size(); ++i) recurrent_[i * lif_.size() + i] = 0.0f;
 }
 
-Tensor RecurrentLayer::forward(const Tensor& in, bool record_traces) {
+void RecurrentLayer::forward_into(const Tensor& in, bool record_traces, Tensor& out) {
   if (in.shape().rank() != 2 || in.shape().dim(1) != num_inputs_) {
     throw std::invalid_argument("RecurrentLayer::forward: bad input shape " +
                                 in.shape().to_string());
   }
   const size_t T = in.shape().dim(0);
   const size_t n = lif_.size();
-  Tensor out(Shape{T, n});
+  out.resize_zero(Shape{T, n});
   lif_.begin_run(T, record_traces);
-  std::vector<float> syn(n);
+  syn_scratch_.resize(n);
+  std::vector<float>& syn = syn_scratch_;
   const KernelMode mode = kernel_mode_;
   // Both the feed-forward input and the lateral feedback are spike trains,
   // so each matvec independently picks the sparse gather when its frame is
@@ -80,7 +81,6 @@ Tensor RecurrentLayer::forward(const Tensor& in, bool record_traces) {
     saved_input_ = in;
     saved_output_ = out;
   }
-  return out;
 }
 
 Tensor RecurrentLayer::backward(const Tensor& grad_out) {

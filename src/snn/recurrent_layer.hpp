@@ -28,7 +28,7 @@ class RecurrentLayer final : public Layer {
   size_t num_weights() const override { return weights_.size() + recurrent_.size(); }
   size_t num_connections() const override { return num_weights(); }
 
-  Tensor forward(const Tensor& in, bool record_traces) override;
+  void forward_into(const Tensor& in, bool record_traces, Tensor& out) override;
   Tensor backward(const Tensor& grad_out) override;
 
   std::vector<ParamView> params() override;
@@ -51,6 +51,7 @@ class RecurrentLayer final : public Layer {
   Tensor saved_input_;
   Tensor saved_output_;  // needed: syn[t] depends on s_out[t-1]
   std::vector<uint32_t> active_scratch_;  // per-frame active indices (sparse backward)
+  std::vector<float> syn_scratch_;        // per-frame synaptic currents (no realloc per window)
 };
 
 }  // namespace snntest::snn

@@ -66,6 +66,40 @@ void matvec_accumulate_gather(const float* a, size_t rows, size_t cols, const fl
 void outer_accumulate_gather(float* a, size_t rows, size_t cols, const float* u, const float* v,
                              const uint32_t* active, size_t num_active, float alpha);
 
+// --- lane-strided kernels (parallel fault simulation, DESIGN.md §12) ----
+//
+// A lane frame packs W independent simulations of the same layer into one
+// buffer, strided lane-minor: element (c, lane) lives at x[c*lanes + lane].
+// One traversal of the weight matrix then feeds W accumulator columns, so
+// the weights are streamed from memory once per frame instead of once per
+// fault, and the per-lane double accumulators break the serial dependency
+// chain of the scalar kernel (W independent chains per row).
+
+/// Hard upper bound on the lane count of the lane kernels (fixed-size
+/// accumulator arrays; EngineConfig::lane_width is clamped to this).
+inline constexpr size_t kMaxLanes = 16;
+
+/// Lane-strided y += A x: y[r*lanes+l] += sum_c A[r,c] * x[c*lanes+l].
+/// Each lane accumulates the identical ordered double sum the scalar
+/// matvec_accumulate computes, so every lane is bit-identical to a scalar
+/// run on that lane's frame. `lanes` must be in [1, kMaxLanes].
+void matvec_accumulate_lanes(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                             size_t lanes, float* y_lanes);
+
+/// Lane-strided sparse matvec over `active` columns (ascending). Bit-
+/// identical to matvec_accumulate_lanes when `active` covers every column
+/// that is nonzero in at least one lane: a skipped column is zero in every
+/// lane, so the skipped terms are exact +/-0.0 contributions per lane (the
+/// same argument as matvec_accumulate_gather).
+void matvec_accumulate_gather_lanes(const float* a, size_t rows, size_t cols,
+                                    const float* x_lanes, size_t lanes, const uint32_t* active,
+                                    size_t num_active, float* y_lanes);
+
+/// Ascending indices c where lane frame `x_lanes` is nonzero in ANY lane —
+/// the union active set driving the lane gather kernel above.
+size_t extract_active_union(const float* x_lanes, size_t n, size_t lanes,
+                            std::vector<uint32_t>& scratch);
+
 /// y += A^T x: y[c] += sum_r A[r,c]*x[r].
 void matvec_transpose_accumulate(const float* a, size_t rows, size_t cols, const float* x,
                                  float* y);

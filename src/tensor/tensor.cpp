@@ -46,6 +46,12 @@ void Tensor::reshape(Shape new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::resize_zero(Shape new_shape) {
+  const size_t n = new_shape.numel();
+  shape_ = std::move(new_shape);
+  data_.assign(n, 0.0f);  // vector::assign reuses capacity
+}
+
 double Tensor::sum() const {
   return std::accumulate(data_.begin(), data_.end(), 0.0);
 }

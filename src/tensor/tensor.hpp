@@ -101,6 +101,13 @@ class Tensor {
   /// Reshape in place; the number of elements must not change.
   void reshape(Shape new_shape);
 
+  /// Take shape `new_shape` and zero all elements, reusing the existing
+  /// storage capacity (no reallocation once the tensor has been sized to
+  /// the largest shape it sees). Scratch-buffer counterpart of
+  /// constructing a fresh zero tensor — used by Layer::forward_into so the
+  /// fault-simulation hot loop stops allocating per fault.
+  void resize_zero(Shape new_shape);
+
   /// Sum of all elements (double accumulator for stability).
   double sum() const;
   float max_value() const;

@@ -5,6 +5,7 @@
 // equality, fingerprint mismatch rejection, truncated-tail tolerance).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -16,8 +17,11 @@
 #include "campaign/golden_cache.hpp"
 #include "fault/coverage.hpp"
 #include "fault/registry.hpp"
+#include "obs/metrics.hpp"
 #include "snn/conv_layer.hpp"
 #include "snn/dense_layer.hpp"
+#include "snn/pool_layer.hpp"
+#include "snn/recurrent_layer.hpp"
 #include "snn/spike_train.hpp"
 
 namespace snntest::campaign {
@@ -281,6 +285,10 @@ TEST(Checkpoint, InterruptedRunResumesToIdenticalOutcome) {
   EngineConfig cfg;
   cfg.num_threads = 2;
   cfg.grain = 2;
+  // Cancellation is polled once per work item; run this leg scalar so the
+  // poll budget counts faults. The resume leg below keeps the default lane
+  // batching, so the joined results also cross-check lane vs scalar.
+  cfg.lane_width = 1;
   cfg.checkpoint_path = path;
   cfg.checkpoint_flush_every = 1;
   cfg.cancel = [&budget] { return budget.fetch_sub(1) <= 0; };
@@ -595,6 +603,281 @@ TEST(Checkpoint, FuzzTruncationAtEveryByteBoundaryNeverCrashes) {
     EXPECT_LE(data->skipped_lines, 1u) << "len " << len;  // at most the chopped tail
   }
   std::remove(path.c_str());
+}
+
+// ---- Lane-batched simulation (W faults per forward pass, DESIGN.md §12) ---
+
+snn::Network make_conv_pool_net(uint64_t seed = 41) {
+  util::Rng rng(seed);
+  snn::LifParams lif;
+  snn::Network net("campaign-conv-pool");
+  snn::Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.in_height = 8;
+  spec.in_width = 8;
+  spec.out_channels = 4;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.padding = 1;
+  auto conv = std::make_unique<snn::ConvLayer>(spec, lif);
+  conv->init_weights(rng, 1.3f);
+  net.add_layer(std::move(conv));
+  snn::SumPoolSpec pool;
+  pool.channels = 4;
+  pool.in_height = 8;
+  pool.in_width = 8;
+  pool.window = 2;
+  net.add_layer(std::make_unique<snn::SumPoolLayer>(pool, lif));
+  auto fc = std::make_unique<snn::DenseLayer>(pool.output_size(), 6, lif);
+  fc->init_weights(rng, 1.3f);
+  net.add_layer(std::move(fc));
+  return net;
+}
+
+snn::Network make_recurrent_net(uint64_t seed = 31) {
+  util::Rng rng(seed);
+  snn::LifParams lif;
+  snn::Network net("campaign-recurrent");
+  auto l1 = std::make_unique<snn::DenseLayer>(10, 14, lif);
+  l1->init_weights(rng, 1.3f);
+  net.add_layer(std::move(l1));
+  auto rec = std::make_unique<snn::RecurrentLayer>(14, 12, lif);
+  rec->init_weights(rng, 1.2f, 0.5f);
+  net.add_layer(std::move(rec));
+  auto l3 = std::make_unique<snn::DenseLayer>(12, 5, lif);
+  l3->init_weights(rng, 1.3f);
+  net.add_layer(std::move(l3));
+  return net;
+}
+
+/// Sample from a universe with EVERY fault kind enabled — structural,
+/// parametric, bit-flips — so the lane fault resolver is exercised against
+/// each injector branch.
+std::vector<fault::FaultDescriptor> all_kinds_universe(snn::Network& net, size_t k, uint64_t seed,
+                                                       bool conv_connections = false) {
+  fault::FaultUniverseConfig cfg;
+  cfg.neuron_threshold_variation = true;
+  cfg.neuron_leak_variation = true;
+  cfg.neuron_refractory_variation = true;
+  cfg.synapse_bitflip = true;
+  cfg.conv_connection_granularity = conv_connections;
+  auto universe = fault::enumerate_faults(net, cfg);
+  util::Rng rng(seed);
+  return fault::sample_faults(universe, k, rng);
+}
+
+TEST(LaneBatch, FuzzMatrixBitIdenticalToScalar) {
+  // Property matrix: random fault populations (all kinds, mixed layers) on
+  // three architectures, every lane width x kernel mode x telemetry state.
+  // Each configuration must reproduce the scalar (lane_width=1) engine's
+  // DetectionResults bit-for-bit — detected flags, output_l1 doubles and
+  // class count diffs — plus identical pruning/forward accounting, in both
+  // full and detect-only modes.
+  struct Case {
+    std::string name;
+    snn::Network net;
+    tensor::Tensor input;
+    std::vector<fault::FaultDescriptor> faults;
+  };
+  std::vector<Case> cases;
+  {
+    auto net = make_net();
+    auto input = busy_input(14, 8, 71);
+    auto faults = all_kinds_universe(net, 48, 72);
+    cases.push_back({"dense-mlp", std::move(net), std::move(input), std::move(faults)});
+  }
+  {
+    auto net = make_conv_pool_net();
+    util::Rng rng(73);
+    auto input = snn::random_spike_train(12, net.input_size(), 0.12, rng);
+    auto faults = all_kinds_universe(net, 48, 74, /*conv_connections=*/true);
+    cases.push_back({"conv-pool-dense", std::move(net), std::move(input), std::move(faults)});
+  }
+  {
+    auto net = make_recurrent_net();
+    util::Rng rng(75);
+    auto input = snn::random_spike_train(16, net.input_size(), 0.4, rng);
+    auto faults = all_kinds_universe(net, 48, 76);
+    cases.push_back({"recurrent", std::move(net), std::move(input), std::move(faults)});
+  }
+
+  const bool telemetry_before = obs::telemetry_enabled();
+  for (auto& c : cases) {
+    ASSERT_FALSE(c.faults.empty()) << c.name;
+    EngineConfig scalar_cfg;
+    scalar_cfg.lane_width = 1;
+    const auto scalar = run_campaign(c.net, c.input, c.faults, scalar_cfg);
+    EXPECT_EQ(scalar.stats.lane_batches, 0u) << c.name;
+    EngineConfig scalar_detect = scalar_cfg;
+    scalar_detect.detect_only = true;
+    const auto scalar_fast = run_campaign(c.net, c.input, c.faults, scalar_detect);
+
+    for (const size_t width : {size_t{2}, size_t{3}, size_t{8}}) {
+      for (const auto mode :
+           {snn::KernelMode::kDense, snn::KernelMode::kSparse, snn::KernelMode::kAuto}) {
+        for (const bool telemetry : {false, true}) {
+          SCOPED_TRACE(c.name + " width=" + std::to_string(width) + " mode=" +
+                       std::to_string(static_cast<int>(mode)) +
+                       (telemetry ? " telemetry" : ""));
+          obs::set_telemetry_enabled(telemetry);
+          EngineConfig cfg;
+          cfg.lane_width = width;
+          cfg.kernel_mode = mode;
+          const auto lane = run_campaign(c.net, c.input, c.faults, cfg);
+          EngineConfig dcfg = cfg;
+          dcfg.detect_only = true;
+          const auto lane_fast = run_campaign(c.net, c.input, c.faults, dcfg);
+          obs::set_telemetry_enabled(telemetry_before);
+
+          expect_results_identical(lane.results, scalar.results);
+          EXPECT_EQ(lane.detected_count(), scalar.detected_count());
+          // Retirement fires at the same layers as scalar pruning, so the
+          // forward accounting must agree exactly too.
+          EXPECT_EQ(lane.stats.faults_pruned, scalar.stats.faults_pruned);
+          EXPECT_EQ(lane.stats.layer_forwards, scalar.stats.layer_forwards);
+          EXPECT_GT(lane.stats.lane_batched_faults, 0u);
+          EXPECT_GT(lane.stats.lane_batches, 0u);
+
+          // Detect-only: scalar and lane paths check the accumulated L1
+          // after each full frame, so even the lower-bound L1 is bitwise
+          // reproducible across widths.
+          expect_results_identical(lane_fast.results, scalar_fast.results);
+          EXPECT_EQ(lane_fast.detected_count(), scalar_fast.detected_count());
+        }
+      }
+    }
+  }
+}
+
+TEST(LaneBatch, CheckpointResumeAcrossLaneWidths) {
+  // The checkpoint fingerprint deliberately excludes lane_width: a campaign
+  // interrupted mid-run at width 8 must resume at width 3 (regrouping the
+  // pending faults into fresh batches that do not align with the old batch
+  // boundaries) and still join to the scalar ground truth bit-exactly.
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 96, 63);
+  EngineConfig scalar_cfg;
+  scalar_cfg.lane_width = 1;
+  const auto truth = run_campaign(net, input, faults, scalar_cfg);
+
+  const std::string path = temp_path("ck_lane_resume.jsonl");
+  std::remove(path.c_str());
+  std::atomic<long> budget{4};
+  EngineConfig cfg;
+  cfg.lane_width = 8;
+  cfg.num_threads = 2;
+  cfg.checkpoint_path = path;
+  cfg.checkpoint_flush_every = 1;
+  cfg.cancel = [&budget] { return budget.fetch_sub(1) <= 0; };
+  const auto partial = run_campaign(net, input, faults, cfg);
+  EXPECT_FALSE(partial.completed);
+  EXPECT_GT(partial.stats.faults_simulated, 0u);
+  EXPECT_LT(partial.stats.faults_simulated, faults.size());
+
+  EngineConfig resume_cfg;
+  resume_cfg.lane_width = 3;
+  resume_cfg.checkpoint_path = path;
+  const auto resumed = run_campaign(net, input, faults, resume_cfg);
+  EXPECT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.stats.faults_resumed, partial.stats.faults_simulated);
+  EXPECT_EQ(resumed.stats.faults_simulated + resumed.stats.faults_resumed, faults.size());
+  expect_results_identical(resumed.results, truth.results);
+  std::remove(path.c_str());
+}
+
+TEST(Engine, DetectOnlyThresholdAccumulatesThinSpreadDivergence) {
+  // Regression guard for detect_only + detection_threshold > 0: a stuck
+  // output neuron diverges by at most one spike per timestep, so no single
+  // frame can cross a threshold of 9.5 — detection is only reachable by
+  // accumulating the divergence across frames. detect_only must agree with
+  // the full comparison on every detected flag, report a crossing L1 for
+  // detected faults and the exact L1 for undetected ones. Runs both the
+  // scalar and the lane-batched path (which retires lanes mid-window).
+  auto net = make_net();
+  const auto input = busy_input(40, 8, 111);
+  std::vector<fault::FaultDescriptor> faults;
+  for (size_t i = 0; i < net.layer(2).num_neurons(); ++i) {
+    fault::FaultDescriptor sat;
+    sat.kind = fault::FaultKind::kNeuronSaturated;
+    sat.neuron = {2, i};
+    faults.push_back(sat);
+    fault::FaultDescriptor dead;
+    dead.kind = fault::FaultKind::kNeuronDead;
+    dead.neuron = {2, i};
+    faults.push_back(dead);
+  }
+  // Derive a threshold strictly between the smallest and largest exact L1
+  // so the population splits into detected and undetected faults, and well
+  // above the largest possible single-frame divergence (1.0 — one stuck
+  // neuron), so crossing it takes many frames of accumulation.
+  const auto exact = run_campaign(net, input, faults, {});
+  std::vector<double> l1s(faults.size());
+  for (size_t j = 0; j < faults.size(); ++j) l1s[j] = exact.results[j].output_l1;
+  std::sort(l1s.begin(), l1s.end());
+  const double threshold = (l1s.front() + l1s.back()) / 2.0;
+  ASSERT_GT(threshold, 1.5) << "divergence too small to need accumulation";
+  ASSERT_LT(l1s.front(), threshold);
+  ASSERT_GT(l1s.back(), threshold);
+
+  EngineConfig full_cfg;
+  full_cfg.detection_threshold = threshold;
+  const auto full = run_campaign(net, input, faults, full_cfg);
+  ASSERT_GT(full.detected_count(), 0u);
+  ASSERT_LT(full.detected_count(), faults.size());
+
+  for (const size_t width : {size_t{1}, size_t{8}}) {
+    SCOPED_TRACE("lane_width=" + std::to_string(width));
+    EngineConfig cfg;
+    cfg.detect_only = true;
+    cfg.detection_threshold = threshold;
+    cfg.lane_width = width;
+    const auto fast = run_campaign(net, input, faults, cfg);
+    ASSERT_EQ(fast.results.size(), full.results.size());
+    size_t early_exits = 0;
+    for (size_t j = 0; j < faults.size(); ++j) {
+      EXPECT_EQ(fast.results[j].detected, full.results[j].detected) << "fault " << j;
+      EXPECT_TRUE(fast.results[j].class_count_diff.empty());
+      if (full.results[j].detected) {
+        // Crossed by accumulation: above the threshold (hence above any
+        // single frame's possible mass) but never above the exact L1.
+        EXPECT_GT(fast.results[j].output_l1, threshold) << "fault " << j;
+        EXPECT_LE(fast.results[j].output_l1, full.results[j].output_l1) << "fault " << j;
+        if (fast.results[j].output_l1 < full.results[j].output_l1) ++early_exits;
+      } else {
+        // Train ended below the threshold: the lower bound is exact.
+        EXPECT_EQ(fast.results[j].output_l1, full.results[j].output_l1) << "fault " << j;
+      }
+    }
+    // At least one detected fault must have stopped before the train end,
+    // otherwise this test is not exercising the early exit at all.
+    EXPECT_GT(early_exits, 0u);
+  }
+}
+
+TEST(LaneBatch, FallsBackToScalarForSingletonGroupsAndNoPrefixReuse) {
+  auto net = make_net();
+  const auto input = busy_input();
+  // One fault per layer: every group is a singleton, so no batch forms even
+  // at the default width.
+  std::vector<fault::FaultDescriptor> faults(3);
+  for (size_t l = 0; l < 3; ++l) {
+    faults[l].kind = fault::FaultKind::kNeuronDead;
+    faults[l].neuron = {l, 0};
+  }
+  const auto singleton = run_campaign(net, input, faults, {});
+  EXPECT_EQ(singleton.stats.lane_batches, 0u);
+  EXPECT_EQ(singleton.stats.lane_batched_faults, 0u);
+
+  // prefix_reuse off disables batching outright (the batch path simulates
+  // from the golden prefix by construction).
+  const auto dense_faults = sampled_universe(net, 40, 77);
+  EngineConfig no_prefix;
+  no_prefix.prefix_reuse = false;
+  const auto plain = run_campaign(net, input, dense_faults, no_prefix);
+  EXPECT_EQ(plain.stats.lane_batches, 0u);
+  const auto naive = naive_reference(net, input, dense_faults);
+  expect_results_identical(plain.results, naive);
 }
 
 }  // namespace

@@ -187,5 +187,68 @@ TEST(SparseOps, GatherMatvecBitIdenticalToDense) {
   }
 }
 
+TEST(Ops, LaneMatvecBitIdenticalToScalarPerLane) {
+  // The lane-strided kernels promise each lane the identical ordered double
+  // accumulation the scalar matvec performs on that lane's frame — so lane
+  // width must never change a single output bit.
+  const size_t rows = 23, cols = 41;
+  uint64_t state = 987654321;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;
+  };
+  std::vector<float> a(rows * cols);
+  for (auto& w : a) w = static_cast<float>(next() * 2.0 - 1.0);
+  for (const size_t lanes : {size_t{1}, size_t{2}, size_t{3}, size_t{8}, kMaxLanes}) {
+    for (const double density : {0.05, 0.3, 1.0}) {
+      // Lane-minor frame plus a contiguous per-lane copy for the reference.
+      std::vector<float> x_lanes(cols * lanes, 0.0f);
+      std::vector<std::vector<float>> x_ref(lanes, std::vector<float>(cols, 0.0f));
+      for (size_t c = 0; c < cols; ++c) {
+        for (size_t l = 0; l < lanes; ++l) {
+          if (next() < density) {
+            const float v = next() < 0.5 ? 1.0f : static_cast<float>(next() * 2.0 - 1.0);
+            x_lanes[c * lanes + l] = v;
+            x_ref[l][c] = v;
+          }
+        }
+      }
+      std::vector<float> y_lanes(rows * lanes, 0.25f);
+      matvec_accumulate_lanes(a.data(), rows, cols, x_lanes.data(), lanes, y_lanes.data());
+
+      std::vector<uint32_t> active;
+      const size_t num_active = extract_active_union(x_lanes.data(), cols, lanes, active);
+      // The union set is exactly the columns nonzero in any lane, ascending.
+      std::vector<uint32_t> expect_active;
+      for (size_t c = 0; c < cols; ++c) {
+        for (size_t l = 0; l < lanes; ++l) {
+          if (x_lanes[c * lanes + l] != 0.0f) {
+            expect_active.push_back(static_cast<uint32_t>(c));
+            break;
+          }
+        }
+      }
+      ASSERT_EQ(num_active, expect_active.size());
+      ASSERT_EQ(std::vector<uint32_t>(active.begin(), active.begin() + num_active),
+                expect_active);
+
+      std::vector<float> y_gather(rows * lanes, 0.25f);
+      matvec_accumulate_gather_lanes(a.data(), rows, cols, x_lanes.data(), lanes, active.data(),
+                                     num_active, y_gather.data());
+
+      for (size_t l = 0; l < lanes; ++l) {
+        std::vector<float> y_scalar(rows, 0.25f);
+        matvec_accumulate(a.data(), rows, cols, x_ref[l].data(), y_scalar.data());
+        for (size_t r = 0; r < rows; ++r) {
+          ASSERT_EQ(y_lanes[r * lanes + l], y_scalar[r])
+              << "lanes " << lanes << " density " << density << " lane " << l << " row " << r;
+          ASSERT_EQ(y_gather[r * lanes + l], y_scalar[r])
+              << "gather lanes " << lanes << " density " << density << " lane " << l;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace snntest::tensor
