@@ -1,17 +1,28 @@
 // In-field periodic testing scenario (paper Sec. I: the compact test "can
 // be stored on-chip, taking up a small memory space, for in-field testing").
 //
-// Simulates a device lifetime: the stored stimulus is applied periodically;
-// mid-life a latent hardware fault appears (injected), and the periodic
-// test flags the device by comparing the output signature against the
-// golden signature recorded at t0.
+// Two modes:
+//
+//  * --dict schedule.snfd — replay a minimized test schedule produced by
+//    `coverage_tool minimize --out` (or any dictionary with embedded
+//    stimuli; non-schedule_ordered dictionaries are minimized here, which
+//    is deterministic, so tool and device agree). The device executes the
+//    scheduled stimuli in order, printing the coverage-vs-time curve as it
+//    goes, and flags the first output-signature divergence.
+//
+//  * legacy (no --dict) — a single stored TestStimulus is applied
+//    periodically over a simulated device lifetime; a latent fault appears
+//    mid-life and the periodic test flags it.
 //
 // Run:  ./build/examples/infield_test [--benchmark shd] [--stimulus FILE]
-//       (generates a stimulus on the fly if FILE is absent)
+//       [--dict schedule.snfd] [--fault-layer 0] [--fault-neuron 7]
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include "core/test_generator.hpp"
+#include "coverage/fault_dictionary.hpp"
+#include "coverage/minimize.hpp"
 #include "fault/injector.hpp"
 #include "snn/spike_train.hpp"
 #include "util/cli.hpp"
@@ -20,9 +31,133 @@
 
 using namespace snntest;
 
+namespace {
+
+fault::FaultDescriptor latent_fault(const util::CliParser& cli) {
+  fault::FaultDescriptor latent;
+  latent.kind = fault::FaultKind::kNeuronDead;
+  latent.neuron = {static_cast<size_t>(cli.get_int("fault-layer")),
+                   static_cast<size_t>(cli.get_int("fault-neuron"))};
+  return latent;
+}
+
+/// Replay a coverage dictionary's (minimized) schedule on a faulty device.
+int run_schedule_mode(const util::CliParser& cli, snn::Network& net) {
+  coverage::FaultDictionary::LoadStats load_stats;
+  auto loaded = coverage::FaultDictionary::load(cli.get("dict"), &load_stats);
+  if (!loaded) {
+    std::fprintf(stderr, "error: cannot load schedule dictionary %s\n", cli.get("dict").c_str());
+    return 1;
+  }
+  const coverage::FaultDictionary& dict = *loaded;
+  if (load_stats.records_skipped > 0) {
+    std::printf("note: %zu damaged record(s) skipped in %s\n", load_stats.records_skipped,
+                cli.get("dict").c_str());
+  }
+
+  // schedule_ordered dictionaries ARE the schedule (execute in file order);
+  // anything else is minimized here — the minimizer is deterministic, so
+  // the device derives the same schedule the factory tool would.
+  coverage::TestSchedule schedule;
+  if (dict.schedule_ordered) {
+    schedule.num_faults = dict.num_faults;
+    schedule.detectable_faults = dict.detectable_count();
+    std::vector<char> covered(dict.num_faults, 0);
+    for (size_t s = 0; s < dict.num_stimuli(); ++s) {
+      coverage::ScheduleStep step;
+      step.stimulus = s;
+      for (size_t f : dict.detected_faults(s)) {
+        if (!covered[f]) {
+          covered[f] = 1;
+          ++step.new_faults;
+        }
+      }
+      schedule.covered_faults += step.new_faults;
+      step.cumulative_detected = schedule.covered_faults;
+      step.frames = std::max<uint64_t>(dict.stimulus(s).duration_frames, 1);
+      schedule.scheduled_frames += step.frames;
+      step.cumulative_frames = schedule.scheduled_frames;
+      schedule.all_stimuli_frames += step.frames;
+      schedule.steps.push_back(step);
+    }
+  } else {
+    std::printf("dictionary is not schedule-ordered; minimizing locally\n");
+    schedule = coverage::minimize_schedule(dict);
+  }
+  if (schedule.steps.empty()) {
+    std::fprintf(stderr, "error: empty schedule (no detected faults recorded?)\n");
+    return 1;
+  }
+
+  std::printf("schedule: %zu stimuli, %llu frames, covering %zu/%zu detectable faults\n\n",
+              schedule.steps.size(), static_cast<unsigned long long>(schedule.scheduled_frames),
+              schedule.covered_faults, schedule.detectable_faults);
+
+  // t0: golden signatures per scheduled stimulus on the known-good device.
+  std::vector<tensor::Tensor> golden;
+  for (const auto& step : schedule.steps) {
+    const auto& entry = dict.stimulus(step.stimulus);
+    if (!entry.has_data()) {
+      std::fprintf(stderr, "error: stimulus %s has no embedded spike train; rebuild the\n"
+                           "dictionary with store_stimulus_data (coverage_tool build default)\n",
+                   entry.name.c_str());
+      return 1;
+    }
+    golden.push_back(net.forward(entry.data).output());
+  }
+
+  // Device lifetime: the latent fault is present when the periodic test
+  // runs; execute the schedule and flag the first divergence.
+  fault::FaultInjector injector(net);
+  const auto latent = latent_fault(cli);
+  injector.inject(latent);
+
+  util::TextTable table(
+      {"step", "stimulus", "frames", "cum. frames", "planned coverage", "L1 diff", "verdict"});
+  int detected_step = -1;
+  for (size_t i = 0; i < schedule.steps.size(); ++i) {
+    const auto& step = schedule.steps[i];
+    const auto& entry = dict.stimulus(step.stimulus);
+    const auto response = net.forward(entry.data).output();
+    const double diff = snn::output_distance(golden[i], response);
+    const bool flagged = diff > dict.detection_threshold;
+    if (flagged && detected_step < 0) detected_step = static_cast<int>(i);
+    table.add_row({std::to_string(i), entry.name, std::to_string(step.frames),
+                   std::to_string(step.cumulative_frames),
+                   util::fmt_pct(schedule.detectable_faults == 0
+                                     ? 1.0
+                                     : static_cast<double>(step.cumulative_detected) /
+                                           static_cast<double>(schedule.detectable_faults)),
+                   util::fmt_double(diff, 0), flagged ? "FAULTY" : "clean"});
+  }
+  injector.remove();
+  std::printf("%s\n", table.render().c_str());
+
+  if (detected_step >= 0) {
+    std::printf("latent fault (%s) flagged at step %d after %llu frames"
+                " (full replay would cost %llu frames).\n",
+                latent.to_string().c_str(), detected_step,
+                static_cast<unsigned long long>(schedule.steps[detected_step].cumulative_frames),
+                static_cast<unsigned long long>(schedule.all_stimuli_frames));
+    return 0;
+  }
+  std::printf("latent fault (%s) escaped the schedule — it was likely outside the\n"
+              "dictionary's detectable set; extend the dictionary with more stimuli.\n",
+              latent.to_string().c_str());
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  util::CliParser cli({{"benchmark", "shd"}, {"stimulus", ""}, {"checks", "10"}},
-                      "Periodic in-field self-test with an on-chip stored stimulus.");
+  util::CliParser cli({{"benchmark", "shd"},
+                       {"stimulus", ""},
+                       {"dict", ""},
+                       {"checks", "10"},
+                       {"fault-layer", "0"},
+                       {"fault-neuron", "7"}},
+                      "Periodic in-field self-test with an on-chip stored stimulus or a\n"
+                      "minimized coverage schedule (--dict, from coverage_tool minimize).");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -33,7 +168,9 @@ int main(int argc, char** argv) {
   auto bundle = zoo::load_or_train(zoo::parse_benchmark(cli.get("benchmark")));
   auto& net = bundle.network;
 
-  // --- obtain the stored test stimulus ---
+  if (!cli.get("dict").empty()) return run_schedule_mode(cli, net);
+
+  // --- legacy mode: one stored stimulus applied periodically ---
   core::TestStimulus stored;
   const std::string path = cli.get("stimulus");
   if (!path.empty() && std::filesystem::exists(path)) {
@@ -60,25 +197,18 @@ int main(int argc, char** argv) {
   const int checks = cli.get_int("checks");
   const int fault_onset = checks / 2;
   fault::FaultInjector injector(net);
-  fault::FaultDescriptor latent;
-  latent.kind = fault::FaultKind::kNeuronDead;
-  latent.neuron = {0, 7};
+  const auto latent = latent_fault(cli);
 
   util::TextTable table({"check", "signature L1 diff", "verdict"});
-  bool fault_active = false;
   int detected_at = -1;
   for (int k = 0; k < checks; ++k) {
-    if (k == fault_onset) {
-      injector.inject(latent);
-      fault_active = true;
-    }
+    if (k == fault_onset) injector.inject(latent);
     const auto response = net.forward(test_input).output();
     const double diff = snn::output_distance(golden_signature, response);
     const bool flagged = diff > 0.0;
     if (flagged && detected_at < 0) detected_at = k;
     table.add_row({std::to_string(k), util::fmt_double(diff, 0),
                    flagged ? "FAULTY — pull from service" : "healthy"});
-    (void)fault_active;
   }
   std::printf("%s\n", table.render().c_str());
   if (detected_at == fault_onset) {

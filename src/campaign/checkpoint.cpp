@@ -59,6 +59,15 @@ bool parse_u64_field(const std::string& line, const char* key, uint64_t* out) {
   return end != start;
 }
 
+bool parse_i64_field(const std::string& line, const char* key, int64_t* out) {
+  size_t pos;
+  if (!find_key(line, key, &pos)) return false;
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  *out = std::strtoll(start, &end, 10);
+  return end != start;
+}
+
 bool parse_hex_field(const std::string& line, const char* key, uint64_t* out) {
   size_t pos;
   if (!find_key(line, key, &pos)) return false;
@@ -98,6 +107,7 @@ bool parse_result_line(const std::string& line, size_t* index, fault::DetectionR
   if (!parse_u64_field(line, "index", &idx)) return false;
   if (!parse_u64_field(line, "detected", &detected)) return false;
   if (!parse_double_field(line, "l1", &r->output_l1)) return false;
+  if (!parse_i64_field(line, "frame", &r->first_detection_frame)) return false;
   if (!parse_diff_field(line, &r->class_count_diff)) return false;
   *index = idx;
   r->detected = detected != 0;
@@ -141,7 +151,7 @@ CheckpointWriter::CheckpointWriter(const std::string& path, const CheckpointHead
   if (!append) {
     char buf[160];
     std::snprintf(buf, sizeof(buf),
-                  "{\"type\":\"header\",\"version\":1,\"fingerprint\":\"%016" PRIx64
+                  "{\"type\":\"header\",\"version\":2,\"fingerprint\":\"%016" PRIx64
                   "\",\"num_faults\":%zu,\"threshold\":%.17g}\n",
                   header.fingerprint, header.num_faults, header.threshold);
     out_ << buf;
@@ -152,12 +162,15 @@ CheckpointWriter::CheckpointWriter(const std::string& path, const CheckpointHead
 void CheckpointWriter::record(size_t index, const fault::DetectionResult& result) {
   // Worst case: 25 bytes of fixed prefix text, a 20-digit %zu index, 12+1
   // bytes for the detected field, 6 bytes of l1 framing plus up to 24 chars
-  // of %.17g (sign, 17 digits, point, "e-308"), 9 bytes of diff framing and
-  // the terminator — 98 bytes total. 96 used to truncate such lines
-  // silently, and load_checkpoint then dropped them on resume.
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "{\"type\":\"result\",\"index\":%zu,\"detected\":%d,\"l1\":%.17g,\"diff\":[",
-                index, result.detected ? 1 : 0, result.output_l1);
+  // of %.17g (sign, 17 digits, point, "e-308"), 9+20 bytes for the frame
+  // field, 9 bytes of diff framing and the terminator — 127 bytes total.
+  // (96 used to truncate such lines silently, and load_checkpoint then
+  // dropped them on resume.)
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"type\":\"result\",\"index\":%zu,\"detected\":%d,\"l1\":%.17g,\"frame\":%lld,\"diff\":[",
+                index, result.detected ? 1 : 0, result.output_l1,
+                static_cast<long long>(result.first_detection_frame));
   std::string line(buf);
   for (size_t i = 0; i < result.class_count_diff.size(); ++i) {
     if (i) line += ',';

@@ -5,9 +5,14 @@
 // from the last completed shard instead of from zero. The file is
 // self-describing and append-only:
 //
-//   {"type":"header","version":1,"fingerprint":"9f2c...","num_faults":1200,"threshold":0}
-//   {"type":"result","index":17,"detected":1,"l1":42,"diff":[3,0,-1,2]}
+//   {"type":"header","version":2,"fingerprint":"9f2c...","num_faults":1200,"threshold":0}
+//   {"type":"result","index":17,"detected":1,"l1":42,"frame":5,"diff":[3,0,-1,2]}
 //   ...
+//
+// Version history: v2 added the "frame" field (first detection frame) to
+// result lines. Result lines from a v1 file fail the parse and are counted
+// as skipped — those faults re-simulate, which is the correct soft failure
+// for a format change.
 //
 // The fingerprint hashes the network topology, the stimulus, the fault list
 // and the detection settings; a resume against a checkpoint written for

@@ -25,35 +25,11 @@
 namespace snntest::campaign {
 namespace {
 
-uint64_t hash_fault_list(const std::vector<fault::FaultDescriptor>& faults, uint64_t seed) {
-  uint64_t h = seed;
-  for (const auto& f : faults) {
-    uint32_t mag_bits = 0;
-    std::memcpy(&mag_bits, &f.magnitude, sizeof(mag_bits));
-    const uint64_t sig[11] = {static_cast<uint64_t>(f.kind),
-                              f.connection_granularity ? 1u : 0u,
-                              f.neuron.layer,
-                              f.neuron.index,
-                              f.weight.layer,
-                              f.weight.param,
-                              f.weight.index,
-                              f.connection.layer,
-                              f.connection.out_index,
-                              f.connection.in_index,
-                              mag_bits};
-    h = fnv1a(sig, sizeof(sig), h);
-  }
-  return h;
-}
-
 uint64_t campaign_fingerprint(const GoldenCache& cache,
                               const std::vector<fault::FaultDescriptor>& faults,
                               const EngineConfig& config) {
-  uint64_t h = hash_fault_list(faults, cache.fingerprint);
-  uint64_t threshold_bits = 0;
-  std::memcpy(&threshold_bits, &config.detection_threshold, sizeof(threshold_bits));
-  const uint64_t settings[2] = {threshold_bits, config.detect_only ? 1u : 0u};
-  return fnv1a(settings, sizeof(settings), h);
+  return detection_settings_fingerprint(hash_fault_list(faults, cache.fingerprint),
+                                        config.detection_threshold, config.detect_only);
 }
 
 struct WorkerContext {
@@ -219,6 +195,20 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
     writer.emplace(config.checkpoint_path, header, append, config.checkpoint_flush_every);
   }
 
+  // --- result-cache reuse (coverage dictionary) ----------------------------
+  // Pairs the cache already knows never reach the worklist, so a fully warm
+  // campaign performs zero fault simulations (pairs_reused == faults_total).
+  if (config.result_cache) {
+    OBS_SPAN("campaign/result_cache_lookup");
+    for (size_t j = 0; j < faults.size(); ++j) {
+      if (have[j]) continue;
+      if (config.result_cache(j, outcome.results[j])) {
+        have[j] = 1;
+        ++outcome.stats.pairs_reused;
+      }
+    }
+  }
+
   // --- lane-batched worklist -----------------------------------------------
   // Same-layer faults share a golden prefix, so up to lane_width of them
   // ride one multi-lane forward (campaign/lane_sim.cpp). Without prefix
@@ -254,7 +244,7 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
           : std::clamp<size_t>(items.size() / (num_workers * 8), 1, 64);
 
   detail::SimCounters counters;
-  counters.completed.store(outcome.stats.faults_resumed);
+  counters.completed.store(outcome.stats.faults_resumed + outcome.stats.pairs_reused);
   std::atomic<bool> cancelled{false};
 
   // Per-fault telemetry (sim-time and prefix-depth histograms, one span per
@@ -332,6 +322,7 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
     const EngineStats& s = outcome.stats;
     reg.counter("campaign/faults_simulated").add(s.faults_simulated);
     reg.counter("campaign/faults_resumed").add(s.faults_resumed);
+    reg.counter("campaign/pairs_reused").add(s.pairs_reused);
     reg.counter("campaign/faults_pruned").add(s.faults_pruned);
     reg.counter("campaign/checkpoint_lines_skipped").add(s.checkpoint_lines_skipped);
     reg.counter("campaign/golden_cache_misses").add(s.layer_forwards);

@@ -84,6 +84,14 @@ struct EngineConfig {
   std::string checkpoint_path;
   /// Checkpoint flush cadence (completed results per flush).
   size_t checkpoint_flush_every = 32;
+  /// Consulted once per fault (after checkpoint resume, before the worklist
+  /// is built): return true and fill `result` when the (fault, stimulus)
+  /// pair is already known — e.g. served from a coverage fault dictionary
+  /// (coverage/incremental.hpp). Such pairs skip simulation entirely and
+  /// are counted in EngineStats::pairs_reused. Called from the campaign
+  /// thread only, never concurrently. Reused pairs are not re-recorded to
+  /// the checkpoint (the cache already persists them).
+  std::function<bool(size_t fault_index, fault::DetectionResult& result)> result_cache;
   /// Progress callback (completed, total); called from worker threads.
   std::function<void(size_t, size_t)> progress;
   /// Cooperative cancellation, polled between faults. Returning true makes
@@ -96,6 +104,9 @@ struct EngineStats {
   size_t faults_total = 0;
   size_t faults_simulated = 0;  // simulated in this run
   size_t faults_resumed = 0;    // restored from the checkpoint
+  /// Fault×stimulus pairs served by EngineConfig::result_cache (coverage
+  /// dictionary hits) instead of being simulated.
+  size_t pairs_reused = 0;
   /// Faults whose simulation stopped early at a converged layer.
   size_t faults_pruned = 0;
   /// Layer forward passes actually executed vs. what the naive

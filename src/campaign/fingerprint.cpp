@@ -1,0 +1,77 @@
+#include "campaign/fingerprint.hpp"
+
+#include <cstring>
+
+namespace snntest::campaign {
+
+using util::fnv1a;
+
+uint64_t hash_stimulus(const tensor::Tensor& stimulus, uint64_t seed) {
+  uint64_t h = seed;
+  for (size_t d = 0; d < stimulus.shape().rank(); ++d) {
+    const uint64_t dim = stimulus.shape().dim(d);
+    h = fnv1a(&dim, sizeof(dim), h);
+  }
+  return fnv1a(stimulus.data(), stimulus.numel() * sizeof(float), h);
+}
+
+uint64_t hash_network_topology(const snn::Network& net, uint64_t seed) {
+  uint64_t h = fnv1a(net.name().data(), net.name().size(), seed);
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    const snn::Layer& layer = net.layer(l);
+    const uint64_t sig[3] = {static_cast<uint64_t>(layer.kind()), layer.num_inputs(),
+                             layer.num_neurons()};
+    h = fnv1a(sig, sizeof(sig), h);
+  }
+  return h;
+}
+
+uint64_t hash_network_params(const snn::Network& net, uint64_t seed) {
+  // Layer::params() is non-const because it exposes mutable views for the
+  // optimizer; hashing only reads the value arrays.
+  auto& mutable_net = const_cast<snn::Network&>(net);
+  uint64_t h = seed;
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    for (const snn::ParamView& p : mutable_net.layer(l).params()) {
+      const uint64_t size = p.size;
+      h = fnv1a(&size, sizeof(size), h);
+      h = fnv1a(p.value, p.size * sizeof(float), h);
+    }
+  }
+  return h;
+}
+
+uint64_t hash_fault_list(const std::vector<fault::FaultDescriptor>& faults, uint64_t seed) {
+  uint64_t h = seed;
+  for (const auto& f : faults) {
+    uint32_t mag_bits = 0;
+    std::memcpy(&mag_bits, &f.magnitude, sizeof(mag_bits));
+    const uint64_t sig[11] = {static_cast<uint64_t>(f.kind),
+                              f.connection_granularity ? 1u : 0u,
+                              f.neuron.layer,
+                              f.neuron.index,
+                              f.weight.layer,
+                              f.weight.param,
+                              f.weight.index,
+                              f.connection.layer,
+                              f.connection.out_index,
+                              f.connection.in_index,
+                              mag_bits};
+    h = fnv1a(sig, sizeof(sig), h);
+  }
+  return h;
+}
+
+uint64_t detection_settings_fingerprint(uint64_t seed, double detection_threshold,
+                                        bool detect_only) {
+  uint64_t threshold_bits = 0;
+  std::memcpy(&threshold_bits, &detection_threshold, sizeof(threshold_bits));
+  const uint64_t settings[2] = {threshold_bits, detect_only ? 1u : 0u};
+  return fnv1a(settings, sizeof(settings), seed);
+}
+
+uint64_t model_fingerprint(const snn::Network& net) {
+  return hash_network_params(net, hash_network_topology(net, util::kFnvOffsetBasis));
+}
+
+}  // namespace snntest::campaign

@@ -1,38 +1,10 @@
 #include "campaign/golden_cache.hpp"
 
+#include "campaign/fingerprint.hpp"
 #include "obs/trace.hpp"
+#include "util/hash.hpp"
 
 namespace snntest::campaign {
-
-uint64_t fnv1a(const void* data, size_t bytes, uint64_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  uint64_t h = seed;
-  for (size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-uint64_t hash_stimulus(const tensor::Tensor& stimulus, uint64_t seed) {
-  uint64_t h = seed;
-  for (size_t d = 0; d < stimulus.shape().rank(); ++d) {
-    const uint64_t dim = stimulus.shape().dim(d);
-    h = fnv1a(&dim, sizeof(dim), h);
-  }
-  return fnv1a(stimulus.data(), stimulus.numel() * sizeof(float), h);
-}
-
-uint64_t hash_network_topology(const snn::Network& net, uint64_t seed) {
-  uint64_t h = fnv1a(net.name().data(), net.name().size(), seed);
-  for (size_t l = 0; l < net.num_layers(); ++l) {
-    const snn::Layer& layer = net.layer(l);
-    const uint64_t sig[3] = {static_cast<uint64_t>(layer.kind()), layer.num_inputs(),
-                             layer.num_neurons()};
-    h = fnv1a(sig, sizeof(sig), h);
-  }
-  return h;
-}
 
 GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& stimulus,
                                snn::KernelMode mode) {
@@ -43,7 +15,8 @@ GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& st
   cache.forward = golden.forward(stimulus, /*record_traces=*/false);
   cache.output_counts = cache.forward.output_counts();
   cache.stats = fault::compute_weight_stats(golden);
-  cache.fingerprint = hash_stimulus(stimulus, hash_network_topology(net, 14695981039346656037ull));
+  cache.fingerprint =
+      hash_stimulus(stimulus, hash_network_topology(net, util::kFnvOffsetBasis));
   return cache;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "campaign/fingerprint.hpp"
 #include "fault/registry.hpp"
 #include "snn/network.hpp"
 #include "tensor/tensor.hpp"
@@ -39,10 +40,5 @@ struct GoldenCache {
 /// keeps the seed's exact execution path for standalone callers).
 GoldenCache build_golden_cache(const snn::Network& net, const tensor::Tensor& stimulus,
                                snn::KernelMode mode = snn::KernelMode::kDense);
-
-/// FNV-1a helpers shared with the checkpoint fingerprint.
-uint64_t fnv1a(const void* data, size_t bytes, uint64_t seed = 14695981039346656037ull);
-uint64_t hash_stimulus(const tensor::Tensor& stimulus, uint64_t seed);
-uint64_t hash_network_topology(const snn::Network& net, uint64_t seed);
 
 }  // namespace snntest::campaign

@@ -111,6 +111,7 @@ void simulate_fault_batch(const snn::Network& net, const tensor::Tensor& stimulu
             fault::DetectionResult& r = results[ctx.result_index[lane]];
             r.detected = true;
             r.output_l1 = acc;
+            r.first_detection_frame = static_cast<int64_t>(t);
             if (obs_on) {
               static obs::Counter& early_exits =
                   obs::Registry::instance().counter("campaign/detect_only_early_exits");
@@ -149,6 +150,7 @@ void simulate_fault_batch(const snn::Network& net, const tensor::Tensor& stimulu
         fault::DetectionResult& r = results[ctx.result_index[lane]];
         r.detected = false;
         r.output_l1 = ctx.l1_acc[lane];
+        r.first_detection_frame = -1;
       }
       return;
     }

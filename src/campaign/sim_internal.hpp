@@ -19,11 +19,27 @@ inline bool trains_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
   return std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
 }
 
-/// Full Eq. (3) comparison: exact L1 plus per-class count differences.
+/// Full Eq. (3) comparison: exact L1 plus per-class count differences and
+/// the first frame whose cumulative L1 crosses the threshold. The frame
+/// walk accumulates in the same element order as tensor::l1_distance (flat
+/// time-major), so output_l1 is bit-identical to the historical
+/// snn::output_distance result.
 inline void fill_full_result(fault::DetectionResult& r, const tensor::Tensor& faulty_output,
                              const GoldenCache& cache, double threshold) {
-  r.output_l1 = snn::output_distance(cache.output(), faulty_output);
-  r.detected = r.output_l1 > threshold;
+  const tensor::Tensor& golden = cache.output();
+  const size_t T = golden.shape().dim(0);
+  const size_t n = golden.shape().dim(1);
+  double acc = 0.0;
+  int64_t first = -1;
+  for (size_t t = 0; t < T; ++t) {
+    const float* a = golden.data() + t * n;
+    const float* b = faulty_output.data() + t * n;
+    for (size_t i = 0; i < n; ++i) acc += std::abs(static_cast<double>(a[i]) - b[i]);
+    if (first < 0 && acc > threshold) first = static_cast<int64_t>(t);
+  }
+  r.output_l1 = acc;
+  r.detected = acc > threshold;
+  r.first_detection_frame = first;
   const auto counts = snn::spike_counts(faulty_output);
   r.class_count_diff.resize(counts.size());
   for (size_t c = 0; c < counts.size(); ++c) {
@@ -50,6 +66,7 @@ inline void fill_detect_only_result(fault::DetectionResult& r,
     if (acc > threshold) {
       r.detected = true;
       r.output_l1 = acc;
+      r.first_detection_frame = static_cast<int64_t>(t);
       if (obs::telemetry_enabled()) {
         static obs::Counter& early_exits =
             obs::Registry::instance().counter("campaign/detect_only_early_exits");
@@ -60,6 +77,7 @@ inline void fill_detect_only_result(fault::DetectionResult& r,
   }
   r.detected = false;
   r.output_l1 = acc;
+  r.first_detection_frame = -1;
 }
 
 /// Result for a fault whose layer output re-converged onto the golden
@@ -69,6 +87,9 @@ inline void fill_converged_result(fault::DetectionResult& r, const GoldenCache& 
                                   const EngineConfig& config) {
   r.output_l1 = 0.0;
   r.detected = 0.0 > config.detection_threshold;
+  // A (pathological) negative threshold is crossed by the zero divergence at
+  // the very first frame — exactly what the full frame walk would report.
+  r.first_detection_frame = r.detected ? 0 : -1;
   if (!config.detect_only) r.class_count_diff.assign(cache.output_counts.size(), 0);
 }
 

@@ -1,0 +1,150 @@
+// Persistent fault dictionary: the detection matrix of a test campaign.
+//
+// A campaign answers "does stimulus s detect fault f?" one (s, f) pair at a
+// time and historically threw the answers away. The dictionary keeps them:
+// per fault × stimulus it stores detected/undetected, the first detection
+// frame, the L1 divergence margin and the per-class count differences —
+// exactly the DetectionResult the engine produced — keyed by fingerprints
+// of the model (topology + parameters), the fault universe and each
+// stimulus. That makes three things cheap that used to require
+// re-simulation:
+//
+//  * incremental campaigns — re-running a campaign against a stimulus the
+//    dictionary has seen becomes a lookup (coverage/incremental.hpp);
+//  * cross-stimulus queries — which faults does stimulus s catch, which
+//    stimuli catch fault f, which faults are detectable at all;
+//  * minimum-time test-suite minimization — weighted set cover over the
+//    matrix with per-stimulus frame costs (coverage/minimize.hpp), the
+//    paper's minimum-time objective made executable.
+//
+// On-disk format (little-endian, DESIGN.md §13 has the byte layout):
+//
+//   magic 'SNFD' + format version                       (util::write_magic)
+//   header block   (u64 byte length, blob, CRC-32 of the blob)
+//   stimulus table (u64 byte length, blob, CRC-32 of the blob)
+//   u64 record count, then per record: u32 payload length, payload, CRC-32
+//
+// Every record carries its own CRC so corruption is contained: a flipped
+// byte invalidates one record (counted in LoadStats::records_skipped, the
+// pair re-simulates), not the file. A truncated tail — the artifact of a
+// kill mid-write — likewise drops only the unwritten records. A mangled
+// header or stimulus table makes the file unusable and load() returns
+// nullopt; callers fall back to a cold campaign. Fingerprint mismatches
+// (model retrained, fault universe changed) are detected by the consumers
+// via the header fields, mirroring the campaign-checkpoint convention.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "tensor/tensor.hpp"
+
+namespace snntest::coverage {
+
+inline constexpr uint32_t kDictionaryMagic = 0x44464E53;  // "SNFD"
+inline constexpr uint32_t kDictionaryVersion = 1;
+
+/// One test stimulus the dictionary has results for. The spike train itself
+/// is embedded bit-packed (8 timestep-channel cells per byte) so a
+/// dictionary — and the minimized schedule derived from it — is
+/// self-contained: an in-field tester can replay the scheduled stimuli
+/// straight from the file.
+struct StimulusEntry {
+  std::string name;              ///< human label ("chunk3", "sample17", a path)
+  uint64_t fingerprint = 0;      ///< campaign::hash_stimulus over shape + data
+  uint64_t duration_frames = 0;  ///< test-time cost in timesteps
+  tensor::Tensor data;           ///< [T, C] binary train; empty when not embedded
+  bool has_data() const { return data.numel() > 0; }
+};
+
+class FaultDictionary {
+ public:
+  // --- identity (the header fields; see campaign/fingerprint.hpp) ---------
+  uint64_t model_fingerprint = 0;     ///< topology + trained parameters
+  uint64_t universe_fingerprint = 0;  ///< ordered fault-descriptor list
+  uint64_t num_faults = 0;            ///< length of that list
+  double detection_threshold = 0.0;
+  bool detect_only = false;  ///< results carry lower-bound L1s (engine detect_only)
+  /// Set by the minimizer's schedule export: stimuli are stored in
+  /// minimized-schedule order and should be executed in file order.
+  bool schedule_ordered = false;
+
+  /// Same model, universe, fault count and detection settings — results are
+  /// interchangeable between the two dictionaries.
+  bool compatible_with(const FaultDictionary& other) const;
+
+  // --- stimuli -------------------------------------------------------------
+  size_t num_stimuli() const { return stimuli_.size(); }
+  const StimulusEntry& stimulus(size_t s) const { return stimuli_.at(s); }
+  /// Register a stimulus (or return the existing index when one with the
+  /// same fingerprint is already present — the entry's name/data win only
+  /// on first insertion).
+  size_t add_stimulus(StimulusEntry entry);
+  std::optional<size_t> find_stimulus(uint64_t fingerprint) const;
+
+  // --- detection matrix ----------------------------------------------------
+  bool has(size_t stim, size_t fault) const;
+  /// The stored result, or nullptr when the pair was never simulated.
+  const fault::DetectionResult* lookup(size_t stim, size_t fault) const;
+  /// Insert or overwrite one pair. `stim` must be a valid stimulus index
+  /// and `fault` < num_faults (throws std::out_of_range otherwise).
+  void record(size_t stim, size_t fault, fault::DetectionResult result);
+
+  size_t num_records() const { return num_records_; }
+  size_t records_for(size_t stim) const;
+  /// Fault indices stimulus `stim` detects, ascending.
+  std::vector<size_t> detected_faults(size_t stim) const;
+  /// mask[f] != 0 iff any recorded stimulus detects fault f.
+  std::vector<char> detectable_mask() const;
+  size_t detectable_count() const;
+
+  // --- persistence ---------------------------------------------------------
+  struct LoadStats {
+    size_t records_loaded = 0;
+    /// Records dropped on load: CRC mismatch (corruption), unparsable or
+    /// out-of-range payload, or a truncated tail. Mirrors the campaign
+    /// checkpoint's skipped_lines convention — visible, soft, re-simulable.
+    size_t records_skipped = 0;
+  };
+
+  /// Throws std::runtime_error when the file cannot be written.
+  void save(const std::string& path) const;
+  /// nullopt when the file is missing or its magic/header/stimulus table is
+  /// unusable (the error cases that have no partial answer). Damaged
+  /// records fail soft via `stats`.
+  static std::optional<FaultDictionary> load(const std::string& path,
+                                             LoadStats* stats = nullptr);
+
+  struct MergeStats {
+    size_t records_added = 0;
+    /// Overlapping pairs whose stored results are identical (no-ops).
+    size_t duplicates_agreeing = 0;
+    /// Overlapping pairs whose results disagree: the existing record is
+    /// kept and the incoming one is skipped — two honest dictionaries for
+    /// the same fingerprints can only disagree through corruption, so the
+    /// count is surfaced rather than silently picking a winner.
+    size_t conflicts_skipped = 0;
+    size_t stimuli_added = 0;
+  };
+
+  /// Fold `other`'s stimuli and records into this dictionary. Throws
+  /// std::invalid_argument when the dictionaries are not compatible_with
+  /// each other (results for different models/universes must never mix).
+  MergeStats merge(const FaultDictionary& other);
+
+ private:
+  std::vector<StimulusEntry> stimuli_;
+  /// Dense per-stimulus rows, sized num_faults on first record.
+  std::vector<std::vector<char>> have_;
+  std::vector<std::vector<fault::DetectionResult>> results_;
+  size_t num_records_ = 0;
+};
+
+/// Field-exact equality (detected, L1 bits, frame, class counts) — the
+/// merge-conflict and warm-rerun-identity criterion.
+bool results_identical(const fault::DetectionResult& a, const fault::DetectionResult& b);
+
+}  // namespace snntest::coverage

@@ -1,0 +1,93 @@
+#include "coverage/incremental.hpp"
+
+#include "campaign/fingerprint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace snntest::coverage {
+
+uint64_t stimulus_fingerprint(const tensor::Tensor& stimulus) {
+  return campaign::hash_stimulus(stimulus, util::kFnvOffsetBasis);
+}
+
+FaultDictionary make_dictionary(const snn::Network& net,
+                                const std::vector<fault::FaultDescriptor>& faults,
+                                double detection_threshold, bool detect_only) {
+  FaultDictionary dict;
+  dict.model_fingerprint = campaign::model_fingerprint(net);
+  dict.universe_fingerprint = campaign::hash_fault_list(faults, util::kFnvOffsetBasis);
+  dict.num_faults = faults.size();
+  dict.detection_threshold = detection_threshold;
+  dict.detect_only = detect_only;
+  return dict;
+}
+
+bool dictionary_matches(const FaultDictionary& dict, const snn::Network& net,
+                        const std::vector<fault::FaultDescriptor>& faults,
+                        double detection_threshold, bool detect_only) {
+  const FaultDictionary expected =
+      make_dictionary(net, faults, detection_threshold, detect_only);
+  return dict.compatible_with(expected);
+}
+
+IncrementalResult run_incremental_campaign(const snn::Network& net,
+                                           const tensor::Tensor& stimulus,
+                                           const std::vector<fault::FaultDescriptor>& faults,
+                                           FaultDictionary& dict,
+                                           const IncrementalConfig& config) {
+  OBS_SPAN("coverage/incremental_campaign");
+  IncrementalResult out;
+  campaign::EngineConfig engine = config.engine;
+
+  if (!dictionary_matches(dict, net, faults, engine.detection_threshold, engine.detect_only)) {
+    SNNTEST_LOG_WARN(
+        "run_incremental_campaign: dictionary does not match the campaign inputs "
+        "(model retrained? different fault universe or detection settings?); running cold "
+        "and leaving the dictionary untouched");
+    out.coverage.dictionary_rejected = true;
+    obs::Registry::instance().counter("coverage/dictionaries_rejected").add(1);
+    out.campaign = campaign::run_campaign(net, stimulus, faults, engine);
+    return out;
+  }
+
+  StimulusEntry entry;
+  entry.fingerprint = stimulus_fingerprint(stimulus);
+  entry.duration_frames = stimulus.shape().dim(0);
+  const size_t s = [&] {
+    if (auto existing = dict.find_stimulus(entry.fingerprint)) return *existing;
+    entry.name = config.stimulus_name.empty()
+                     ? "stimulus" + std::to_string(dict.num_stimuli())
+                     : config.stimulus_name;
+    if (config.store_stimulus_data) entry.data = stimulus;
+    return dict.add_stimulus(std::move(entry));
+  }();
+  out.coverage.stimulus_index = s;
+
+  engine.result_cache = [&dict, s](size_t fault_index, fault::DetectionResult& result) {
+    const fault::DetectionResult* known = dict.lookup(s, fault_index);
+    if (known == nullptr) return false;
+    result = *known;
+    return true;
+  };
+
+  out.campaign = campaign::run_campaign(net, stimulus, faults, engine);
+  out.coverage.pairs_reused = out.campaign.stats.pairs_reused;
+
+  // Record only completed campaigns: a cancelled run leaves
+  // default-constructed placeholders that must never enter the dictionary.
+  if (config.record && out.campaign.completed) {
+    for (size_t j = 0; j < faults.size(); ++j) {
+      if (dict.has(s, j)) continue;
+      dict.record(s, j, out.campaign.results[j]);
+      ++out.coverage.pairs_recorded;
+    }
+  }
+
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("coverage/pairs_reused").add(out.coverage.pairs_reused);
+  reg.counter("coverage/pairs_recorded").add(out.coverage.pairs_recorded);
+  return out;
+}
+
+}  // namespace snntest::coverage

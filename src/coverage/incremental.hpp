@@ -1,0 +1,84 @@
+// Incremental campaigns: the differential engine backed by a persistent
+// fault dictionary.
+//
+// run_incremental_campaign wraps campaign::run_campaign with the coverage
+// dictionary wired into EngineConfig::result_cache: every fault×stimulus
+// pair the dictionary already holds is served as a lookup instead of a
+// simulation (EngineStats::pairs_reused), and every pair simulated fresh is
+// recorded back. A warm re-run of an identical campaign therefore performs
+// zero fault simulations and reproduces each DetectionResult bit-identically
+// — the dictionary stores the exact structs the engine emitted.
+//
+// Identity checks mirror the checkpoint-fingerprint convention: the
+// dictionary is keyed by model (topology + trained parameters), fault
+// universe and detection settings. A mismatched dictionary — retrained
+// model, different fault list, different threshold — is rejected softly:
+// the campaign runs cold, nothing is recorded, and the rejection is
+// surfaced in IncrementalStats::dictionary_rejected plus a warning, so a
+// stale dictionary can never corrupt fresh results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hpp"
+#include "coverage/fault_dictionary.hpp"
+
+namespace snntest::coverage {
+
+struct IncrementalConfig {
+  /// Base engine configuration (threads, lane width, pruning, kernel mode,
+  /// detection threshold, detect_only, ...). result_cache must be empty —
+  /// the incremental wrapper owns that hook.
+  campaign::EngineConfig engine;
+  /// Label for a newly registered stimulus (default "stimulus<N>").
+  std::string stimulus_name;
+  /// Embed the stimulus spike train in the dictionary so minimized
+  /// schedules are replayable from the file alone.
+  bool store_stimulus_data = true;
+  /// Record freshly simulated pairs back into the dictionary.
+  bool record = true;
+};
+
+struct IncrementalStats {
+  /// The stimulus' index in the dictionary (existing or newly added);
+  /// meaningless when dictionary_rejected.
+  size_t stimulus_index = 0;
+  size_t pairs_reused = 0;
+  size_t pairs_recorded = 0;
+  /// The dictionary did not match (model/universe/settings); the campaign
+  /// ran cold and the dictionary was left untouched.
+  bool dictionary_rejected = false;
+};
+
+struct IncrementalResult {
+  campaign::CampaignResult campaign;
+  IncrementalStats coverage;
+};
+
+/// The dictionary-identity fingerprint of one stimulus (hash_stimulus from
+/// the canonical FNV offset basis).
+uint64_t stimulus_fingerprint(const tensor::Tensor& stimulus);
+
+/// An empty dictionary bound to (net, faults, detection settings).
+FaultDictionary make_dictionary(const snn::Network& net,
+                                const std::vector<fault::FaultDescriptor>& faults,
+                                double detection_threshold = 0.0, bool detect_only = false);
+
+/// Does `dict` describe exactly this (model, fault list, settings)?
+bool dictionary_matches(const FaultDictionary& dict, const snn::Network& net,
+                        const std::vector<fault::FaultDescriptor>& faults,
+                        double detection_threshold, bool detect_only);
+
+/// Run the campaign, serving known pairs from `dict` and recording new ones
+/// into it. Results are positionally parallel to `faults` and bit-identical
+/// to a cold campaign::run_campaign with the same EngineConfig. Recording
+/// is skipped for cancelled (partial) campaigns — default-constructed
+/// placeholder results must never enter the dictionary.
+IncrementalResult run_incremental_campaign(const snn::Network& net,
+                                           const tensor::Tensor& stimulus,
+                                           const std::vector<fault::FaultDescriptor>& faults,
+                                           FaultDictionary& dict,
+                                           const IncrementalConfig& config = {});
+
+}  // namespace snntest::coverage

@@ -1,0 +1,70 @@
+// Minimum-time test-suite minimization (the paper's objective, executable).
+//
+// Given a fault dictionary's detection matrix and per-stimulus frame costs,
+// pick an ordered subset of stimuli that covers every detectable fault in
+// the least total test time. Exact weighted set cover is NP-hard; the
+// lazy-greedy heuristic — repeatedly take the stimulus with the best
+// (newly-covered faults / frame cost) ratio — carries the classical
+// (1 - 1/e) approximation guarantee for coverage at a cost budget and is
+// the standard test-compaction choice. "Lazy" means stale heap entries are
+// re-scored only when they surface, so each round touches a handful of
+// stimuli instead of all of them.
+//
+// Determinism (DESIGN.md §13): the ratio comparison is exact integer
+// cross-multiplication (no floating-point division), ties prefer the
+// larger gain (fewer scheduled tests), then the smaller stimulus index.
+// The same dictionary always yields byte-identical schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/fault_dictionary.hpp"
+
+namespace snntest::coverage {
+
+/// One scheduled stimulus plus the cumulative coverage-vs-time point after
+/// executing it — the schedule steps ARE the coverage curve.
+struct ScheduleStep {
+  size_t stimulus = 0;  ///< index into the dictionary's stimulus table
+  size_t new_faults = 0;
+  size_t cumulative_detected = 0;
+  uint64_t frames = 0;  ///< this stimulus' cost
+  uint64_t cumulative_frames = 0;
+};
+
+struct TestSchedule {
+  std::vector<ScheduleStep> steps;
+  /// Faults detected by at least one recorded stimulus (the achievable
+  /// ceiling — undetectable faults can never be covered by any subset).
+  size_t detectable_faults = 0;
+  size_t covered_faults = 0;
+  uint64_t scheduled_frames = 0;
+  /// Cost of replaying every stimulus in the dictionary (the baseline the
+  /// minimized schedule must beat).
+  uint64_t all_stimuli_frames = 0;
+  size_t num_faults = 0;      ///< fault-universe size
+  size_t pairs_recorded = 0;  ///< matrix completeness (of num_faults * num_stimuli)
+
+  /// Greedy set cover always reaches 100% of the detectable faults when the
+  /// matrix is complete; false signals a matrix hole worth investigating.
+  bool complete() const { return covered_faults == detectable_faults; }
+  double coverage_of_detectable() const {
+    return detectable_faults == 0
+               ? 1.0
+               : static_cast<double>(covered_faults) / static_cast<double>(detectable_faults);
+  }
+};
+
+/// Lazy-greedy weighted set cover over the dictionary's detection matrix.
+/// Stimuli contributing no new detected fault are never scheduled, so the
+/// schedule stops exactly at full detectable coverage.
+TestSchedule minimize_schedule(const FaultDictionary& dict);
+
+/// Extract the schedule as a self-contained, schedule_ordered dictionary:
+/// only the scheduled stimuli (in execution order) and their records. This
+/// is what `coverage_tool minimize --out` writes and what
+/// `infield_test --dict` replays.
+FaultDictionary schedule_as_dictionary(const FaultDictionary& dict, const TestSchedule& schedule);
+
+}  // namespace snntest::coverage

@@ -14,6 +14,7 @@
 // should call campaign::run_campaign directly.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -27,6 +28,13 @@ struct DetectionResult {
   bool detected = false;
   /// ||O^L - O^L(f)||_1 — output spike-train corruption magnitude (Fig. 9).
   double output_l1 = 0.0;
+  /// First output timestep at which the cumulative L1 divergence exceeds the
+  /// detection threshold — the frame an in-field output comparator would
+  /// flag the device, and the per-pair detection latency the coverage
+  /// dictionary persists (coverage/fault_dictionary.hpp). -1 when the fault
+  /// is undetected. The cumulative L1 is nondecreasing over time, so
+  /// first_detection_frame >= 0 exactly when detected.
+  int64_t first_detection_frame = -1;
   /// Per-class |count - golden count| differences (signed: faulty - golden).
   std::vector<long> class_count_diff;
 };

@@ -1,0 +1,53 @@
+#include "util/hash.hpp"
+
+#include <array>
+
+namespace snntest::util {
+namespace {
+
+/// The reflected CRC-32 table for polynomial 0xEDB88320, built once at
+/// static initialization (256 * 8 shift/xor steps — negligible).
+std::array<uint32_t, 256> build_crc32_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& crc32_table() {
+  static const std::array<uint32_t, 256> table = build_crc32_table();
+  return table;
+}
+
+}  // namespace
+
+uint64_t fnv1a(const void* data, size_t bytes, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint32_t crc32_update(uint32_t crc, const void* data, size_t bytes) {
+  const auto& table = crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t crc32(const void* data, size_t bytes) {
+  return crc32_update(crc32_init(), data, bytes);
+}
+
+}  // namespace snntest::util

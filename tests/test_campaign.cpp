@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -78,6 +79,22 @@ std::vector<fault::DetectionResult> naive_reference(const snn::Network& net,
     auto& r = results[j];
     r.output_l1 = snn::output_distance(golden.output(), faulty.output());
     r.detected = r.output_l1 > threshold;
+    // First frame whose cumulative output L1 exceeds the threshold, walked
+    // independently of the engine's accumulation loop.
+    r.first_detection_frame = -1;
+    {
+      const auto& g = golden.output();
+      const auto& f = faulty.output();
+      const size_t T = g.shape().dim(0);
+      const size_t C = g.shape().dim(1);
+      double acc = 0.0;
+      for (size_t t = 0; t < T && r.first_detection_frame < 0; ++t) {
+        for (size_t c = 0; c < C; ++c) {
+          acc += std::abs(static_cast<double>(g[t * C + c]) - static_cast<double>(f[t * C + c]));
+        }
+        if (acc > threshold) r.first_detection_frame = static_cast<int64_t>(t);
+      }
+    }
     const auto counts = faulty.output_counts();
     r.class_count_diff.resize(counts.size());
     for (size_t c = 0; c < counts.size(); ++c) {
@@ -93,6 +110,7 @@ void expect_results_identical(const std::vector<fault::DetectionResult>& a,
   for (size_t j = 0; j < a.size(); ++j) {
     EXPECT_EQ(a[j].detected, b[j].detected) << "fault " << j;
     EXPECT_EQ(a[j].output_l1, b[j].output_l1) << "fault " << j;
+    EXPECT_EQ(a[j].first_detection_frame, b[j].first_detection_frame) << "fault " << j;
     ASSERT_EQ(a[j].class_count_diff, b[j].class_count_diff) << "fault " << j;
   }
 }

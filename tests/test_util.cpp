@@ -10,6 +10,7 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/hash.hpp"
 #include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -253,6 +254,46 @@ TEST(Cli, BoolParsing) {
   const char* argv[] = {"prog", "--flag", "true"};
   ASSERT_TRUE(cli.parse(3, argv));
   EXPECT_TRUE(cli.get_bool("flag"));
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // CRC-32/ISO-HDLC check vectors (zlib-compatible).
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc", 3), 0x352441C2u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog", 43), 0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const char* data = "123456789";
+  uint32_t crc = crc32_init();
+  crc = crc32_update(crc, data, 4);
+  crc = crc32_update(crc, data + 4, 5);
+  EXPECT_EQ(crc, crc32(data, 9));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string payload(64, '\x5a');
+  const uint32_t clean = crc32(payload.data(), payload.size());
+  for (size_t byte : {size_t{0}, payload.size() / 2, payload.size() - 1}) {
+    std::string corrupt = payload;
+    corrupt[byte] ^= 0x01;
+    EXPECT_NE(crc32(corrupt.data(), corrupt.size()), clean) << "byte " << byte;
+  }
+}
+
+TEST(Fnv1a, KnownVectorsAndSeedChaining) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a("", 0), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a("a", 1), 0xAF63DC4C8601EC8Cull);
+  EXPECT_EQ(fnv1a("foobar", 6), 0x85944171F73967E8ull);
+  // Chaining through the seed is order-sensitive.
+  const uint64_t ab = fnv1a("b", 1, fnv1a("a", 1));
+  const uint64_t ba = fnv1a("a", 1, fnv1a("b", 1));
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(ab, fnv1a("ab", 2));
 }
 
 TEST(Serialize, RoundTripScalars) {
