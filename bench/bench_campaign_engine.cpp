@@ -13,9 +13,10 @@
 //
 // A second section sweeps EngineConfig::lane_width over a dense same-layer
 // synapse-fault population — the best case for fault-batched lanes, where
-// every batch fills all its lanes — and reports wall-clock speedup vs. the
-// scalar (width 1) engine plus mean lane occupancy, again gated on
-// bit-identical results.
+// every batch fills all its lanes — once per available SIMD backend
+// (tensor/simd.hpp), and reports wall-clock speedup vs. the scalar-kernel
+// width-1 engine plus mean lane occupancy, again gated on bit-identical
+// results.
 #include <thread>
 
 #include "bench_common.hpp"
@@ -23,6 +24,7 @@
 #include "campaign/engine.hpp"
 #include "snn/dense_layer.hpp"
 #include "snn/spike_train.hpp"
+#include "tensor/simd.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -71,7 +73,12 @@ bool results_identical(const std::vector<fault::DetectionResult>& a,
 int main(int argc, char** argv) {
   util::CliParser cli({{"json", ""}, {"trace-out", ""}, {"metrics-out", ""}},
                       "Differential campaign engine vs naive fault simulation.");
-  if (!cli.parse(argc, argv)) return 0;
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   bench::wire_observability(cli);
   const std::string json_path = cli.get("json");
 
@@ -168,51 +175,67 @@ int main(int argc, char** argv) {
   // packs every batch full, so the sweep isolates the per-lane cost of the
   // shared forward (weight streaming amortized, serial double-add chains
   // broken across lanes) against the scalar one-fault-per-pass engine.
+  // Swept per SIMD backend (tensor/simd.hpp): the reference is the scalar
+  // kernels at width 1, and every (backend, width) cell must reproduce it
+  // bit for bit.
+  namespace simd = tensor::simd;
+  const simd::Backend default_backend = simd::active_backend();
+  const auto backends = simd::available_backends();
   const auto lane_pop = bucket_faults(universe, 1, kPerBucket, 2024);
-  std::printf("\nlane-width sweep: %zu same-layer synapse faults, %u hardware threads\n",
-              lane_pop.size(), std::thread::hardware_concurrency());
+  std::printf("\nlane-width sweep: %zu same-layer synapse faults, %u hardware threads, "
+              "default backend %s\n",
+              lane_pop.size(), std::thread::hardware_concurrency(),
+              simd::backend_name(default_backend));
   util::TextTable lane_table(
-      {"lane width", "seconds", "speedup vs scalar", "lane occupancy", "identical"});
+      {"backend", "lane width", "seconds", "speedup vs scalar", "lane occupancy", "identical"});
   std::vector<bench::JsonObject> lane_rows;
   double scalar_seconds = 0.0;
   std::vector<fault::DetectionResult> scalar_results;
-  for (const size_t width : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-    campaign::EngineConfig cfg;
-    cfg.lane_width = width;
-    const auto run = campaign::run_campaign(net, stimulus, lane_pop, cfg);
-    if (width == 1) {
-      scalar_seconds = run.stats.elapsed_seconds;
-      scalar_results = run.results;
+  for (const simd::Backend backend : backends) {
+    simd::force_backend(backend);
+    const char* backend_str = simd::backend_name(backend);
+    for (const size_t width : {size_t{1}, size_t{2}, size_t{4}, size_t{8}, size_t{16}}) {
+      campaign::EngineConfig cfg;
+      cfg.lane_width = width;
+      const auto run = campaign::run_campaign(net, stimulus, lane_pop, cfg);
+      if (backend == simd::Backend::kScalar && width == 1) {
+        scalar_seconds = run.stats.elapsed_seconds;
+        scalar_results = run.results;
+      }
+      const bool identical = results_identical(run.results, scalar_results);
+      all_identical &= identical;
+      const double speedup =
+          run.stats.elapsed_seconds > 0.0 ? scalar_seconds / run.stats.elapsed_seconds : 0.0;
+      const double occupancy =
+          run.stats.lane_batches > 0
+              ? static_cast<double>(run.stats.lane_batched_faults) /
+                    static_cast<double>(run.stats.lane_batches * width)
+              : 0.0;
+      lane_table.add_row({backend_str, std::to_string(width),
+                          util::format_duration(run.stats.elapsed_seconds),
+                          util::fmt_double(speedup, 2) + "x", util::fmt_double(occupancy, 3),
+                          identical ? "yes" : "NO"});
+      csv.write_row({std::string(backend_str) + "_lane_width_" + std::to_string(width),
+                     util::CsvWriter::field(lane_pop.size()),
+                     util::CsvWriter::field(scalar_seconds),
+                     util::CsvWriter::field(run.stats.elapsed_seconds),
+                     util::CsvWriter::field(speedup), util::CsvWriter::field(occupancy),
+                     identical ? "1" : "0"});
+      lane_rows.push_back(bench::JsonObject()
+                              .field("backend", backend_str)
+                              .field("lane_width", width)
+                              .field("seconds", run.stats.elapsed_seconds)
+                              .field("speedup_vs_scalar", speedup)
+                              .field("lane_batches", run.stats.lane_batches)
+                              .field("lane_occupancy", occupancy)
+                              .field("lanes_retired_early", run.stats.lanes_retired_early)
+                              .field("identical", identical));
     }
-    const bool identical = results_identical(run.results, scalar_results);
-    all_identical &= identical;
-    const double speedup =
-        run.stats.elapsed_seconds > 0.0 ? scalar_seconds / run.stats.elapsed_seconds : 0.0;
-    const double occupancy =
-        run.stats.lane_batches > 0
-            ? static_cast<double>(run.stats.lane_batched_faults) /
-                  static_cast<double>(run.stats.lane_batches * width)
-            : 0.0;
-    lane_table.add_row({std::to_string(width), util::format_duration(run.stats.elapsed_seconds),
-                        util::fmt_double(speedup, 2) + "x", util::fmt_double(occupancy, 3),
-                        identical ? "yes" : "NO"});
-    csv.write_row({"lane_width_" + std::to_string(width),
-                   util::CsvWriter::field(lane_pop.size()),
-                   util::CsvWriter::field(scalar_seconds),
-                   util::CsvWriter::field(run.stats.elapsed_seconds),
-                   util::CsvWriter::field(speedup), util::CsvWriter::field(occupancy),
-                   identical ? "1" : "0"});
-    lane_rows.push_back(bench::JsonObject()
-                            .field("lane_width", width)
-                            .field("seconds", run.stats.elapsed_seconds)
-                            .field("speedup_vs_scalar", speedup)
-                            .field("lane_batches", run.stats.lane_batches)
-                            .field("lane_occupancy", occupancy)
-                            .field("lanes_retired_early", run.stats.lanes_retired_early)
-                            .field("identical", identical));
   }
+  simd::force_backend(default_backend);
   std::printf("%s\n", lane_table.render().c_str());
-  std::printf("results identical across all lane widths: %s\n", all_identical ? "yes" : "NO");
+  std::printf("results identical across all backends and lane widths: %s\n",
+              all_identical ? "yes" : "NO");
   std::printf("CSV: %s/campaign_engine.csv\n", bench::out_dir().c_str());
 
   if (!json_path.empty()) {
@@ -223,6 +246,8 @@ int main(int argc, char** argv) {
                               .field("timesteps", size_t{48})
                               .field("faults_per_bucket", kPerBucket)
                               .field("universe_size", universe.size())
+                              .field("simd_backend_default",
+                                     std::string(simd::backend_name(default_backend)))
                               .field("hardware_threads",
                                      size_t{std::thread::hardware_concurrency()}))
         .array("results", json_rows)

@@ -34,8 +34,17 @@ int main(int argc, char** argv) {
                        {"trace-out", ""},
                        {"metrics-out", ""}},
                       "Coverage dictionary: build, warm-rerun identity, minimized schedule.");
+  size_t num_stimuli = 0;
+  size_t fault_sample = 0;
+  campaign::EngineConfig engine;
+  double train_budget = 1.0;
   try {
     if (!cli.parse(argc, argv)) return 0;
+    train_budget = cli.get_double("train-budget");
+    num_stimuli = cli.get_size("stimuli");
+    fault_sample = cli.get_size("fault-sample");
+    engine.num_threads = cli.get_size("threads");
+    engine.lane_width = cli.get_size("lane-width");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -46,19 +55,13 @@ int main(int argc, char** argv) {
 
   const auto id = zoo::parse_benchmark(cli.get("benchmark"));
   zoo::ZooOptions zoo_opts;
-  zoo_opts.train_budget = cli.get_double("train-budget");
+  zoo_opts.train_budget = train_budget;
   auto bundle = zoo::load_or_train(id, zoo_opts);
   auto& net = bundle.network;
 
-  const size_t num_stimuli = static_cast<size_t>(cli.get_int("stimuli"));
-  auto faults =
-      bench::sampled_faults(net, static_cast<size_t>(cli.get_int("fault-sample")));
+  auto faults = bench::sampled_faults(net, fault_sample);
   std::printf("model %s: %zu faults sampled, %zu dataset stimuli\n\n", net.name().c_str(),
               faults.size(), num_stimuli);
-
-  campaign::EngineConfig engine;
-  engine.num_threads = static_cast<size_t>(cli.get_int("threads"));
-  engine.lane_width = static_cast<size_t>(cli.get_int("lane-width"));
 
   std::vector<tensor::Tensor> stimuli;
   for (size_t i = 0; i < num_stimuli; ++i) stimuli.push_back(bundle.test->get(i).input);

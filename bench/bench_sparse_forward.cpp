@@ -136,11 +136,19 @@ int main(int argc, char** argv) {
                        {"trace-out", ""},
                        {"metrics-out", ""}},
                       "Sparse vs dense forward kernels swept over input activity.");
-  if (!cli.parse(argc, argv)) return 0;
-  bench::wire_observability(cli);
-  const std::string json_path = cli.get("json");
-  const size_t repeats = static_cast<size_t>(cli.get_int("repeats"));
-  const size_t T = static_cast<size_t>(cli.get_int("timesteps"));
+  std::string json_path;
+  size_t repeats = 1;
+  size_t T = 1;
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    bench::wire_observability(cli);
+    json_path = cli.get("json");
+    repeats = cli.get_size("repeats");
+    T = cli.get_size("timesteps");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   bench::print_header("Event-driven sparse forward kernels vs dense baseline",
                       "the spike-sparsity exploited by the T_FS cost model, Sec. IV-B");

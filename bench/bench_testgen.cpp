@@ -86,11 +86,19 @@ int main(int argc, char** argv) {
                        {"trace-out", ""},
                        {"metrics-out", ""}},
                       "Multi-restart test generation: parallel+sparse vs 1-thread dense.");
-  if (!cli.parse(argc, argv)) return 0;
-  bench::wire_observability(cli);
-  const std::string json_path = cli.get("json");
-  const size_t threads = static_cast<size_t>(std::max(1, cli.get_int("threads")));
-  const size_t restarts = static_cast<size_t>(std::max(1, cli.get_int("restarts")));
+  std::string json_path;
+  size_t threads = 1;
+  size_t restarts = 1;
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    bench::wire_observability(cli);
+    json_path = cli.get("json");
+    threads = std::max<size_t>(1, cli.get_size("threads"));
+    restarts = std::max<size_t>(1, cli.get_size("restarts"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   bench::print_header("Multi-restart test generation: parallel restarts + sparse kernels",
                       "stage optimization of Sec. IV-C under the DESIGN.md §10 contract");

@@ -147,7 +147,7 @@ int cmd_build(int argc, char** argv) {
 
   auto universe = fault::enumerate_faults(net);
   util::Rng sample_rng(99);
-  const size_t sample_size = static_cast<size_t>(cli.get_int("fault-sample"));
+  const size_t sample_size = cli.get_size("fault-sample");
   auto faults = sample_size != 0 && universe.size() > sample_size
                     ? fault::sample_faults(universe, sample_size, sample_rng)
                     : universe;
@@ -155,8 +155,8 @@ int cmd_build(int argc, char** argv) {
               universe.size(), faults.size());
 
   campaign::EngineConfig engine;
-  engine.num_threads = static_cast<size_t>(cli.get_int("threads"));
-  engine.lane_width = static_cast<size_t>(cli.get_int("lane-width"));
+  engine.num_threads = cli.get_size("threads");
+  engine.lane_width = cli.get_size("lane-width");
   engine.detection_threshold = cli.get_double("threshold");
   engine.detect_only = cli.get_bool("detect-only");
 
@@ -188,9 +188,9 @@ int cmd_build(int argc, char** argv) {
     tensor::Tensor input;
   };
   std::vector<Source> sources;
-  const int num_samples = cli.get_int("stimuli");
-  for (int i = 0; i < num_samples; ++i) {
-    const auto sample = bundle.test->get(static_cast<size_t>(i));
+  const size_t num_samples = cli.get_size("stimuli");
+  for (size_t i = 0; i < num_samples; ++i) {
+    const auto sample = bundle.test->get(i);
     sources.push_back({"sample" + std::to_string(i), sample.input});
   }
   const std::string stim_path = cli.get("stimulus-file");

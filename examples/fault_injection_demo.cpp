@@ -41,8 +41,16 @@ int main(int argc, char** argv) {
                       "with --checkpoint, run a resumable detection campaign. --lane-width N "
                       "batches N same-layer faults per forward pass (1 = scalar engine; "
                       "results are bit-identical at every width).");
+  // Validate every numeric flag up front — a malformed --lane-width must be
+  // a usage error even on runs (no --checkpoint) that never read it.
+  size_t campaign_faults = 0;
+  size_t lane_width = 1;
+  long interrupt_after = 0;
   try {
     if (!cli.parse(argc, argv)) return 0;
+    campaign_faults = cli.get_size("campaign-faults");
+    lane_width = std::max<size_t>(1, cli.get_size("lane-width"));
+    interrupt_after = cli.get_int("interrupt-after");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -119,21 +127,18 @@ int main(int argc, char** argv) {
 
   util::Rng sample_rng(42);
   auto universe = fault::enumerate_faults(net);
-  const auto faults = fault::sample_faults(
-      universe, static_cast<size_t>(cli.get_int("campaign-faults")), sample_rng);
 
   campaign::EngineConfig cfg;
   cfg.checkpoint_path = checkpoint;
   cfg.checkpoint_flush_every = 16;
-  cfg.lane_width = static_cast<size_t>(std::max(1, cli.get_int("lane-width")));
-  const long interrupt_after = cli.get_int("interrupt-after");
+  cfg.lane_width = lane_width;
+  auto faults = fault::sample_faults(universe, campaign_faults, sample_rng);
   std::atomic<long> budget{interrupt_after};
   if (interrupt_after > 0) {
     // Simulated kill: stop claiming work after N faults, leaving a partial
     // checkpoint behind — exactly what SIGKILL mid-campaign leaves.
     cfg.cancel = [&budget] { return budget.fetch_sub(1) <= 0; };
   }
-
   std::printf("\n%s campaign: %zu sampled faults, checkpoint %s\n",
               resume ? "resuming" : "starting", faults.size(), checkpoint.c_str());
   campaign::CampaignResult result;

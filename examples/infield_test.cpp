@@ -36,8 +36,7 @@ namespace {
 fault::FaultDescriptor latent_fault(const util::CliParser& cli) {
   fault::FaultDescriptor latent;
   latent.kind = fault::FaultKind::kNeuronDead;
-  latent.neuron = {static_cast<size_t>(cli.get_int("fault-layer")),
-                   static_cast<size_t>(cli.get_int("fault-neuron"))};
+  latent.neuron = {cli.get_size("fault-layer"), cli.get_size("fault-neuron")};
   return latent;
 }
 
@@ -147,24 +146,10 @@ int run_schedule_mode(const util::CliParser& cli, snn::Network& net) {
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  util::CliParser cli({{"benchmark", "shd"},
-                       {"stimulus", ""},
-                       {"dict", ""},
-                       {"checks", "10"},
-                       {"fault-layer", "0"},
-                       {"fault-neuron", "7"}},
-                      "Periodic in-field self-test with an on-chip stored stimulus or a\n"
-                      "minimized coverage schedule (--dict, from coverage_tool minimize).");
-  try {
-    if (!cli.parse(argc, argv)) return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-
+/// Everything after flag parsing; runs inside main's try so that flag
+/// validation errors from the numeric getters (e.g. --checks=abc) exit
+/// cleanly instead of aborting with an uncaught exception.
+int run(const util::CliParser& cli) {
   auto bundle = zoo::load_or_train(zoo::parse_benchmark(cli.get("benchmark")));
   auto& net = bundle.network;
 
@@ -194,7 +179,7 @@ int main(int argc, char** argv) {
   const auto golden_signature = net.forward(test_input).output();
 
   // --- device lifetime: periodic checks; a fault appears mid-life ---
-  const int checks = cli.get_int("checks");
+  const int checks = static_cast<int>(cli.get_size("checks"));
   const int fault_onset = checks / 2;
   fault::FaultInjector injector(net);
   const auto latent = latent_fault(cli);
@@ -221,4 +206,24 @@ int main(int argc, char** argv) {
     std::printf("fault escaped the stored test — consider regenerating with more iterations.\n");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli({{"benchmark", "shd"},
+                       {"stimulus", ""},
+                       {"dict", ""},
+                       {"checks", "10"},
+                       {"fault-layer", "0"},
+                       {"fault-neuron", "7"}},
+                      "Periodic in-field self-test with an on-chip stored stimulus or a\n"
+                      "minimized coverage schedule (--dict, from coverage_tool minimize).");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

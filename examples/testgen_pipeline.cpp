@@ -22,26 +22,11 @@
 
 using namespace snntest;
 
-int main(int argc, char** argv) {
-  util::CliParser cli({{"benchmark", "shd"},
-                       {"steps", "300"},
-                       {"restarts", "1"},
-                       {"threads", "1"},
-                       {"kernel-mode", "auto"},
-                       {"fault-sample", "4000"},
-                       {"classify-samples", "48"},
-                       {"iters", "0"},
-                       {"train-budget", "1.0"},
-                       {"out", ""},
-                       {"trace-out", ""},
-                       {"metrics-out", ""}},
-                      "Full test-generation pipeline on a benchmark SNN.");
-  try {
-    if (!cli.parse(argc, argv)) return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+namespace {
+
+/// Everything after flag parsing; runs inside main's try so flag validation
+/// errors (e.g. --steps=abc) exit cleanly instead of aborting.
+int run(const util::CliParser& cli) {
   obs::configure(cli.get("trace-out"), cli.get("metrics-out"));
   obs::set_report_field("benchmark", cli.get("benchmark"));
   obs::set_report_field("kernel_mode", cli.get("kernel-mode"));
@@ -58,7 +43,7 @@ int main(int argc, char** argv) {
   // --- fault universe (statistically sampled if large, DESIGN.md §2.4) ---
   auto universe = fault::enumerate_faults(net);
   util::Rng sample_rng(99);
-  const size_t sample_size = static_cast<size_t>(cli.get_int("fault-sample"));
+  const size_t sample_size = cli.get_size("fault-sample");
   auto faults = sample_size != 0 && universe.size() > sample_size
                     ? fault::sample_faults(universe, sample_size, sample_rng)
                     : universe;
@@ -66,16 +51,11 @@ int main(int argc, char** argv) {
 
   // --- test generation ---
   core::TestGenConfig cfg;
-  cfg.steps_stage1 = static_cast<size_t>(cli.get_int("steps"));
-  cfg.restarts = static_cast<size_t>(cli.get_int("restarts"));
-  cfg.num_threads = static_cast<size_t>(cli.get_int("threads"));
-  if (cli.get_int("iters") > 0) cfg.max_iterations = static_cast<size_t>(cli.get_int("iters"));
-  try {
-    cfg.kernel_mode = snn::parse_kernel_mode(cli.get("kernel-mode"));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+  cfg.steps_stage1 = cli.get_size("steps");
+  cfg.restarts = cli.get_size("restarts");
+  cfg.num_threads = cli.get_size("threads");
+  if (cli.get_size("iters") > 0) cfg.max_iterations = cli.get_size("iters");
+  cfg.kernel_mode = snn::parse_kernel_mode(cli.get("kernel-mode"));
   cfg.verbose = true;
   core::TestGenerator generator(net, cfg);
   auto report = generator.generate();
@@ -89,7 +69,7 @@ int main(int argc, char** argv) {
   const auto stimulus = report.stimulus.assemble();
   const auto detection = fault::run_detection_campaign(net, stimulus, faults);
   fault::ClassifierConfig cc;
-  cc.max_samples = static_cast<size_t>(cli.get_int("classify-samples"));
+  cc.max_samples = cli.get_size("classify-samples");
   const auto classes = fault::classify_faults(net, faults, *bundle.test, cc);
   const auto coverage = fault::build_coverage_report(faults, detection.results, classes.labels);
 
@@ -105,4 +85,29 @@ int main(int argc, char** argv) {
   std::printf("stimulus saved to %s (density %s) — reuse with examples/infield_test\n",
               out.c_str(), util::fmt_pct(report.stimulus.spike_density()).c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli({{"benchmark", "shd"},
+                       {"steps", "300"},
+                       {"restarts", "1"},
+                       {"threads", "1"},
+                       {"kernel-mode", "auto"},
+                       {"fault-sample", "4000"},
+                       {"classify-samples", "48"},
+                       {"iters", "0"},
+                       {"train-budget", "1.0"},
+                       {"out", ""},
+                       {"trace-out", ""},
+                       {"metrics-out", ""}},
+                      "Full test-generation pipeline on a benchmark SNN.");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    return run(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

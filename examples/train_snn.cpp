@@ -16,17 +16,17 @@ int main(int argc, char** argv) {
   util::CliParser cli(
       {{"benchmark", "shd"}, {"retrain", "false"}, {"budget", "1.0"}},
       "Train a benchmark SNN on its synthetic event dataset and report its characteristics.");
+  zoo::ZooOptions options;
   try {
     if (!cli.parse(argc, argv)) return 0;
+    options.allow_cache = !cli.get_bool("retrain");
+    options.train_budget = cli.get_double("budget");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 
   const auto id = zoo::parse_benchmark(cli.get("benchmark"));
-  zoo::ZooOptions options;
-  options.allow_cache = !cli.get_bool("retrain");
-  options.train_budget = cli.get_double("budget");
 
   auto bundle = zoo::load_or_train(id, options);
   auto& net = bundle.network;

@@ -18,6 +18,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "snn/spike_train.hpp"
+#include "tensor/simd.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -154,6 +155,20 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   CampaignResult outcome;
   outcome.results.resize(faults.size());
   outcome.stats.faults_total = faults.size();
+  // Clamp the requested lane width into the engine's supported range and
+  // say so (once per process) instead of silently running narrower: a user
+  // asking for 32 lanes should learn they got kMaxLaneWidth.
+  const size_t lane_width = std::min(std::max<size_t>(config.lane_width, 1),
+                                     snn::kMaxLaneWidth);
+  if (lane_width != config.lane_width) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      SNNTEST_LOG_WARN("run_campaign: lane_width %zu out of range, clamped to %zu "
+                       "(supported range is [1, %zu])",
+                       config.lane_width, lane_width, snn::kMaxLaneWidth);
+    }
+  }
+  outcome.stats.lane_width_effective = lane_width;
   if (faults.empty()) {
     outcome.stats.elapsed_seconds = timer.seconds();
     return outcome;
@@ -214,8 +229,6 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   // ride one multi-lane forward (campaign/lane_sim.cpp). Without prefix
   // reuse there is no shared prefix to batch from (and the "naive" baseline
   // configuration must stay truly naive), so batching requires it.
-  const size_t lane_width = std::min(std::max<size_t>(config.lane_width, 1),
-                                     snn::kMaxLaneWidth);
   const bool lane_batching = lane_width > 1 && config.prefix_reuse;
   std::vector<size_t> order;
   std::vector<WorkItem> items;
@@ -341,6 +354,10 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
     std::snprintf(fp, sizeof(fp), "%016llx",
                   static_cast<unsigned long long>(header.fingerprint));
     obs::set_report_field("campaign_fingerprint", std::string(fp));
+    obs::set_report_field("campaign_lane_width_effective",
+                          static_cast<uint64_t>(lane_width));
+    obs::set_report_field("simd_backend",
+                          std::string(tensor::simd::backend_name(tensor::simd::active_backend())));
   }
   return outcome;
 }

@@ -119,6 +119,11 @@ struct EngineStats {
   /// expected artifact of a kill mid-write; more than one means the file
   /// was corrupted and those faults were re-simulated.
   size_t checkpoint_lines_skipped = 0;
+  /// Lane width the engine actually ran with: EngineConfig::lane_width
+  /// clamped into [1, snn::kMaxLaneWidth]. Differs from the config only
+  /// when the request was out of range (which also logs a one-time
+  /// warning).
+  size_t lane_width_effective = 0;
   /// Lane-batched passes executed and the faults they carried; the
   /// remaining simulated faults ran the scalar path (singleton layer
   /// groups, lane_width 1, or prefix_reuse off).

@@ -7,6 +7,7 @@
 #include "snn/dense_layer.hpp"
 #include "snn/pool_layer.hpp"
 #include "snn/recurrent_layer.hpp"
+#include "tensor/simd.hpp"
 
 namespace snntest::snn {
 
@@ -75,116 +76,51 @@ void recompute_conv_channel(const ConvLayer& conv, size_t tap, float value, cons
   }
 }
 
+/// Conv geometry handed to the dispatched lane kernels (tensor/simd.hpp
+/// cannot see snn::Conv2dSpec, so the shape crosses as a POD).
+tensor::simd::ConvLaneGeom conv_lane_geom(const Conv2dSpec& s) {
+  tensor::simd::ConvLaneGeom g;
+  g.in_channels = s.in_channels;
+  g.in_height = s.in_height;
+  g.in_width = s.in_width;
+  g.out_channels = s.out_channels;
+  g.out_height = s.out_height();
+  g.out_width = s.out_width();
+  g.kernel = s.kernel;
+  g.stride = s.stride;
+  g.padding = s.padding;
+  return g;
+}
+
 /// Lane-strided conv gather: conv_forward_frame with per-lane double
-/// accumulators fed in the identical term order.
+/// accumulators fed in the identical term order (dispatched backend).
 void conv_frame_lanes_dense(const ConvLayer& conv, const float* in_lanes, size_t lanes,
                             float* syn_lanes) {
-  const Conv2dSpec& s = conv.spec();
-  const size_t oh = s.out_height();
-  const size_t ow = s.out_width();
-  const size_t k = s.kernel;
-  const size_t plane = s.in_height * s.in_width;
-  const float* weights = conv.weights().data();
-  for (size_t oc = 0; oc < s.out_channels; ++oc) {
-    for (size_t oy = 0; oy < oh; ++oy) {
-      for (size_t ox = 0; ox < ow; ++ox) {
-        double acc[tensor::kMaxLanes] = {};
-        for (size_t ic = 0; ic < s.in_channels; ++ic) {
-          const float* w_base = weights + ((oc * s.in_channels + ic) * k) * k;
-          const float* in_base = in_lanes + ic * plane * lanes;
-          for (size_t ky = 0; ky < k; ++ky) {
-            const long iy = static_cast<long>(oy * s.stride + ky) - static_cast<long>(s.padding);
-            if (iy < 0 || iy >= static_cast<long>(s.in_height)) continue;
-            for (size_t kx = 0; kx < k; ++kx) {
-              const long ix = static_cast<long>(ox * s.stride + kx) - static_cast<long>(s.padding);
-              if (ix < 0 || ix >= static_cast<long>(s.in_width)) continue;
-              const double w = w_base[ky * k + kx];
-              const float* xv =
-                  in_base + (iy * static_cast<long>(s.in_width) + ix) * static_cast<long>(lanes);
-              for (size_t l = 0; l < lanes; ++l) acc[l] += w * xv[l];
-            }
-          }
-        }
-        float* out = syn_lanes + ((oc * oh + oy) * ow + ox) * lanes;
-        for (size_t l = 0; l < lanes; ++l) out[l] = static_cast<float>(acc[l]);
-      }
-    }
-  }
+  tensor::simd::lane_ops().conv_lanes_dense(conv_lane_geom(conv.spec()), conv.weights().data(),
+                                            in_lanes, lanes, syn_lanes);
 }
 
 /// Lane-strided conv scatter over the union-active input pixels. Per lane
 /// this is conv_forward_frame_sparse on a superset active list: pixels where
 /// the lane is silent contribute exact +/-0.0 terms, so each lane matches
-/// the scalar sparse (hence dense) kernel bit for bit.
+/// the scalar sparse (hence dense) kernel bit for bit. The dispatched
+/// kernels expect the caller to zero the double accumulator.
 void conv_frame_lanes_scatter(const ConvLayer& conv, const float* in_lanes, size_t lanes,
                               const uint32_t* active, size_t num_active, std::vector<double>& acc,
                               float* syn_lanes) {
-  const Conv2dSpec& s = conv.spec();
-  const size_t oh = s.out_height();
-  const size_t ow = s.out_width();
-  const size_t k = s.kernel;
-  const size_t out_size = s.output_size();
-  const size_t plane = s.in_height * s.in_width;
-  const long stride = static_cast<long>(s.stride);
-  const float* weights = conv.weights().data();
+  const size_t out_size = conv.spec().output_size();
   acc.assign(out_size * lanes, 0.0);
-  for (size_t i = 0; i < num_active; ++i) {
-    const size_t flat = active[i];
-    const size_t ic = flat / plane;
-    const size_t rem = flat % plane;
-    const size_t iy = rem / s.in_width;
-    const size_t ix = rem % s.in_width;
-    const float* vals = in_lanes + flat * lanes;
-    for (size_t oc = 0; oc < s.out_channels; ++oc) {
-      const float* w_base = weights + ((oc * s.in_channels + ic) * k) * k;
-      double* acc_base = acc.data() + oc * oh * ow * lanes;
-      for (size_t ky = 0; ky < k; ++ky) {
-        const long num_y = static_cast<long>(iy + s.padding) - static_cast<long>(ky);
-        if (num_y < 0 || num_y % stride != 0) continue;
-        const long oy = num_y / stride;
-        if (oy >= static_cast<long>(oh)) continue;
-        for (size_t kx = 0; kx < k; ++kx) {
-          const long num_x = static_cast<long>(ix + s.padding) - static_cast<long>(kx);
-          if (num_x < 0 || num_x % stride != 0) continue;
-          const long ox = num_x / stride;
-          if (ox >= static_cast<long>(ow)) continue;
-          const double w = w_base[ky * k + kx];
-          double* a = acc_base + (oy * static_cast<long>(ow) + ox) * static_cast<long>(lanes);
-          for (size_t l = 0; l < lanes; ++l) a[l] += w * vals[l];
-        }
-      }
-    }
-  }
-  for (size_t o = 0; o < out_size; ++o) {
-    for (size_t l = 0; l < lanes; ++l) {
-      syn_lanes[o * lanes + l] = static_cast<float>(acc[o * lanes + l]);
-    }
-  }
+  tensor::simd::lane_ops().conv_lanes_scatter(conv_lane_geom(conv.spec()), conv.weights().data(),
+                                              in_lanes, lanes, active, num_active, acc.data(),
+                                              syn_lanes);
 }
 
 /// Lane-strided sum pool: float window sums in the scalar (wy, wx) order.
 void pool_frame_lanes(const SumPoolLayer& pool, const float* in_lanes, size_t lanes,
                       float* syn_lanes) {
   const SumPoolSpec& s = pool.spec();
-  const size_t oh = s.out_height();
-  const size_t ow = s.out_width();
-  for (size_t c = 0; c < s.channels; ++c) {
-    const float* in_base = in_lanes + c * s.in_height * s.in_width * lanes;
-    for (size_t oy = 0; oy < oh; ++oy) {
-      for (size_t ox = 0; ox < ow; ++ox) {
-        float acc[tensor::kMaxLanes] = {};
-        for (size_t wy = 0; wy < s.window; ++wy) {
-          const size_t iy = oy * s.window + wy;
-          for (size_t wx = 0; wx < s.window; ++wx) {
-            const float* p = in_base + (iy * s.in_width + ox * s.window + wx) * lanes;
-            for (size_t l = 0; l < lanes; ++l) acc[l] += p[l];
-          }
-        }
-        float* out = syn_lanes + ((c * oh + oy) * ow + ox) * lanes;
-        for (size_t l = 0; l < lanes; ++l) out[l] = acc[l];
-      }
-    }
-  }
+  tensor::simd::lane_ops().pool_lanes(s.channels, s.in_height, s.in_width, s.window, in_lanes,
+                                      lanes, syn_lanes);
 }
 
 }  // namespace
@@ -224,35 +160,18 @@ void LaneLif::step(const float* syn_lanes, float* out_lanes) {
   const NeuronMode* md = bank_->modes().data();
   const bool has_overrides = !overridden_.empty();
   const size_t lanes = lanes_;
+  const tensor::simd::LaneKernels& ops = tensor::simd::lane_ops();
   for (size_t i = 0; i < n_; ++i) {
     const size_t base = i * lanes;
     if (!has_overrides || !overridden_[i]) {
       // Every lane of this neuron shares the bank parameters: hoist them
-      // out of the lane loop (the hot path — overrides exist only on the
-      // fault layer, and there on a single neuron per lane).
+      // out of the lane loop and run the dispatched lane LIF kernel (the
+      // hot path — overrides exist only on the fault layer, and there on a
+      // single neuron per lane).
       const NeuronMode mode = md[i];
       if (mode == NeuronMode::kNormal) {
-        const float threshold = thr[i];
-        const float leak = lk[i];
-        const int refractory = rf[i];
-        for (size_t l = 0; l < lanes; ++l) {
-          const size_t s = base + l;
-          float spike = 0.0f;
-          if (refrac_[s] > 0) {
-            --refrac_[s];
-            u_[s] = reset_v;
-          } else {
-            const float u_pre = leak * u_[s] + syn_lanes[s];
-            if (u_pre >= threshold) {
-              spike = 1.0f;
-              u_[s] = reset_v;
-              refrac_[s] = refractory;
-            } else {
-              u_[s] = u_pre;
-            }
-          }
-          out_lanes[s] = spike;
-        }
+        ops.lif_lanes(u_.data() + base, refrac_.data() + base, syn_lanes + base,
+                      out_lanes + base, lanes, lk[i], thr[i], reset_v, rf[i]);
       } else {
         // Dead / saturated neurons emit a constant and, exactly like
         // LifBank::step, leave their membrane and refractory state alone.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/simd.hpp"
+
 namespace snntest::tensor {
 
 void matvec_accumulate(const float* a, size_t rows, size_t cols, const float* x, float* y) {
@@ -45,113 +47,26 @@ void matvec_accumulate_gather(const float* a, size_t rows, size_t cols, const fl
   }
 }
 
-namespace {
-
-// Compile-time lane count so the per-column lane loop fully unrolls into
-// LANES independent accumulator registers. The double accumulation per
-// (row, lane) visits columns in the same ascending order as the scalar
-// kernels, so each lane's result is bit-identical to a scalar run.
-template <size_t LANES>
-void matvec_lanes_fixed(const float* a, size_t rows, size_t cols, const float* x_lanes,
-                        float* y_lanes) {
-  for (size_t r = 0; r < rows; ++r) {
-    const float* row = a + r * cols;
-    double acc[LANES] = {};
-    for (size_t c = 0; c < cols; ++c) {
-      const double w = row[c];
-      const float* xv = x_lanes + c * LANES;
-      for (size_t l = 0; l < LANES; ++l) acc[l] += w * xv[l];
-    }
-    float* yr = y_lanes + r * LANES;
-    for (size_t l = 0; l < LANES; ++l) yr[l] += static_cast<float>(acc[l]);
-  }
-}
-
-template <size_t LANES>
-void matvec_gather_lanes_fixed(const float* a, size_t rows, size_t cols, const float* x_lanes,
-                               const uint32_t* active, size_t num_active, float* y_lanes) {
-  for (size_t r = 0; r < rows; ++r) {
-    const float* row = a + r * cols;
-    double acc[LANES] = {};
-    for (size_t i = 0; i < num_active; ++i) {
-      const uint32_t c = active[i];
-      const double w = row[c];
-      const float* xv = x_lanes + static_cast<size_t>(c) * LANES;
-      for (size_t l = 0; l < LANES; ++l) acc[l] += w * xv[l];
-    }
-    float* yr = y_lanes + r * LANES;
-    for (size_t l = 0; l < LANES; ++l) yr[l] += static_cast<float>(acc[l]);
-  }
-}
-
-void matvec_lanes_generic(const float* a, size_t rows, size_t cols, const float* x_lanes,
-                          size_t lanes, float* y_lanes) {
-  for (size_t r = 0; r < rows; ++r) {
-    const float* row = a + r * cols;
-    double acc[kMaxLanes] = {};
-    for (size_t c = 0; c < cols; ++c) {
-      const double w = row[c];
-      const float* xv = x_lanes + c * lanes;
-      for (size_t l = 0; l < lanes; ++l) acc[l] += w * xv[l];
-    }
-    float* yr = y_lanes + r * lanes;
-    for (size_t l = 0; l < lanes; ++l) yr[l] += static_cast<float>(acc[l]);
-  }
-}
-
-void matvec_gather_lanes_generic(const float* a, size_t rows, size_t cols, const float* x_lanes,
-                                 size_t lanes, const uint32_t* active, size_t num_active,
-                                 float* y_lanes) {
-  for (size_t r = 0; r < rows; ++r) {
-    const float* row = a + r * cols;
-    double acc[kMaxLanes] = {};
-    for (size_t i = 0; i < num_active; ++i) {
-      const uint32_t c = active[i];
-      const double w = row[c];
-      const float* xv = x_lanes + static_cast<size_t>(c) * lanes;
-      for (size_t l = 0; l < lanes; ++l) acc[l] += w * xv[l];
-    }
-    float* yr = y_lanes + r * lanes;
-    for (size_t l = 0; l < lanes; ++l) yr[l] += static_cast<float>(acc[l]);
-  }
-}
-
-}  // namespace
-
+// The lane-strided kernel bodies live behind the SIMD dispatch layer
+// (simd_scalar.cpp / simd_avx2.cpp / simd_neon.cpp); the public entry
+// points here keep the argument validation and then jump through the
+// active backend's table.
 void matvec_accumulate_lanes(const float* a, size_t rows, size_t cols, const float* x_lanes,
                              size_t lanes, float* y_lanes) {
-  switch (lanes) {
-    case 1: return matvec_lanes_fixed<1>(a, rows, cols, x_lanes, y_lanes);
-    case 2: return matvec_lanes_fixed<2>(a, rows, cols, x_lanes, y_lanes);
-    case 3: return matvec_lanes_fixed<3>(a, rows, cols, x_lanes, y_lanes);
-    case 4: return matvec_lanes_fixed<4>(a, rows, cols, x_lanes, y_lanes);
-    case 8: return matvec_lanes_fixed<8>(a, rows, cols, x_lanes, y_lanes);
-    case 16: return matvec_lanes_fixed<16>(a, rows, cols, x_lanes, y_lanes);
-    default:
-      if (lanes == 0 || lanes > kMaxLanes) {
-        throw std::invalid_argument("matvec_accumulate_lanes: bad lane count");
-      }
-      return matvec_lanes_generic(a, rows, cols, x_lanes, lanes, y_lanes);
+  if (lanes == 0 || lanes > kMaxLanes) {
+    throw std::invalid_argument("matvec_accumulate_lanes: bad lane count");
   }
+  simd::lane_ops().matvec_lanes(a, rows, cols, x_lanes, lanes, y_lanes);
 }
 
 void matvec_accumulate_gather_lanes(const float* a, size_t rows, size_t cols,
                                     const float* x_lanes, size_t lanes, const uint32_t* active,
                                     size_t num_active, float* y_lanes) {
-  switch (lanes) {
-    case 1: return matvec_gather_lanes_fixed<1>(a, rows, cols, x_lanes, active, num_active, y_lanes);
-    case 2: return matvec_gather_lanes_fixed<2>(a, rows, cols, x_lanes, active, num_active, y_lanes);
-    case 3: return matvec_gather_lanes_fixed<3>(a, rows, cols, x_lanes, active, num_active, y_lanes);
-    case 4: return matvec_gather_lanes_fixed<4>(a, rows, cols, x_lanes, active, num_active, y_lanes);
-    case 8: return matvec_gather_lanes_fixed<8>(a, rows, cols, x_lanes, active, num_active, y_lanes);
-    case 16: return matvec_gather_lanes_fixed<16>(a, rows, cols, x_lanes, active, num_active, y_lanes);
-    default:
-      if (lanes == 0 || lanes > kMaxLanes) {
-        throw std::invalid_argument("matvec_accumulate_gather_lanes: bad lane count");
-      }
-      return matvec_gather_lanes_generic(a, rows, cols, x_lanes, lanes, active, num_active,
-                                         y_lanes);
+  if (lanes == 0 || lanes > kMaxLanes) {
+    throw std::invalid_argument("matvec_accumulate_gather_lanes: bad lane count");
   }
+  simd::lane_ops().matvec_gather_lanes(a, rows, cols, x_lanes, lanes, active, num_active,
+                                       y_lanes);
 }
 
 size_t extract_active_union(const float* x_lanes, size_t n, size_t lanes,

@@ -1,0 +1,121 @@
+// Runtime-dispatched SIMD backends for the lane-strided kernels.
+//
+// The lane layout (DESIGN.md §12) is lane-minor — element (c, lane) of a
+// lane frame lives at x[c*lanes + lane] — so the W independent per-lane
+// accumulators of one row/pixel sit contiguously in memory. Vectorizing
+// ACROSS lanes therefore never reorders any lane's own accumulation: a
+// 4-wide AVX2 double add performs four independent lane updates in one
+// instruction, each lane still seeing exactly the ordered scalar sum the
+// portable kernel computes. That is why every backend below is bit-identical
+// to the scalar engine (enforced by tests/test_simd.cpp and the
+// backend-forced campaign fuzz in tests/test_campaign.cpp):
+//
+//  * identical per-lane term order — vector width divides across lanes,
+//    never across the reduction dimension;
+//  * identical roundings — explicit mul-then-add intrinsics (no FMA; the
+//    SIMD translation units also compile with -ffp-contract=off, and the
+//    scalar reference kernels pin the same flag so no host contracts one
+//    side and not the other);
+//  * identical branch semantics — the LIF update uses ordered-quiet
+//    compares and blends that replicate the scalar if/else per lane.
+//
+// Backend selection happens once, on first use: AVX2 via cpuid
+// (__builtin_cpu_supports) on x86-64, NEON on aarch64 (baseline ISA), the
+// portable scalar code everywhere else. `SNNTEST_SIMD=scalar|avx2|neon|auto`
+// overrides the choice (unavailable/unknown values warn once and fall back
+// to the best available backend). Tests and benches can also switch
+// programmatically with force_backend().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snntest::tensor::simd {
+
+enum class Backend : uint8_t {
+  kScalar = 0,  // portable reference kernels (always available)
+  kAvx2 = 1,    // x86-64 AVX2: 4-wide f64 / 8-wide f32 across lanes
+  kNeon = 2,    // aarch64 NEON: 2-wide f64 / 4-wide f32 across lanes
+};
+
+/// Stable lower-case name ("scalar", "avx2", "neon") for logs and reports.
+const char* backend_name(Backend backend);
+
+/// Parse a backend name (as accepted by SNNTEST_SIMD, case-sensitive).
+/// Returns false for unknown names; "auto" is NOT a backend (callers map it
+/// to best_available_backend()).
+bool parse_backend(const std::string& name, Backend& out);
+
+/// Compiled in AND usable on this host (cpuid / baseline-ISA check).
+bool backend_available(Backend backend);
+
+/// Backends usable on this host, scalar first.
+std::vector<Backend> available_backends();
+
+/// Best usable backend on this host (the startup default when SNNTEST_SIMD
+/// is unset or "auto").
+Backend best_available_backend();
+
+/// The backend the lane kernels currently dispatch to.
+Backend active_backend();
+
+/// Force a specific backend (tests/benches). Returns false — leaving the
+/// active backend unchanged — when `backend` is unavailable on this host.
+/// Not thread-safe against in-flight kernels; switch between runs only.
+bool force_backend(Backend backend);
+
+/// Conv geometry for the lane conv kernels, mirrored from snn::Conv2dSpec
+/// as a plain tensor-level POD (the dispatch layer cannot depend on snn).
+struct ConvLaneGeom {
+  size_t in_channels = 0;
+  size_t in_height = 0;
+  size_t in_width = 0;
+  size_t out_channels = 0;
+  size_t out_height = 0;
+  size_t out_width = 0;
+  size_t kernel = 0;
+  size_t stride = 1;
+  size_t padding = 0;
+
+  size_t input_size() const { return in_channels * in_height * in_width; }
+  size_t output_size() const { return out_channels * out_height * out_width; }
+};
+
+/// One backend's lane-kernel table. All pointers are non-null in every
+/// registered table; `lanes` is always in [1, kMaxLanes] (callers validate).
+struct LaneKernels {
+  /// Lane-strided y += A x (see tensor::matvec_accumulate_lanes).
+  void (*matvec_lanes)(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                       size_t lanes, float* y_lanes);
+  /// Lane-strided sparse matvec over ascending `active` columns.
+  void (*matvec_gather_lanes)(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                              size_t lanes, const uint32_t* active, size_t num_active,
+                              float* y_lanes);
+  /// Dense lane conv: syn[(pixel)*lanes + l] = ordered double sum per lane.
+  void (*conv_lanes_dense)(const ConvLaneGeom& geom, const float* weights, const float* in_lanes,
+                           size_t lanes, float* syn_lanes);
+  /// Scatter lane conv over the union-active input pixels. `acc` is a
+  /// caller-zeroed [output_size * lanes] double buffer; the kernel scatters
+  /// into it and then narrows into syn_lanes.
+  void (*conv_lanes_scatter)(const ConvLaneGeom& geom, const float* weights,
+                             const float* in_lanes, size_t lanes, const uint32_t* active,
+                             size_t num_active, double* acc, float* syn_lanes);
+  /// Lane sum pool: float window sums in the scalar (wy, wx) order.
+  void (*pool_lanes)(size_t channels, size_t in_height, size_t in_width, size_t window,
+                     const float* in_lanes, size_t lanes, float* syn_lanes);
+  /// One neuron's LIF update across its lanes (the no-override kNormal fast
+  /// path of snn::LaneLif::step): per lane,
+  ///   refrac > 0 ? (--refrac, u = reset, spike 0)
+  ///              : u_pre = leak*u + syn; u_pre >= threshold ?
+  ///                  (spike 1, u = reset, refrac = refractory) : u = u_pre.
+  void (*lif_lanes)(float* u, int* refrac, const float* syn, float* out, size_t lanes,
+                    float leak, float threshold, float reset_v, int refractory);
+};
+
+/// The active backend's kernel table. Cheap (one relaxed atomic load), but
+/// hot loops should still hoist the reference out of per-frame loops.
+const LaneKernels& lane_ops();
+
+}  // namespace snntest::tensor::simd

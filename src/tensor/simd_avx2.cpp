@@ -1,0 +1,372 @@
+// AVX2 lane kernels: 4-wide double accumulation and 8-wide float state
+// update ACROSS lanes. Compiled with -mavx2 (no -mfma) isolated to this
+// translation unit plus -ffp-contract=off, so every vector op below is the
+// exact IEEE operation the scalar kernel performs:
+//
+//  * _mm256_cvtps_pd        == static_cast<double>(float)   (exact)
+//  * _mm256_mul_pd / add_pd == the unfused double mul / add  (same rounding)
+//  * _mm256_cvtpd_ps        == static_cast<float>(double)   (nearest-even)
+//  * _CMP_GE_OQ             == scalar `>=` (quiet, NaN -> false)
+//
+// Vector width divides the lane dimension only — each lane's accumulation
+// order is untouched — so results are bit-identical to simd_scalar.cpp for
+// every lane count, including the scalar tail when lanes % 4 (or % 8 for
+// the float kernels) is nonzero.
+#if !defined(__AVX2__)
+#error "simd_avx2.cpp must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include "tensor/simd_tables.hpp"
+
+namespace snntest::tensor::simd {
+namespace {
+
+template <size_t LANES>
+struct LaneBlocks {
+  static constexpr size_t kVec = LANES / 4;   // 4-wide double blocks
+  static constexpr size_t kTail = LANES % 4;  // scalar double tail
+};
+
+template <size_t LANES>
+void matvec_lanes_fixed(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                        float* y_lanes) {
+  constexpr size_t NB = LaneBlocks<LANES>::kVec;
+  constexpr size_t TAIL = LaneBlocks<LANES>::kTail;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    __m256d acc[NB > 0 ? NB : 1];
+    for (size_t b = 0; b < NB; ++b) acc[b] = _mm256_setzero_pd();
+    double acc_tail[TAIL > 0 ? TAIL : 1] = {};
+    for (size_t c = 0; c < cols; ++c) {
+      const double w = row[c];
+      const float* xv = x_lanes + c * LANES;
+      if constexpr (NB > 0) {
+        const __m256d wv = _mm256_set1_pd(w);
+        for (size_t b = 0; b < NB; ++b) {
+          const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(xv + 4 * b));
+          acc[b] = _mm256_add_pd(acc[b], _mm256_mul_pd(wv, xd));
+        }
+      }
+      for (size_t t = 0; t < TAIL; ++t) acc_tail[t] += w * xv[4 * NB + t];
+    }
+    float* yr = y_lanes + r * LANES;
+    for (size_t b = 0; b < NB; ++b) {
+      const __m128 sum = _mm256_cvtpd_ps(acc[b]);
+      _mm_storeu_ps(yr + 4 * b, _mm_add_ps(_mm_loadu_ps(yr + 4 * b), sum));
+    }
+    for (size_t t = 0; t < TAIL; ++t) {
+      yr[4 * NB + t] += static_cast<float>(acc_tail[t]);
+    }
+  }
+}
+
+template <size_t LANES>
+void matvec_gather_lanes_fixed(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                               const uint32_t* active, size_t num_active, float* y_lanes) {
+  constexpr size_t NB = LaneBlocks<LANES>::kVec;
+  constexpr size_t TAIL = LaneBlocks<LANES>::kTail;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    __m256d acc[NB > 0 ? NB : 1];
+    for (size_t b = 0; b < NB; ++b) acc[b] = _mm256_setzero_pd();
+    double acc_tail[TAIL > 0 ? TAIL : 1] = {};
+    for (size_t i = 0; i < num_active; ++i) {
+      const uint32_t c = active[i];
+      const double w = row[c];
+      const float* xv = x_lanes + static_cast<size_t>(c) * LANES;
+      if constexpr (NB > 0) {
+        const __m256d wv = _mm256_set1_pd(w);
+        for (size_t b = 0; b < NB; ++b) {
+          const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(xv + 4 * b));
+          acc[b] = _mm256_add_pd(acc[b], _mm256_mul_pd(wv, xd));
+        }
+      }
+      for (size_t t = 0; t < TAIL; ++t) acc_tail[t] += w * xv[4 * NB + t];
+    }
+    float* yr = y_lanes + r * LANES;
+    for (size_t b = 0; b < NB; ++b) {
+      const __m128 sum = _mm256_cvtpd_ps(acc[b]);
+      _mm_storeu_ps(yr + 4 * b, _mm_add_ps(_mm_loadu_ps(yr + 4 * b), sum));
+    }
+    for (size_t t = 0; t < TAIL; ++t) {
+      yr[4 * NB + t] += static_cast<float>(acc_tail[t]);
+    }
+  }
+}
+
+template <size_t LANES>
+void conv_lanes_dense_fixed(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                            float* syn_lanes) {
+  constexpr size_t NB = LaneBlocks<LANES>::kVec;
+  constexpr size_t TAIL = LaneBlocks<LANES>::kTail;
+  const size_t oh = g.out_height;
+  const size_t ow = g.out_width;
+  const size_t k = g.kernel;
+  const size_t plane = g.in_height * g.in_width;
+  for (size_t oc = 0; oc < g.out_channels; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        __m256d acc[NB > 0 ? NB : 1];
+        for (size_t b = 0; b < NB; ++b) acc[b] = _mm256_setzero_pd();
+        double acc_tail[TAIL > 0 ? TAIL : 1] = {};
+        for (size_t ic = 0; ic < g.in_channels; ++ic) {
+          const float* w_base = weights + ((oc * g.in_channels + ic) * k) * k;
+          const float* in_base = in_lanes + ic * plane * LANES;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const long iy = static_cast<long>(oy * g.stride + ky) - static_cast<long>(g.padding);
+            if (iy < 0 || iy >= static_cast<long>(g.in_height)) continue;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const long ix = static_cast<long>(ox * g.stride + kx) - static_cast<long>(g.padding);
+              if (ix < 0 || ix >= static_cast<long>(g.in_width)) continue;
+              const double w = w_base[ky * k + kx];
+              const float* xv = in_base + (iy * static_cast<long>(g.in_width) + ix) *
+                                              static_cast<long>(LANES);
+              if constexpr (NB > 0) {
+                const __m256d wv = _mm256_set1_pd(w);
+                for (size_t b = 0; b < NB; ++b) {
+                  const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(xv + 4 * b));
+                  acc[b] = _mm256_add_pd(acc[b], _mm256_mul_pd(wv, xd));
+                }
+              }
+              for (size_t t = 0; t < TAIL; ++t) acc_tail[t] += w * xv[4 * NB + t];
+            }
+          }
+        }
+        float* out = syn_lanes + ((oc * oh + oy) * ow + ox) * LANES;
+        for (size_t b = 0; b < NB; ++b) {
+          _mm_storeu_ps(out + 4 * b, _mm256_cvtpd_ps(acc[b]));
+        }
+        for (size_t t = 0; t < TAIL; ++t) {
+          out[4 * NB + t] = static_cast<float>(acc_tail[t]);
+        }
+      }
+    }
+  }
+}
+
+template <size_t LANES>
+void conv_lanes_scatter_fixed(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                              const uint32_t* active, size_t num_active, double* acc,
+                              float* syn_lanes) {
+  constexpr size_t NB = LaneBlocks<LANES>::kVec;
+  constexpr size_t TAIL = LaneBlocks<LANES>::kTail;
+  const size_t oh = g.out_height;
+  const size_t ow = g.out_width;
+  const size_t k = g.kernel;
+  const size_t out_size = g.output_size();
+  const size_t plane = g.in_height * g.in_width;
+  const long stride = static_cast<long>(g.stride);
+  for (size_t i = 0; i < num_active; ++i) {
+    const size_t flat = active[i];
+    const size_t ic = flat / plane;
+    const size_t rem = flat % plane;
+    const size_t iy = rem / g.in_width;
+    const size_t ix = rem % g.in_width;
+    const float* vals = in_lanes + flat * LANES;
+    // The pixel's lane values are reused for every (oc, ky, kx) tap: widen
+    // them to double once (exact conversion, so numerically invisible).
+    __m256d vals_pd[NB > 0 ? NB : 1];
+    for (size_t b = 0; b < NB; ++b) vals_pd[b] = _mm256_cvtps_pd(_mm_loadu_ps(vals + 4 * b));
+    for (size_t oc = 0; oc < g.out_channels; ++oc) {
+      const float* w_base = weights + ((oc * g.in_channels + ic) * k) * k;
+      double* acc_base = acc + oc * oh * ow * LANES;
+      for (size_t ky = 0; ky < k; ++ky) {
+        const long num_y = static_cast<long>(iy + g.padding) - static_cast<long>(ky);
+        if (num_y < 0 || num_y % stride != 0) continue;
+        const long oy = num_y / stride;
+        if (oy >= static_cast<long>(oh)) continue;
+        for (size_t kx = 0; kx < k; ++kx) {
+          const long num_x = static_cast<long>(ix + g.padding) - static_cast<long>(kx);
+          if (num_x < 0 || num_x % stride != 0) continue;
+          const long ox = num_x / stride;
+          if (ox >= static_cast<long>(ow)) continue;
+          const double w = w_base[ky * k + kx];
+          double* a = acc_base + (oy * static_cast<long>(ow) + ox) * static_cast<long>(LANES);
+          if constexpr (NB > 0) {
+            const __m256d wv = _mm256_set1_pd(w);
+            for (size_t b = 0; b < NB; ++b) {
+              const __m256d cur = _mm256_loadu_pd(a + 4 * b);
+              _mm256_storeu_pd(a + 4 * b, _mm256_add_pd(cur, _mm256_mul_pd(wv, vals_pd[b])));
+            }
+          }
+          for (size_t t = 0; t < TAIL; ++t) a[4 * NB + t] += w * vals[4 * NB + t];
+        }
+      }
+    }
+  }
+  // Flat narrow of the double accumulators (length out_size * LANES, so the
+  // 4-wide blocks need no per-pixel tail handling).
+  const size_t total = out_size * LANES;
+  size_t f = 0;
+  for (; f + 4 <= total; f += 4) {
+    _mm_storeu_ps(syn_lanes + f, _mm256_cvtpd_ps(_mm256_loadu_pd(acc + f)));
+  }
+  for (; f < total; ++f) syn_lanes[f] = static_cast<float>(acc[f]);
+}
+
+template <size_t LANES>
+void pool_lanes_fixed(size_t channels, size_t in_height, size_t in_width, size_t window,
+                      const float* in_lanes, float* syn_lanes) {
+  constexpr size_t NB8 = LANES / 8;   // 8-wide float blocks
+  constexpr size_t TAIL8 = LANES % 8;
+  const size_t oh = in_height / window;
+  const size_t ow = in_width / window;
+  for (size_t c = 0; c < channels; ++c) {
+    const float* in_base = in_lanes + c * in_height * in_width * LANES;
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        __m256 acc[NB8 > 0 ? NB8 : 1];
+        for (size_t b = 0; b < NB8; ++b) acc[b] = _mm256_setzero_ps();
+        float acc_tail[TAIL8 > 0 ? TAIL8 : 1] = {};
+        for (size_t wy = 0; wy < window; ++wy) {
+          const size_t iy = oy * window + wy;
+          for (size_t wx = 0; wx < window; ++wx) {
+            const float* p = in_base + (iy * in_width + ox * window + wx) * LANES;
+            for (size_t b = 0; b < NB8; ++b) {
+              acc[b] = _mm256_add_ps(acc[b], _mm256_loadu_ps(p + 8 * b));
+            }
+            for (size_t t = 0; t < TAIL8; ++t) acc_tail[t] += p[8 * NB8 + t];
+          }
+        }
+        float* out = syn_lanes + ((c * oh + oy) * ow + ox) * LANES;
+        for (size_t b = 0; b < NB8; ++b) _mm256_storeu_ps(out + 8 * b, acc[b]);
+        for (size_t t = 0; t < TAIL8; ++t) out[8 * NB8 + t] = acc_tail[t];
+      }
+    }
+  }
+}
+
+void matvec_lanes(const float* a, size_t rows, size_t cols, const float* x_lanes, size_t lanes,
+                  float* y_lanes) {
+  switch (lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return matvec_lanes_fixed<n>(a, rows, cols, x_lanes, y_lanes);
+    SNNTEST_CASE(1) SNNTEST_CASE(2) SNNTEST_CASE(3) SNNTEST_CASE(4)
+    SNNTEST_CASE(5) SNNTEST_CASE(6) SNNTEST_CASE(7) SNNTEST_CASE(8)
+    SNNTEST_CASE(9) SNNTEST_CASE(10) SNNTEST_CASE(11) SNNTEST_CASE(12)
+    SNNTEST_CASE(13) SNNTEST_CASE(14) SNNTEST_CASE(15) SNNTEST_CASE(16)
+#undef SNNTEST_CASE
+    default: return;  // callers validate lanes in [1, kMaxLanes]
+  }
+}
+
+void matvec_gather_lanes(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                         size_t lanes, const uint32_t* active, size_t num_active,
+                         float* y_lanes) {
+  switch (lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return matvec_gather_lanes_fixed<n>(a, rows, cols, x_lanes, active, num_active, y_lanes);
+    SNNTEST_CASE(1) SNNTEST_CASE(2) SNNTEST_CASE(3) SNNTEST_CASE(4)
+    SNNTEST_CASE(5) SNNTEST_CASE(6) SNNTEST_CASE(7) SNNTEST_CASE(8)
+    SNNTEST_CASE(9) SNNTEST_CASE(10) SNNTEST_CASE(11) SNNTEST_CASE(12)
+    SNNTEST_CASE(13) SNNTEST_CASE(14) SNNTEST_CASE(15) SNNTEST_CASE(16)
+#undef SNNTEST_CASE
+    default: return;
+  }
+}
+
+void conv_lanes_dense(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                      size_t lanes, float* syn_lanes) {
+  switch (lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return conv_lanes_dense_fixed<n>(g, weights, in_lanes, syn_lanes);
+    SNNTEST_CASE(1) SNNTEST_CASE(2) SNNTEST_CASE(3) SNNTEST_CASE(4)
+    SNNTEST_CASE(5) SNNTEST_CASE(6) SNNTEST_CASE(7) SNNTEST_CASE(8)
+    SNNTEST_CASE(9) SNNTEST_CASE(10) SNNTEST_CASE(11) SNNTEST_CASE(12)
+    SNNTEST_CASE(13) SNNTEST_CASE(14) SNNTEST_CASE(15) SNNTEST_CASE(16)
+#undef SNNTEST_CASE
+    default: return;
+  }
+}
+
+void conv_lanes_scatter(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                        size_t lanes, const uint32_t* active, size_t num_active, double* acc,
+                        float* syn_lanes) {
+  switch (lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return conv_lanes_scatter_fixed<n>(g, weights, in_lanes, active, num_active, acc, \
+                                             syn_lanes);
+    SNNTEST_CASE(1) SNNTEST_CASE(2) SNNTEST_CASE(3) SNNTEST_CASE(4)
+    SNNTEST_CASE(5) SNNTEST_CASE(6) SNNTEST_CASE(7) SNNTEST_CASE(8)
+    SNNTEST_CASE(9) SNNTEST_CASE(10) SNNTEST_CASE(11) SNNTEST_CASE(12)
+    SNNTEST_CASE(13) SNNTEST_CASE(14) SNNTEST_CASE(15) SNNTEST_CASE(16)
+#undef SNNTEST_CASE
+    default: return;
+  }
+}
+
+void pool_lanes(size_t channels, size_t in_height, size_t in_width, size_t window,
+                const float* in_lanes, size_t lanes, float* syn_lanes) {
+  switch (lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return pool_lanes_fixed<n>(channels, in_height, in_width, window, in_lanes, syn_lanes);
+    SNNTEST_CASE(1) SNNTEST_CASE(2) SNNTEST_CASE(3) SNNTEST_CASE(4)
+    SNNTEST_CASE(5) SNNTEST_CASE(6) SNNTEST_CASE(7) SNNTEST_CASE(8)
+    SNNTEST_CASE(9) SNNTEST_CASE(10) SNNTEST_CASE(11) SNNTEST_CASE(12)
+    SNNTEST_CASE(13) SNNTEST_CASE(14) SNNTEST_CASE(15) SNNTEST_CASE(16)
+#undef SNNTEST_CASE
+    default: return;
+  }
+}
+
+void lif_lanes(float* u, int* refrac, const float* syn, float* out, size_t lanes, float leak,
+               float threshold, float reset_v, int refractory) {
+  const __m256 leak_v = _mm256_set1_ps(leak);
+  const __m256 thr_v = _mm256_set1_ps(threshold);
+  const __m256 reset_ps = _mm256_set1_ps(reset_v);
+  const __m256 one_ps = _mm256_set1_ps(1.0f);
+  const __m256i refractory_v = _mm256_set1_epi32(refractory);
+  const __m256i zero_i = _mm256_setzero_si256();
+  size_t l = 0;
+  for (; l + 8 <= lanes; l += 8) {
+    const __m256 u_v = _mm256_loadu_ps(u + l);
+    const __m256 syn_v = _mm256_loadu_ps(syn + l);
+    const __m256i rf_v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(refrac + l));
+    // Refractory lanes: spike 0, u = reset, refrac decremented. The compare
+    // mask is all-ones (== -1) per true lane, so adding it decrements.
+    const __m256i in_refrac_i = _mm256_cmpgt_epi32(rf_v, zero_i);
+    const __m256 in_refrac = _mm256_castsi256_ps(in_refrac_i);
+    // Integration (computed for every lane; refractory lanes discard it):
+    // unfused mul + add, exactly the scalar `leak * u + syn`.
+    const __m256 u_pre = _mm256_add_ps(_mm256_mul_ps(leak_v, u_v), syn_v);
+    // Quiet ordered >= : NaN u_pre compares false, like the scalar branch.
+    const __m256 ge = _mm256_cmp_ps(u_pre, thr_v, _CMP_GE_OQ);
+    const __m256 spike = _mm256_andnot_ps(in_refrac, ge);
+    const __m256i spike_i = _mm256_castps_si256(spike);
+    const __m256 u_new =
+        _mm256_blendv_ps(u_pre, reset_ps, _mm256_or_ps(in_refrac, spike));
+    const __m256i rf_dec = _mm256_add_epi32(rf_v, in_refrac_i);
+    const __m256i rf_new = _mm256_blendv_epi8(rf_dec, refractory_v, spike_i);
+    _mm256_storeu_ps(u + l, u_new);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(refrac + l), rf_new);
+    _mm256_storeu_ps(out + l, _mm256_and_ps(spike, one_ps));
+  }
+  for (; l < lanes; ++l) {
+    float spike = 0.0f;
+    if (refrac[l] > 0) {
+      --refrac[l];
+      u[l] = reset_v;
+    } else {
+      const float u_pre = leak * u[l] + syn[l];
+      if (u_pre >= threshold) {
+        spike = 1.0f;
+        u[l] = reset_v;
+        refrac[l] = refractory;
+      } else {
+        u[l] = u_pre;
+      }
+    }
+    out[l] = spike;
+  }
+}
+
+}  // namespace
+
+const LaneKernels kAvx2LaneKernels = {
+    matvec_lanes, matvec_gather_lanes, conv_lanes_dense,
+    conv_lanes_scatter, pool_lanes, lif_lanes,
+};
+
+}  // namespace snntest::tensor::simd

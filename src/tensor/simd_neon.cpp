@@ -1,0 +1,332 @@
+// NEON (aarch64) lane kernels: 2-wide double accumulation and 4-wide float
+// state update across lanes. Same bit-identity contract as simd_avx2.cpp:
+// vcvt_f64_f32 is the exact float->double widening, vmulq/vaddq are the
+// unfused IEEE ops (this TU compiles with -ffp-contract=off, which matters
+// on aarch64 where the scalar kernels would otherwise contract to fmadd),
+// vcvt_f32_f64 rounds nearest-even like static_cast<float>, and vcgeq_f32
+// is the quiet >= with NaN -> false.
+#if !defined(__aarch64__)
+#error "simd_neon.cpp must be compiled for aarch64"
+#endif
+
+#include <arm_neon.h>
+
+#include "tensor/simd_tables.hpp"
+
+namespace snntest::tensor::simd {
+namespace {
+
+template <size_t LANES>
+struct LaneBlocks {
+  static constexpr size_t kVec = LANES / 2;   // 2-wide double blocks
+  static constexpr size_t kTail = LANES % 2;  // scalar double tail
+};
+
+template <size_t LANES>
+void matvec_lanes_fixed(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                        float* y_lanes) {
+  constexpr size_t NB = LaneBlocks<LANES>::kVec;
+  constexpr size_t TAIL = LaneBlocks<LANES>::kTail;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    float64x2_t acc[NB > 0 ? NB : 1];
+    for (size_t b = 0; b < NB; ++b) acc[b] = vdupq_n_f64(0.0);
+    double acc_tail[TAIL > 0 ? TAIL : 1] = {};
+    for (size_t c = 0; c < cols; ++c) {
+      const double w = row[c];
+      const float* xv = x_lanes + c * LANES;
+      if constexpr (NB > 0) {
+        const float64x2_t wv = vdupq_n_f64(w);
+        for (size_t b = 0; b < NB; ++b) {
+          const float64x2_t xd = vcvt_f64_f32(vld1_f32(xv + 2 * b));
+          acc[b] = vaddq_f64(acc[b], vmulq_f64(wv, xd));
+        }
+      }
+      for (size_t t = 0; t < TAIL; ++t) acc_tail[t] += w * xv[2 * NB + t];
+    }
+    float* yr = y_lanes + r * LANES;
+    for (size_t b = 0; b < NB; ++b) {
+      const float32x2_t sum = vcvt_f32_f64(acc[b]);
+      vst1_f32(yr + 2 * b, vadd_f32(vld1_f32(yr + 2 * b), sum));
+    }
+    for (size_t t = 0; t < TAIL; ++t) {
+      yr[2 * NB + t] += static_cast<float>(acc_tail[t]);
+    }
+  }
+}
+
+template <size_t LANES>
+void matvec_gather_lanes_fixed(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                               const uint32_t* active, size_t num_active, float* y_lanes) {
+  constexpr size_t NB = LaneBlocks<LANES>::kVec;
+  constexpr size_t TAIL = LaneBlocks<LANES>::kTail;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    float64x2_t acc[NB > 0 ? NB : 1];
+    for (size_t b = 0; b < NB; ++b) acc[b] = vdupq_n_f64(0.0);
+    double acc_tail[TAIL > 0 ? TAIL : 1] = {};
+    for (size_t i = 0; i < num_active; ++i) {
+      const uint32_t c = active[i];
+      const double w = row[c];
+      const float* xv = x_lanes + static_cast<size_t>(c) * LANES;
+      if constexpr (NB > 0) {
+        const float64x2_t wv = vdupq_n_f64(w);
+        for (size_t b = 0; b < NB; ++b) {
+          const float64x2_t xd = vcvt_f64_f32(vld1_f32(xv + 2 * b));
+          acc[b] = vaddq_f64(acc[b], vmulq_f64(wv, xd));
+        }
+      }
+      for (size_t t = 0; t < TAIL; ++t) acc_tail[t] += w * xv[2 * NB + t];
+    }
+    float* yr = y_lanes + r * LANES;
+    for (size_t b = 0; b < NB; ++b) {
+      const float32x2_t sum = vcvt_f32_f64(acc[b]);
+      vst1_f32(yr + 2 * b, vadd_f32(vld1_f32(yr + 2 * b), sum));
+    }
+    for (size_t t = 0; t < TAIL; ++t) {
+      yr[2 * NB + t] += static_cast<float>(acc_tail[t]);
+    }
+  }
+}
+
+template <size_t LANES>
+void conv_lanes_dense_fixed(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                            float* syn_lanes) {
+  constexpr size_t NB = LaneBlocks<LANES>::kVec;
+  constexpr size_t TAIL = LaneBlocks<LANES>::kTail;
+  const size_t oh = g.out_height;
+  const size_t ow = g.out_width;
+  const size_t k = g.kernel;
+  const size_t plane = g.in_height * g.in_width;
+  for (size_t oc = 0; oc < g.out_channels; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        float64x2_t acc[NB > 0 ? NB : 1];
+        for (size_t b = 0; b < NB; ++b) acc[b] = vdupq_n_f64(0.0);
+        double acc_tail[TAIL > 0 ? TAIL : 1] = {};
+        for (size_t ic = 0; ic < g.in_channels; ++ic) {
+          const float* w_base = weights + ((oc * g.in_channels + ic) * k) * k;
+          const float* in_base = in_lanes + ic * plane * LANES;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const long iy = static_cast<long>(oy * g.stride + ky) - static_cast<long>(g.padding);
+            if (iy < 0 || iy >= static_cast<long>(g.in_height)) continue;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const long ix = static_cast<long>(ox * g.stride + kx) - static_cast<long>(g.padding);
+              if (ix < 0 || ix >= static_cast<long>(g.in_width)) continue;
+              const double w = w_base[ky * k + kx];
+              const float* xv = in_base + (iy * static_cast<long>(g.in_width) + ix) *
+                                              static_cast<long>(LANES);
+              if constexpr (NB > 0) {
+                const float64x2_t wv = vdupq_n_f64(w);
+                for (size_t b = 0; b < NB; ++b) {
+                  const float64x2_t xd = vcvt_f64_f32(vld1_f32(xv + 2 * b));
+                  acc[b] = vaddq_f64(acc[b], vmulq_f64(wv, xd));
+                }
+              }
+              for (size_t t = 0; t < TAIL; ++t) acc_tail[t] += w * xv[2 * NB + t];
+            }
+          }
+        }
+        float* out = syn_lanes + ((oc * oh + oy) * ow + ox) * LANES;
+        for (size_t b = 0; b < NB; ++b) vst1_f32(out + 2 * b, vcvt_f32_f64(acc[b]));
+        for (size_t t = 0; t < TAIL; ++t) out[2 * NB + t] = static_cast<float>(acc_tail[t]);
+      }
+    }
+  }
+}
+
+template <size_t LANES>
+void conv_lanes_scatter_fixed(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                              const uint32_t* active, size_t num_active, double* acc,
+                              float* syn_lanes) {
+  constexpr size_t NB = LaneBlocks<LANES>::kVec;
+  constexpr size_t TAIL = LaneBlocks<LANES>::kTail;
+  const size_t oh = g.out_height;
+  const size_t ow = g.out_width;
+  const size_t k = g.kernel;
+  const size_t out_size = g.output_size();
+  const size_t plane = g.in_height * g.in_width;
+  const long stride = static_cast<long>(g.stride);
+  for (size_t i = 0; i < num_active; ++i) {
+    const size_t flat = active[i];
+    const size_t ic = flat / plane;
+    const size_t rem = flat % plane;
+    const size_t iy = rem / g.in_width;
+    const size_t ix = rem % g.in_width;
+    const float* vals = in_lanes + flat * LANES;
+    float64x2_t vals_pd[NB > 0 ? NB : 1];
+    for (size_t b = 0; b < NB; ++b) vals_pd[b] = vcvt_f64_f32(vld1_f32(vals + 2 * b));
+    for (size_t oc = 0; oc < g.out_channels; ++oc) {
+      const float* w_base = weights + ((oc * g.in_channels + ic) * k) * k;
+      double* acc_base = acc + oc * oh * ow * LANES;
+      for (size_t ky = 0; ky < k; ++ky) {
+        const long num_y = static_cast<long>(iy + g.padding) - static_cast<long>(ky);
+        if (num_y < 0 || num_y % stride != 0) continue;
+        const long oy = num_y / stride;
+        if (oy >= static_cast<long>(oh)) continue;
+        for (size_t kx = 0; kx < k; ++kx) {
+          const long num_x = static_cast<long>(ix + g.padding) - static_cast<long>(kx);
+          if (num_x < 0 || num_x % stride != 0) continue;
+          const long ox = num_x / stride;
+          if (ox >= static_cast<long>(ow)) continue;
+          const double w = w_base[ky * k + kx];
+          double* a = acc_base + (oy * static_cast<long>(ow) + ox) * static_cast<long>(LANES);
+          if constexpr (NB > 0) {
+            const float64x2_t wv = vdupq_n_f64(w);
+            for (size_t b = 0; b < NB; ++b) {
+              const float64x2_t cur = vld1q_f64(a + 2 * b);
+              vst1q_f64(a + 2 * b, vaddq_f64(cur, vmulq_f64(wv, vals_pd[b])));
+            }
+          }
+          for (size_t t = 0; t < TAIL; ++t) a[2 * NB + t] += w * vals[2 * NB + t];
+        }
+      }
+    }
+  }
+  const size_t total = out_size * LANES;
+  size_t f = 0;
+  for (; f + 2 <= total; f += 2) {
+    vst1_f32(syn_lanes + f, vcvt_f32_f64(vld1q_f64(acc + f)));
+  }
+  for (; f < total; ++f) syn_lanes[f] = static_cast<float>(acc[f]);
+}
+
+template <size_t LANES>
+void pool_lanes_fixed(size_t channels, size_t in_height, size_t in_width, size_t window,
+                      const float* in_lanes, float* syn_lanes) {
+  constexpr size_t NB4 = LANES / 4;   // 4-wide float blocks
+  constexpr size_t TAIL4 = LANES % 4;
+  const size_t oh = in_height / window;
+  const size_t ow = in_width / window;
+  for (size_t c = 0; c < channels; ++c) {
+    const float* in_base = in_lanes + c * in_height * in_width * LANES;
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        float32x4_t acc[NB4 > 0 ? NB4 : 1];
+        for (size_t b = 0; b < NB4; ++b) acc[b] = vdupq_n_f32(0.0f);
+        float acc_tail[TAIL4 > 0 ? TAIL4 : 1] = {};
+        for (size_t wy = 0; wy < window; ++wy) {
+          const size_t iy = oy * window + wy;
+          for (size_t wx = 0; wx < window; ++wx) {
+            const float* p = in_base + (iy * in_width + ox * window + wx) * LANES;
+            for (size_t b = 0; b < NB4; ++b) acc[b] = vaddq_f32(acc[b], vld1q_f32(p + 4 * b));
+            for (size_t t = 0; t < TAIL4; ++t) acc_tail[t] += p[4 * NB4 + t];
+          }
+        }
+        float* out = syn_lanes + ((c * oh + oy) * ow + ox) * LANES;
+        for (size_t b = 0; b < NB4; ++b) vst1q_f32(out + 4 * b, acc[b]);
+        for (size_t t = 0; t < TAIL4; ++t) out[4 * NB4 + t] = acc_tail[t];
+      }
+    }
+  }
+}
+
+#define SNNTEST_LANE_SWITCH(expr_macro)                                      \
+  switch (lanes) {                                                           \
+    expr_macro(1) expr_macro(2) expr_macro(3) expr_macro(4)                  \
+    expr_macro(5) expr_macro(6) expr_macro(7) expr_macro(8)                  \
+    expr_macro(9) expr_macro(10) expr_macro(11) expr_macro(12)               \
+    expr_macro(13) expr_macro(14) expr_macro(15) expr_macro(16)              \
+    default: return;                                                         \
+  }
+
+void matvec_lanes(const float* a, size_t rows, size_t cols, const float* x_lanes, size_t lanes,
+                  float* y_lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return matvec_lanes_fixed<n>(a, rows, cols, x_lanes, y_lanes);
+  SNNTEST_LANE_SWITCH(SNNTEST_CASE)
+#undef SNNTEST_CASE
+}
+
+void matvec_gather_lanes(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                         size_t lanes, const uint32_t* active, size_t num_active,
+                         float* y_lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return matvec_gather_lanes_fixed<n>(a, rows, cols, x_lanes, active, num_active, y_lanes);
+  SNNTEST_LANE_SWITCH(SNNTEST_CASE)
+#undef SNNTEST_CASE
+}
+
+void conv_lanes_dense(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                      size_t lanes, float* syn_lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return conv_lanes_dense_fixed<n>(g, weights, in_lanes, syn_lanes);
+  SNNTEST_LANE_SWITCH(SNNTEST_CASE)
+#undef SNNTEST_CASE
+}
+
+void conv_lanes_scatter(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                        size_t lanes, const uint32_t* active, size_t num_active, double* acc,
+                        float* syn_lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return conv_lanes_scatter_fixed<n>(g, weights, in_lanes, active, num_active, acc, \
+                                             syn_lanes);
+  SNNTEST_LANE_SWITCH(SNNTEST_CASE)
+#undef SNNTEST_CASE
+}
+
+void pool_lanes(size_t channels, size_t in_height, size_t in_width, size_t window,
+                const float* in_lanes, size_t lanes, float* syn_lanes) {
+#define SNNTEST_CASE(n) \
+  case n: return pool_lanes_fixed<n>(channels, in_height, in_width, window, in_lanes, syn_lanes);
+  SNNTEST_LANE_SWITCH(SNNTEST_CASE)
+#undef SNNTEST_CASE
+}
+
+#undef SNNTEST_LANE_SWITCH
+
+void lif_lanes(float* u, int* refrac, const float* syn, float* out, size_t lanes, float leak,
+               float threshold, float reset_v, int refractory) {
+  const float32x4_t leak_v = vdupq_n_f32(leak);
+  const float32x4_t thr_v = vdupq_n_f32(threshold);
+  const float32x4_t reset_ps = vdupq_n_f32(reset_v);
+  const float32x4_t one_ps = vdupq_n_f32(1.0f);
+  const float32x4_t zero_ps = vdupq_n_f32(0.0f);
+  const int32x4_t refractory_v = vdupq_n_s32(refractory);
+  const int32x4_t zero_i = vdupq_n_s32(0);
+  size_t l = 0;
+  for (; l + 4 <= lanes; l += 4) {
+    const float32x4_t u_v = vld1q_f32(u + l);
+    const float32x4_t syn_v = vld1q_f32(syn + l);
+    const int32x4_t rf_v = vld1q_s32(refrac + l);
+    const uint32x4_t in_refrac = vcgtq_s32(rf_v, zero_i);
+    // Unfused mul + add (this TU is -ffp-contract=off), matching the scalar
+    // `leak * u + syn` exactly.
+    const float32x4_t u_pre = vaddq_f32(vmulq_f32(leak_v, u_v), syn_v);
+    const uint32x4_t ge = vcgeq_f32(u_pre, thr_v);  // quiet; NaN -> false
+    const uint32x4_t spike = vbicq_u32(ge, in_refrac);
+    const float32x4_t u_new = vbslq_f32(vorrq_u32(in_refrac, spike), reset_ps, u_pre);
+    // True-lane mask is all-ones == -1: adding it decrements the counter.
+    const int32x4_t rf_dec = vaddq_s32(rf_v, vreinterpretq_s32_u32(in_refrac));
+    const int32x4_t rf_new = vbslq_s32(spike, refractory_v, rf_dec);
+    vst1q_f32(u + l, u_new);
+    vst1q_s32(refrac + l, rf_new);
+    vst1q_f32(out + l, vbslq_f32(spike, one_ps, zero_ps));
+  }
+  for (; l < lanes; ++l) {
+    float spike = 0.0f;
+    if (refrac[l] > 0) {
+      --refrac[l];
+      u[l] = reset_v;
+    } else {
+      const float u_pre = leak * u[l] + syn[l];
+      if (u_pre >= threshold) {
+        spike = 1.0f;
+        u[l] = reset_v;
+        refrac[l] = refractory;
+      } else {
+        u[l] = u_pre;
+      }
+    }
+    out[l] = spike;
+  }
+}
+
+}  // namespace
+
+const LaneKernels kNeonLaneKernels = {
+    matvec_lanes, matvec_gather_lanes, conv_lanes_dense,
+    conv_lanes_scatter, pool_lanes, lif_lanes,
+};
+
+}  // namespace snntest::tensor::simd

@@ -1,0 +1,251 @@
+// Portable reference lane kernels — the bit-exactness contract every SIMD
+// backend is tested against. The matvec bodies are the PR-5 lane kernels
+// (formerly in ops.cpp), the conv/pool/LIF bodies the lane-network frame
+// kernels (formerly file-local in snn/lane_network.cpp), moved here so every
+// backend of one kernel lives behind the same dispatch table.
+//
+// This translation unit (like all simd_*.cpp) is compiled with
+// -ffp-contract=off so no host contracts `w * x + acc` into an FMA that the
+// explicit mul-then-add SIMD backends cannot reproduce.
+#include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/simd_tables.hpp"
+
+namespace snntest::tensor::simd {
+namespace {
+
+// Compile-time lane count so the per-column lane loop fully unrolls into
+// LANES independent accumulator registers. The double accumulation per
+// (row, lane) visits columns in the same ascending order as the scalar
+// kernels, so each lane's result is bit-identical to a scalar run.
+template <size_t LANES>
+void matvec_lanes_fixed(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                        float* y_lanes) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    double acc[LANES] = {};
+    for (size_t c = 0; c < cols; ++c) {
+      const double w = row[c];
+      const float* xv = x_lanes + c * LANES;
+      for (size_t l = 0; l < LANES; ++l) acc[l] += w * xv[l];
+    }
+    float* yr = y_lanes + r * LANES;
+    for (size_t l = 0; l < LANES; ++l) yr[l] += static_cast<float>(acc[l]);
+  }
+}
+
+template <size_t LANES>
+void matvec_gather_lanes_fixed(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                               const uint32_t* active, size_t num_active, float* y_lanes) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    double acc[LANES] = {};
+    for (size_t i = 0; i < num_active; ++i) {
+      const uint32_t c = active[i];
+      const double w = row[c];
+      const float* xv = x_lanes + static_cast<size_t>(c) * LANES;
+      for (size_t l = 0; l < LANES; ++l) acc[l] += w * xv[l];
+    }
+    float* yr = y_lanes + r * LANES;
+    for (size_t l = 0; l < LANES; ++l) yr[l] += static_cast<float>(acc[l]);
+  }
+}
+
+void matvec_lanes_generic(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                          size_t lanes, float* y_lanes) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    double acc[kMaxLanes] = {};
+    for (size_t c = 0; c < cols; ++c) {
+      const double w = row[c];
+      const float* xv = x_lanes + c * lanes;
+      for (size_t l = 0; l < lanes; ++l) acc[l] += w * xv[l];
+    }
+    float* yr = y_lanes + r * lanes;
+    for (size_t l = 0; l < lanes; ++l) yr[l] += static_cast<float>(acc[l]);
+  }
+}
+
+void matvec_gather_lanes_generic(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                                 size_t lanes, const uint32_t* active, size_t num_active,
+                                 float* y_lanes) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = a + r * cols;
+    double acc[kMaxLanes] = {};
+    for (size_t i = 0; i < num_active; ++i) {
+      const uint32_t c = active[i];
+      const double w = row[c];
+      const float* xv = x_lanes + static_cast<size_t>(c) * lanes;
+      for (size_t l = 0; l < lanes; ++l) acc[l] += w * xv[l];
+    }
+    float* yr = y_lanes + r * lanes;
+    for (size_t l = 0; l < lanes; ++l) yr[l] += static_cast<float>(acc[l]);
+  }
+}
+
+void matvec_lanes(const float* a, size_t rows, size_t cols, const float* x_lanes, size_t lanes,
+                  float* y_lanes) {
+  switch (lanes) {
+    case 1: return matvec_lanes_fixed<1>(a, rows, cols, x_lanes, y_lanes);
+    case 2: return matvec_lanes_fixed<2>(a, rows, cols, x_lanes, y_lanes);
+    case 3: return matvec_lanes_fixed<3>(a, rows, cols, x_lanes, y_lanes);
+    case 4: return matvec_lanes_fixed<4>(a, rows, cols, x_lanes, y_lanes);
+    case 8: return matvec_lanes_fixed<8>(a, rows, cols, x_lanes, y_lanes);
+    case 16: return matvec_lanes_fixed<16>(a, rows, cols, x_lanes, y_lanes);
+    default: return matvec_lanes_generic(a, rows, cols, x_lanes, lanes, y_lanes);
+  }
+}
+
+void matvec_gather_lanes(const float* a, size_t rows, size_t cols, const float* x_lanes,
+                         size_t lanes, const uint32_t* active, size_t num_active,
+                         float* y_lanes) {
+  switch (lanes) {
+    case 1: return matvec_gather_lanes_fixed<1>(a, rows, cols, x_lanes, active, num_active, y_lanes);
+    case 2: return matvec_gather_lanes_fixed<2>(a, rows, cols, x_lanes, active, num_active, y_lanes);
+    case 3: return matvec_gather_lanes_fixed<3>(a, rows, cols, x_lanes, active, num_active, y_lanes);
+    case 4: return matvec_gather_lanes_fixed<4>(a, rows, cols, x_lanes, active, num_active, y_lanes);
+    case 8: return matvec_gather_lanes_fixed<8>(a, rows, cols, x_lanes, active, num_active, y_lanes);
+    case 16: return matvec_gather_lanes_fixed<16>(a, rows, cols, x_lanes, active, num_active, y_lanes);
+    default:
+      return matvec_gather_lanes_generic(a, rows, cols, x_lanes, lanes, active, num_active,
+                                         y_lanes);
+  }
+}
+
+/// Lane-strided dense conv: conv_forward_frame with per-lane double
+/// accumulators fed in the identical (ic, ky, kx) term order.
+void conv_lanes_dense(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                      size_t lanes, float* syn_lanes) {
+  const size_t oh = g.out_height;
+  const size_t ow = g.out_width;
+  const size_t k = g.kernel;
+  const size_t plane = g.in_height * g.in_width;
+  for (size_t oc = 0; oc < g.out_channels; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        double acc[kMaxLanes] = {};
+        for (size_t ic = 0; ic < g.in_channels; ++ic) {
+          const float* w_base = weights + ((oc * g.in_channels + ic) * k) * k;
+          const float* in_base = in_lanes + ic * plane * lanes;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const long iy = static_cast<long>(oy * g.stride + ky) - static_cast<long>(g.padding);
+            if (iy < 0 || iy >= static_cast<long>(g.in_height)) continue;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const long ix = static_cast<long>(ox * g.stride + kx) - static_cast<long>(g.padding);
+              if (ix < 0 || ix >= static_cast<long>(g.in_width)) continue;
+              const double w = w_base[ky * k + kx];
+              const float* xv =
+                  in_base + (iy * static_cast<long>(g.in_width) + ix) * static_cast<long>(lanes);
+              for (size_t l = 0; l < lanes; ++l) acc[l] += w * xv[l];
+            }
+          }
+        }
+        float* out = syn_lanes + ((oc * oh + oy) * ow + ox) * lanes;
+        for (size_t l = 0; l < lanes; ++l) out[l] = static_cast<float>(acc[l]);
+      }
+    }
+  }
+}
+
+/// Lane-strided conv scatter over the union-active input pixels. Per lane
+/// this is conv_forward_frame_sparse on a superset active list: pixels where
+/// the lane is silent contribute exact +/-0.0 terms, so each lane matches
+/// the scalar sparse (hence dense) kernel bit for bit.
+void conv_lanes_scatter(const ConvLaneGeom& g, const float* weights, const float* in_lanes,
+                        size_t lanes, const uint32_t* active, size_t num_active, double* acc,
+                        float* syn_lanes) {
+  const size_t oh = g.out_height;
+  const size_t ow = g.out_width;
+  const size_t k = g.kernel;
+  const size_t out_size = g.output_size();
+  const size_t plane = g.in_height * g.in_width;
+  const long stride = static_cast<long>(g.stride);
+  for (size_t i = 0; i < num_active; ++i) {
+    const size_t flat = active[i];
+    const size_t ic = flat / plane;
+    const size_t rem = flat % plane;
+    const size_t iy = rem / g.in_width;
+    const size_t ix = rem % g.in_width;
+    const float* vals = in_lanes + flat * lanes;
+    for (size_t oc = 0; oc < g.out_channels; ++oc) {
+      const float* w_base = weights + ((oc * g.in_channels + ic) * k) * k;
+      double* acc_base = acc + oc * oh * ow * lanes;
+      for (size_t ky = 0; ky < k; ++ky) {
+        const long num_y = static_cast<long>(iy + g.padding) - static_cast<long>(ky);
+        if (num_y < 0 || num_y % stride != 0) continue;
+        const long oy = num_y / stride;
+        if (oy >= static_cast<long>(oh)) continue;
+        for (size_t kx = 0; kx < k; ++kx) {
+          const long num_x = static_cast<long>(ix + g.padding) - static_cast<long>(kx);
+          if (num_x < 0 || num_x % stride != 0) continue;
+          const long ox = num_x / stride;
+          if (ox >= static_cast<long>(ow)) continue;
+          const double w = w_base[ky * k + kx];
+          double* a = acc_base + (oy * static_cast<long>(ow) + ox) * static_cast<long>(lanes);
+          for (size_t l = 0; l < lanes; ++l) a[l] += w * vals[l];
+        }
+      }
+    }
+  }
+  for (size_t o = 0; o < out_size; ++o) {
+    for (size_t l = 0; l < lanes; ++l) {
+      syn_lanes[o * lanes + l] = static_cast<float>(acc[o * lanes + l]);
+    }
+  }
+}
+
+/// Lane-strided sum pool: float window sums in the scalar (wy, wx) order.
+void pool_lanes(size_t channels, size_t in_height, size_t in_width, size_t window,
+                const float* in_lanes, size_t lanes, float* syn_lanes) {
+  const size_t oh = in_height / window;
+  const size_t ow = in_width / window;
+  for (size_t c = 0; c < channels; ++c) {
+    const float* in_base = in_lanes + c * in_height * in_width * lanes;
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        float acc[kMaxLanes] = {};
+        for (size_t wy = 0; wy < window; ++wy) {
+          const size_t iy = oy * window + wy;
+          for (size_t wx = 0; wx < window; ++wx) {
+            const float* p = in_base + (iy * in_width + ox * window + wx) * lanes;
+            for (size_t l = 0; l < lanes; ++l) acc[l] += p[l];
+          }
+        }
+        float* out = syn_lanes + ((c * oh + oy) * ow + ox) * lanes;
+        for (size_t l = 0; l < lanes; ++l) out[l] = acc[l];
+      }
+    }
+  }
+}
+
+/// One neuron's LIF update across its lanes — the no-override kNormal fast
+/// path of snn::LaneLif::step, verbatim.
+void lif_lanes(float* u, int* refrac, const float* syn, float* out, size_t lanes, float leak,
+               float threshold, float reset_v, int refractory) {
+  for (size_t l = 0; l < lanes; ++l) {
+    float spike = 0.0f;
+    if (refrac[l] > 0) {
+      --refrac[l];
+      u[l] = reset_v;
+    } else {
+      const float u_pre = leak * u[l] + syn[l];
+      if (u_pre >= threshold) {
+        spike = 1.0f;
+        u[l] = reset_v;
+        refrac[l] = refractory;
+      } else {
+        u[l] = u_pre;
+      }
+    }
+    out[l] = spike;
+  }
+}
+
+}  // namespace
+
+const LaneKernels kScalarLaneKernels = {
+    matvec_lanes, matvec_gather_lanes, conv_lanes_dense,
+    conv_lanes_scatter, pool_lanes, lif_lanes,
+};
+
+}  // namespace snntest::tensor::simd

@@ -1,6 +1,11 @@
 #include "util/cli.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace snntest::util {
@@ -41,8 +46,57 @@ const std::string& CliParser::get(const std::string& name) const {
   return it->second;
 }
 
-int CliParser::get_int(const std::string& name) const { return std::stoi(get(name)); }
-double CliParser::get_double(const std::string& name) const { return std::stod(get(name)); }
+namespace {
+
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("flag --" + name + ": expected " + expected + ", got '" + value +
+                              "'");
+}
+
+/// strtoll/strtod skip leading whitespace; the full-token contract of the
+/// numeric getters does not.
+bool leading_space(const std::string& value) {
+  return !value.empty() && std::isspace(static_cast<unsigned char>(value.front()));
+}
+
+}  // namespace
+
+int CliParser::get_int(const std::string& name) const {
+  const std::string& value = get(name);
+  if (leading_space(value)) bad_value(name, value, "an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  // Reject empty tokens and trailing junk ("12abc"), not just non-numeric
+  // prefixes — std::stoi would happily accept "12abc".
+  if (end == value.c_str() || *end != '\0') bad_value(name, value, "an integer");
+  if (errno == ERANGE || parsed < INT_MIN || parsed > INT_MAX) {
+    bad_value(name, value, "an integer in int range");
+  }
+  return static_cast<int>(parsed);
+}
+
+size_t CliParser::get_size(const std::string& name) const {
+  const int parsed = get_int(name);
+  if (parsed < 0) bad_value(name, get(name), "a non-negative integer");
+  return static_cast<size_t>(parsed);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& value = get(name);
+  if (leading_space(value)) bad_value(name, value, "a number");
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') bad_value(name, value, "a number");
+  // ERANGE with +/-HUGE_VAL is overflow; ERANGE on a denormal-or-zero result
+  // is underflow, which is representable and fine.
+  if (errno == ERANGE && std::fabs(parsed) == HUGE_VAL) {
+    bad_value(name, value, "a number in double range");
+  }
+  return parsed;
+}
 
 bool CliParser::get_bool(const std::string& name) const {
   const std::string& v = get(name);

@@ -6,6 +6,7 @@
 // flag has a default.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,8 +23,16 @@ class CliParser {
   bool parse(int argc, const char* const* argv);
 
   const std::string& get(const std::string& name) const;
+
+  // Numeric getters validate the FULL token (no trailing junk, no empty
+  // value, in-range) and throw std::invalid_argument naming the flag and
+  // the offending value — so `--lane-width=abc` is a clean usage error at
+  // the caller's try/catch, not an uncaught std::stoi abort.
   int get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
+  /// get_int restricted to values >= 0, for flags that feed size_t counts
+  /// (a negative int silently cast to size_t wraps to ~2^64).
+  size_t get_size(const std::string& name) const;
   bool get_bool(const std::string& name) const;  // "1"/"true"/"yes" -> true
 
   std::string usage(const std::string& program) const;

@@ -21,9 +21,11 @@
 #include "obs/metrics.hpp"
 #include "snn/conv_layer.hpp"
 #include "snn/dense_layer.hpp"
+#include "snn/lane_network.hpp"
 #include "snn/pool_layer.hpp"
 #include "snn/recurrent_layer.hpp"
 #include "snn/spike_train.hpp"
+#include "tensor/simd.hpp"
 
 namespace snntest::campaign {
 namespace {
@@ -802,6 +804,104 @@ TEST(LaneBatch, CheckpointResumeAcrossLaneWidths) {
   EXPECT_EQ(resumed.stats.faults_simulated + resumed.stats.faults_resumed, faults.size());
   expect_results_identical(resumed.results, truth.results);
   std::remove(path.c_str());
+}
+
+TEST(LaneBatch, BackendForcedBitIdenticalAcrossWidths) {
+  // The SIMD dispatch axis of the fuzz matrix: every backend available on
+  // this host (tensor/simd.hpp) must reproduce the scalar-backend width-1
+  // campaign bit for bit at every lane width — including widths that are
+  // not a multiple of any vector width (6), so the tail paths run — in both
+  // kernel modes and in full + detect-only runs. On hosts with no SIMD
+  // backend this degenerates to a scalar self-check.
+  namespace simd = tensor::simd;
+  const simd::Backend prior = simd::active_backend();
+  struct Case {
+    std::string name;
+    snn::Network net;
+    tensor::Tensor input;
+    std::vector<fault::FaultDescriptor> faults;
+  };
+  std::vector<Case> cases;
+  {
+    auto net = make_net();
+    auto input = busy_input(14, 8, 81);
+    auto faults = all_kinds_universe(net, 32, 82);
+    cases.push_back({"dense-mlp", std::move(net), std::move(input), std::move(faults)});
+  }
+  {
+    auto net = make_conv_pool_net();
+    util::Rng rng(83);
+    auto input = snn::random_spike_train(10, net.input_size(), 0.12, rng);
+    auto faults = all_kinds_universe(net, 32, 84, /*conv_connections=*/true);
+    cases.push_back({"conv-pool-dense", std::move(net), std::move(input), std::move(faults)});
+  }
+
+  for (auto& c : cases) {
+    ASSERT_TRUE(simd::force_backend(simd::Backend::kScalar));
+    EngineConfig scalar_cfg;
+    scalar_cfg.lane_width = 1;
+    const auto scalar = run_campaign(c.net, c.input, c.faults, scalar_cfg);
+    EngineConfig scalar_detect = scalar_cfg;
+    scalar_detect.detect_only = true;
+    const auto scalar_fast = run_campaign(c.net, c.input, c.faults, scalar_detect);
+
+    for (const simd::Backend backend : simd::available_backends()) {
+      ASSERT_TRUE(simd::force_backend(backend));
+      for (const size_t width : {size_t{1}, size_t{2}, size_t{4}, size_t{6}, size_t{8},
+                                 size_t{16}}) {
+        for (const auto mode : {snn::KernelMode::kDense, snn::KernelMode::kSparse}) {
+          SCOPED_TRACE(c.name + " backend=" + simd::backend_name(backend) +
+                       " width=" + std::to_string(width) + " mode=" +
+                       std::to_string(static_cast<int>(mode)));
+          EngineConfig cfg;
+          cfg.lane_width = width;
+          cfg.kernel_mode = mode;
+          const auto lane = run_campaign(c.net, c.input, c.faults, cfg);
+          expect_results_identical(lane.results, scalar.results);
+          EXPECT_EQ(lane.stats.faults_pruned, scalar.stats.faults_pruned);
+          EXPECT_EQ(lane.stats.layer_forwards, scalar.stats.layer_forwards);
+
+          EngineConfig dcfg = cfg;
+          dcfg.detect_only = true;
+          const auto lane_fast = run_campaign(c.net, c.input, c.faults, dcfg);
+          expect_results_identical(lane_fast.results, scalar_fast.results);
+        }
+      }
+    }
+  }
+  simd::force_backend(prior);
+}
+
+TEST(Engine, OutOfRangeLaneWidthClampedAndSurfacedInStats) {
+  // lane_width outside [1, kMaxLaneWidth] is clamped (with a one-time
+  // warning) rather than silently misbehaving; the effective width is
+  // surfaced in EngineStats and the results still match the scalar truth.
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 24, 91);
+  EngineConfig scalar_cfg;
+  scalar_cfg.lane_width = 1;
+  const auto truth = run_campaign(net, input, faults, scalar_cfg);
+  EXPECT_EQ(truth.stats.lane_width_effective, 1u);
+
+  EngineConfig wide_cfg;
+  wide_cfg.lane_width = 10 * snn::kMaxLaneWidth;
+  const auto wide = run_campaign(net, input, faults, wide_cfg);
+  EXPECT_EQ(wide.stats.lane_width_effective, snn::kMaxLaneWidth);
+  expect_results_identical(wide.results, truth.results);
+
+  EngineConfig zero_cfg;
+  zero_cfg.lane_width = 0;
+  const auto zero = run_campaign(net, input, faults, zero_cfg);
+  EXPECT_EQ(zero.stats.lane_width_effective, 1u);
+  EXPECT_EQ(zero.stats.lane_batches, 0u);
+  expect_results_identical(zero.results, truth.results);
+
+  EngineConfig in_range_cfg;
+  in_range_cfg.lane_width = 8;
+  const auto in_range = run_campaign(net, input, faults, in_range_cfg);
+  EXPECT_EQ(in_range.stats.lane_width_effective, 8u);
+  expect_results_identical(in_range.results, truth.results);
 }
 
 TEST(Engine, DetectOnlyThresholdAccumulatesThinSpreadDivergence) {

@@ -1,0 +1,255 @@
+// Kernel-level tests for the runtime-dispatched SIMD lane backends
+// (tensor/simd.hpp).
+//
+// The dispatch layer's whole contract is that every backend is a bit-exact
+// drop-in for the portable scalar kernels, so the core of this suite is a
+// differential fuzz: for every non-scalar backend available on the host, run
+// each of the six lane kernels on identical random inputs under the scalar
+// table and under the SIMD table, and require float-bit equality — across
+// lane widths that exercise the fixed-width templates (1, 2, 4, 8, 16), the
+// generic fallback (5, 6, 11), and every vector-tail remainder (3, 13).
+// Shapes are deliberately odd (7x13 matvec, strided padded conv) so row
+// boundaries never align with the vector width.
+//
+// On hosts with no SIMD backend the differential loops are vacuous but the
+// dispatch-surface tests (parse/name/availability/force) still run.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
+#include "util/rng.hpp"
+
+namespace snntest::tensor::simd {
+namespace {
+
+/// Restores the pre-test backend even when an assertion bails out early.
+struct BackendGuard {
+  Backend prior = active_backend();
+  ~BackendGuard() { force_backend(prior); }
+};
+
+std::vector<float> random_vec(util::Rng& rng, size_t n, float lo = -1.0f, float hi = 1.0f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
+}
+
+/// Everything the six kernels produce for one (lane width, seed) input set,
+/// computed under whatever backend is currently active. The inputs are a
+/// pure function of (lanes, seed), so two calls with different backends are
+/// comparable element-for-element.
+struct KernelOutputs {
+  std::vector<float> matvec_y;
+  std::vector<float> gather_y;
+  std::vector<float> conv_dense_syn;
+  std::vector<float> conv_scatter_syn;
+  std::vector<float> pool_syn;
+  std::vector<float> lif_u;
+  std::vector<int> lif_refrac;
+  std::vector<float> lif_out;
+};
+
+KernelOutputs run_kernels(size_t lanes, uint64_t seed) {
+  const LaneKernels& ops = lane_ops();
+  util::Rng rng(seed);
+  KernelOutputs out;
+
+  // Dense + gather matvec on a 7x13 matrix: odd in both dimensions, with a
+  // pre-filled y so the += accumulation semantics are covered too.
+  const size_t rows = 7, cols = 13;
+  const auto a = random_vec(rng, rows * cols);
+  const auto x = random_vec(rng, cols * lanes);
+  out.matvec_y = random_vec(rng, rows * lanes);
+  ops.matvec_lanes(a.data(), rows, cols, x.data(), lanes, out.matvec_y.data());
+
+  const std::vector<uint32_t> active = {0, 2, 3, 7, 12};
+  out.gather_y = random_vec(rng, rows * lanes);
+  ops.matvec_gather_lanes(a.data(), rows, cols, x.data(), lanes, active.data(), active.size(),
+                          out.gather_y.data());
+
+  // Strided, padded conv so the kernel's boundary clipping runs on every
+  // edge; 3x3 output keeps it cheap.
+  ConvLaneGeom g;
+  g.in_channels = 2;
+  g.in_height = 6;
+  g.in_width = 5;
+  g.out_channels = 3;
+  g.kernel = 3;
+  g.stride = 2;
+  g.padding = 1;
+  g.out_height = (g.in_height + 2 * g.padding - g.kernel) / g.stride + 1;
+  g.out_width = (g.in_width + 2 * g.padding - g.kernel) / g.stride + 1;
+  const auto w = random_vec(rng, g.out_channels * g.in_channels * g.kernel * g.kernel);
+  const auto in = random_vec(rng, g.input_size() * lanes);
+  out.conv_dense_syn.assign(g.output_size() * lanes, 0.0f);
+  ops.conv_lanes_dense(g, w.data(), in.data(), lanes, out.conv_dense_syn.data());
+
+  std::vector<uint32_t> pixels;
+  for (uint32_t p = 0; p < g.input_size(); p += 3) pixels.push_back(p);
+  std::vector<double> acc(g.output_size() * lanes, 0.0);
+  out.conv_scatter_syn.assign(g.output_size() * lanes, 0.0f);
+  ops.conv_lanes_scatter(g, w.data(), in.data(), lanes, pixels.data(), pixels.size(), acc.data(),
+                         out.conv_scatter_syn.data());
+
+  // Sum pool over 2x2 windows.
+  const size_t pc = 3, ph = 6, pw = 6, win = 2;
+  const auto pin = random_vec(rng, pc * ph * pw * lanes);
+  out.pool_syn.assign(pc * (ph / win) * (pw / win) * lanes, 0.0f);
+  ops.pool_lanes(pc, ph, pw, win, pin.data(), lanes, out.pool_syn.data());
+
+  // Six sequential LIF steps with synaptic drive straddling the threshold,
+  // so spikes, refractory entry, refractory countdown and plain integration
+  // all occur across the lanes.
+  out.lif_u = random_vec(rng, lanes, 0.0f, 0.9f);
+  out.lif_refrac.assign(lanes, 0);
+  for (size_t l = 0; l < lanes; l += 3) out.lif_refrac[l] = 1 + static_cast<int>(l % 3);
+  out.lif_out.assign(lanes, 0.0f);
+  for (int step = 0; step < 6; ++step) {
+    const auto syn = random_vec(rng, lanes, -0.5f, 1.5f);
+    ops.lif_lanes(out.lif_u.data(), out.lif_refrac.data(), syn.data(), out.lif_out.data(), lanes,
+                  0.9f, 1.0f, 0.0f, 2);
+  }
+  return out;
+}
+
+/// Float-bit equality: NaN payloads and signed zeros must match too.
+void expect_bits_equal(const std::vector<float>& got, const std::vector<float>& want,
+                       const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    uint32_t gb = 0, wb = 0;
+    std::memcpy(&gb, &got[i], sizeof(gb));
+    std::memcpy(&wb, &want[i], sizeof(wb));
+    ASSERT_EQ(gb, wb) << what << " diverges at element " << i << ": " << got[i] << " vs "
+                      << want[i];
+  }
+}
+
+TEST(SimdDispatch, BackendNamesRoundTrip) {
+  for (const Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kNeon}) {
+    Backend parsed = Backend::kScalar;
+    ASSERT_TRUE(parse_backend(backend_name(b), parsed)) << backend_name(b);
+    EXPECT_EQ(parsed, b);
+  }
+  EXPECT_STREQ(backend_name(Backend::kScalar), "scalar");
+  EXPECT_STREQ(backend_name(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(backend_name(Backend::kNeon), "neon");
+}
+
+TEST(SimdDispatch, ParseRejectsUnknownAndAuto) {
+  Backend out = Backend::kAvx2;
+  EXPECT_FALSE(parse_backend("", out));
+  EXPECT_FALSE(parse_backend("auto", out));  // "auto" maps to best_available, not a backend
+  EXPECT_FALSE(parse_backend("AVX2", out));  // case-sensitive, like the env var
+  EXPECT_FALSE(parse_backend("sse", out));
+  EXPECT_EQ(out, Backend::kAvx2);  // rejected parses leave `out` untouched
+}
+
+TEST(SimdDispatch, AvailabilityIsConsistent) {
+  const auto backends = available_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front(), Backend::kScalar) << "scalar must always be available";
+  for (const Backend b : backends) EXPECT_TRUE(backend_available(b));
+  EXPECT_TRUE(backend_available(best_available_backend()));
+  EXPECT_TRUE(backend_available(active_backend()));
+}
+
+TEST(SimdDispatch, ForceBackendSwitchesAndRestores) {
+  BackendGuard guard;
+  for (const Backend b : available_backends()) {
+    ASSERT_TRUE(force_backend(b)) << backend_name(b);
+    EXPECT_EQ(active_backend(), b);
+  }
+  // Forcing an unavailable backend fails and leaves the active one alone.
+  for (const Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if (backend_available(b)) continue;
+    const Backend before = active_backend();
+    EXPECT_FALSE(force_backend(b)) << backend_name(b);
+    EXPECT_EQ(active_backend(), before);
+  }
+}
+
+TEST(SimdKernels, EveryBackendBitIdenticalToScalar) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  const std::vector<size_t> widths = {1, 2, 3, 4, 5, 6, 8, 11, 13, 16};
+  for (const size_t lanes : widths) {
+    ASSERT_LE(lanes, kMaxLanes);
+    const uint64_t seed = 9000 + lanes;
+    ASSERT_TRUE(force_backend(Backend::kScalar));
+    const KernelOutputs ref = run_kernels(lanes, seed);
+    for (const Backend b : backends) {
+      if (b == Backend::kScalar) continue;
+      SCOPED_TRACE(std::string("backend=") + backend_name(b) + " lanes=" +
+                   std::to_string(lanes));
+      ASSERT_TRUE(force_backend(b));
+      const KernelOutputs got = run_kernels(lanes, seed);
+      expect_bits_equal(got.matvec_y, ref.matvec_y, "matvec_lanes");
+      expect_bits_equal(got.gather_y, ref.gather_y, "matvec_gather_lanes");
+      expect_bits_equal(got.conv_dense_syn, ref.conv_dense_syn, "conv_lanes_dense");
+      expect_bits_equal(got.conv_scatter_syn, ref.conv_scatter_syn, "conv_lanes_scatter");
+      expect_bits_equal(got.pool_syn, ref.pool_syn, "pool_lanes");
+      expect_bits_equal(got.lif_u, ref.lif_u, "lif_lanes u");
+      expect_bits_equal(got.lif_out, ref.lif_out, "lif_lanes out");
+      EXPECT_EQ(got.lif_refrac, ref.lif_refrac) << "lif_lanes refrac";
+    }
+  }
+}
+
+TEST(SimdKernels, PublicEntryPointsRejectBadLaneCounts) {
+  const std::vector<float> a(4, 0.5f);
+  std::vector<float> x(2 * kMaxLanes, 0.0f), y(2 * kMaxLanes, 0.0f);
+  EXPECT_THROW(matvec_accumulate_lanes(a.data(), 2, 2, x.data(), 0, y.data()),
+               std::invalid_argument);
+  EXPECT_THROW(matvec_accumulate_lanes(a.data(), 2, 2, x.data(), kMaxLanes + 1, y.data()),
+               std::invalid_argument);
+  const uint32_t active[] = {0};
+  EXPECT_THROW(
+      matvec_accumulate_gather_lanes(a.data(), 2, 2, x.data(), 0, active, 1, y.data()),
+      std::invalid_argument);
+}
+
+TEST(SimdKernels, ScatterWithAllPixelsActiveMatchesDense) {
+  // With every input pixel active the scatter kernel visits exactly the
+  // dense kernel's terms (in a different order per output, but each lane's
+  // per-output accumulation remains an ordered double sum of the same
+  // products — the scalar sparse/dense equivalence the engine relies on).
+  BackendGuard guard;
+  for (const Backend b : available_backends()) {
+    ASSERT_TRUE(force_backend(b));
+    SCOPED_TRACE(backend_name(b));
+    const LaneKernels& ops = lane_ops();
+    util::Rng rng(424242);
+    ConvLaneGeom g;
+    g.in_channels = 1;
+    g.in_height = 4;
+    g.in_width = 4;
+    g.out_channels = 2;
+    g.kernel = 3;
+    g.stride = 1;
+    g.padding = 0;
+    g.out_height = 2;
+    g.out_width = 2;
+    const size_t lanes = 8;
+    const auto w = random_vec(rng, g.out_channels * g.in_channels * g.kernel * g.kernel);
+    const auto in = random_vec(rng, g.input_size() * lanes);
+    std::vector<float> dense(g.output_size() * lanes, 0.0f);
+    ops.conv_lanes_dense(g, w.data(), in.data(), lanes, dense.data());
+    std::vector<uint32_t> all(g.input_size());
+    for (uint32_t p = 0; p < all.size(); ++p) all[p] = p;
+    std::vector<double> acc(g.output_size() * lanes, 0.0);
+    std::vector<float> scatter(g.output_size() * lanes, 0.0f);
+    ops.conv_lanes_scatter(g, w.data(), in.data(), lanes, all.data(), all.size(), acc.data(),
+                           scatter.data());
+    for (size_t i = 0; i < dense.size(); ++i) {
+      EXPECT_NEAR(dense[i], scatter[i], 1e-5f) << "element " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snntest::tensor::simd

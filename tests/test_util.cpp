@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -254,6 +255,76 @@ TEST(Cli, BoolParsing) {
   const char* argv[] = {"prog", "--flag", "true"};
   ASSERT_TRUE(cli.parse(3, argv));
   EXPECT_TRUE(cli.get_bool("flag"));
+}
+
+// One parse + getter round trip for the numeric-getter hardening tests.
+template <typename Getter>
+auto cli_numeric(const char* def, const char* value, Getter getter)
+    -> decltype(getter(std::declval<CliParser&>())) {
+  CliParser cli({{"n", def}}, "test");
+  const std::string arg = std::string("--n=") + value;
+  const char* argv[] = {"prog", arg.c_str()};
+  EXPECT_TRUE(cli.parse(2, argv));
+  return getter(cli);
+}
+
+TEST(Cli, GetIntAcceptsFullIntegerTokens) {
+  auto get = [](CliParser& c) { return c.get_int("n"); };
+  EXPECT_EQ(cli_numeric("0", "42", get), 42);
+  EXPECT_EQ(cli_numeric("0", "-3", get), -3);
+  EXPECT_EQ(cli_numeric("0", "+7", get), 7);
+  EXPECT_EQ(cli_numeric("0", "2147483647", get), 2147483647);
+}
+
+TEST(Cli, GetIntRejectsMalformedAndOutOfRangeTokens) {
+  auto get = [](CliParser& c) { return c.get_int("n"); };
+  // Non-numeric, trailing garbage, empty, and out-of-int-range values must
+  // all raise a clean invalid_argument — not abort via an unhandled
+  // std::stoi exception with no flag context.
+  EXPECT_THROW(cli_numeric("0", "abc", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "12abc", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", " 5", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "3.5", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "2147483648", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "-99999999999999999999", get), std::invalid_argument);
+}
+
+TEST(Cli, NumericErrorsNameTheFlagAndValue) {
+  CliParser cli({{"lane-width", "1"}}, "test");
+  const char* argv[] = {"prog", "--lane-width=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  try {
+    cli.get_int("lane-width");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lane-width"), std::string::npos) << what;
+    EXPECT_NE(what.find("abc"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, GetSizeRejectsNegativeValues) {
+  auto get = [](CliParser& c) { return c.get_size("n"); };
+  EXPECT_EQ(cli_numeric("0", "8", get), 8u);
+  EXPECT_EQ(cli_numeric("0", "0", get), 0u);
+  // -1 through get_int would wrap to SIZE_MAX if fed straight into size_t.
+  EXPECT_THROW(cli_numeric("0", "-1", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "-8", get), std::invalid_argument);
+}
+
+TEST(Cli, GetDoubleValidatesFullTokenAndRange) {
+  auto get = [](CliParser& c) { return c.get_double("n"); };
+  EXPECT_DOUBLE_EQ(cli_numeric("0", "2.5", get), 2.5);
+  EXPECT_DOUBLE_EQ(cli_numeric("0", "-1e3", get), -1000.0);
+  EXPECT_DOUBLE_EQ(cli_numeric("0", ".5", get), 0.5);
+  // Underflow quietly flushes toward zero (strtod sets ERANGE but the value
+  // is usable); overflow and malformed tokens are hard errors.
+  EXPECT_NEAR(cli_numeric("0", "1e-320", get), 0.0, 1e-300);
+  EXPECT_THROW(cli_numeric("0", "1e999", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "abc", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "1.5x", get), std::invalid_argument);
+  EXPECT_THROW(cli_numeric("0", "", get), std::invalid_argument);
 }
 
 TEST(Crc32, MatchesKnownVectors) {
