@@ -1,0 +1,226 @@
+// Sharded-campaign orchestration bench: merge identity, crash recovery and
+// scaling of the multi-process campaign runner (DESIGN.md §15).
+//
+// Three phases, each gated on an invariant the orchestrator promises:
+//
+//  1. reference — a single-process incremental campaign per stimulus; its
+//     serialized dictionary bytes are the identity baseline.
+//  2. sharded runs — the same campaign fanned out across {1, 2, 4} worker
+//     processes. Every merged dictionary must serialize to bytes identical
+//     to the reference (the merge-identity contract).
+//  3. kill-and-recover drill — every shard's first attempt is killed by
+//     SIGKILL mid-campaign (--chaos-crash-after). The retries must finish
+//     the campaign, reuse at least one pair from the partial snapshots
+//     (crash recovery actually resumed, not restarted), and still match the
+//     reference byte-for-byte.
+//
+// The bench re-execs itself as the shard worker (argv[1] == "run-shard"),
+// so it is self-contained. Exits nonzero if any invariant fails; `--json`
+// writes the machine-readable verdicts CI asserts on.
+#include "bench_common.hpp"
+
+#include <optional>
+
+#include "campaign/orchestrator.hpp"
+#include "campaign/shard_worker.hpp"
+#include "coverage/incremental.hpp"
+#include "util/subprocess.hpp"
+#include "util/timer.hpp"
+
+using namespace snntest;
+
+namespace {
+
+int worker_main(int argc, char** argv) {
+  util::CliParser cli({{"job", ""},
+                       {"work-dir", "."},
+                       {"shard", "0"},
+                       {"num-shards", "1"},
+                       {"flush-every", "16"},
+                       {"chaos-crash-after", "0"},
+                       {"chaos-hang-after", "0"}},
+                      "Shard worker mode (internal: spawned by the bench itself).");
+  if (!cli.parse(argc, argv)) return 0;
+  campaign::ShardWorkerOptions opts;
+  opts.job_path = cli.get("job");
+  opts.work_dir = cli.get("work-dir");
+  opts.shard_index = cli.get_size("shard");
+  opts.num_shards = cli.get_size("num-shards");
+  opts.flush_every = cli.get_size("flush-every");
+  opts.crash_after = cli.get_size("chaos-crash-after");
+  opts.hang_after = cli.get_size("chaos-hang-after");
+  return campaign::run_shard_worker(opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Self-exec dispatch: `bench_orchestrator run-shard --job ...` is a worker.
+  if (argc > 1 && std::string(argv[1]) == "run-shard") {
+    static std::string prog = std::string(argv[0]) + " run-shard";
+    std::vector<char*> rest{prog.data()};
+    for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+    return worker_main(static_cast<int>(rest.size()), rest.data());
+  }
+
+  util::CliParser cli({{"benchmark", "nmnist"},
+                       {"stimuli", "2"},
+                       {"fault-sample", "400"},
+                       {"threads", "0"},
+                       {"lane-width", "8"},
+                       {"crash-after", "5"},
+                       {"json", ""},
+                       {"trace-out", ""},
+                       {"metrics-out", ""}},
+                      "Sharded orchestration: merge identity, crash recovery, scaling.");
+  size_t num_stimuli = 0;
+  size_t fault_sample = 0;
+  size_t crash_after = 0;
+  campaign::EngineConfig engine;
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    num_stimuli = cli.get_size("stimuli");
+    fault_sample = cli.get_size("fault-sample");
+    crash_after = cli.get_size("crash-after");
+    engine.num_threads = cli.get_size("threads");
+    engine.lane_width = cli.get_size("lane-width");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  bench::wire_observability(cli);
+  bench::print_header("Sharded multi-process campaign orchestration",
+                      "factory-scale campaign fan-out with crash recovery, DESIGN.md §15");
+
+  const std::string exe = util::current_executable_path();
+  if (exe.empty()) {
+    std::fprintf(stderr, "error: cannot resolve own executable path\n");
+    return 1;
+  }
+
+  const auto id = zoo::parse_benchmark(cli.get("benchmark"));
+  auto bundle = bench::get_bundle(id);
+  auto& net = bundle.network;
+  auto faults = bench::sampled_faults(net, fault_sample);
+  std::vector<tensor::Tensor> stimuli;
+  for (size_t i = 0; i < num_stimuli; ++i) stimuli.push_back(bundle.test->get(i).input);
+  std::printf("model %s: %zu faults, %zu stimuli\n\n", net.name().c_str(), faults.size(),
+              stimuli.size());
+
+  // --- phase 1: single-process reference ----------------------------------
+  coverage::FaultDictionary reference = coverage::make_dictionary(net, faults);
+  util::Timer ref_timer;
+  for (size_t i = 0; i < stimuli.size(); ++i) {
+    coverage::IncrementalConfig config;
+    config.engine = engine;
+    config.stimulus_name = "sample" + std::to_string(i);
+    coverage::run_incremental_campaign(net, stimuli[i], faults, reference, config);
+  }
+  const double ref_seconds = ref_timer.seconds();
+  const std::string ref_bytes = reference.serialize();
+  std::printf("reference: %zu records in %.2fs (%zu dictionary bytes)\n\n",
+              reference.num_records(), ref_seconds, ref_bytes.size());
+
+  const std::string work_root = bench::out_dir() + "/BENCH_orchestrator_work";
+  const auto run_all_stimuli = [&](campaign::OrchestratorConfig ocfg, const std::string& tag,
+                                   size_t* total_attempts, uint64_t* pairs_reused)
+      -> std::optional<coverage::FaultDictionary> {
+    coverage::FaultDictionary merged = coverage::make_dictionary(net, faults);
+    for (size_t i = 0; i < stimuli.size(); ++i) {
+      campaign::ShardJob job;
+      job.net = net;
+      job.stimulus = stimuli[i];
+      job.faults = faults;
+      job.engine = engine;
+      job.stimulus_name = "sample" + std::to_string(i);
+      ocfg.work_dir = work_root + "/" + tag + "/sample" + std::to_string(i);
+      const auto run = campaign::run_sharded_campaign(job, ocfg);
+      if (!run.completed) return std::nullopt;
+      if (total_attempts) *total_attempts += run.total_attempts();
+      if (pairs_reused) {
+        for (const auto& s : run.shards) *pairs_reused += s.stats.pairs_reused;
+      }
+      merged.merge(run.merged);
+    }
+    return merged;
+  };
+
+  // --- phase 2: sharded runs, merge identity ------------------------------
+  util::TextTable table({"shards", "attempts", "elapsed", "vs. reference"});
+  bool identity_ok = true;
+  bool all_completed = true;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    campaign::OrchestratorConfig ocfg;
+    ocfg.num_shards = shards;
+    ocfg.worker_command = [&exe](const campaign::ShardLaunch& l) {
+      return campaign::default_worker_command(l, exe);
+    };
+    size_t attempts = 0;
+    util::Timer timer;
+    const auto merged = run_all_stimuli(ocfg, "shards" + std::to_string(shards), &attempts,
+                                        nullptr);
+    const double seconds = timer.seconds();
+    const bool identical = merged && merged->serialize() == ref_bytes;
+    all_completed &= merged.has_value();
+    identity_ok &= identical;
+    table.add_row({std::to_string(shards), std::to_string(attempts),
+                   util::fmt_double(seconds, 2) + "s",
+                   identical ? "bit-identical" : "DIVERGED"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // --- phase 3: kill-and-recover drill ------------------------------------
+  campaign::OrchestratorConfig chaos_cfg;
+  chaos_cfg.num_shards = 2;
+  chaos_cfg.flush_every = 2;  // tight flush so a mid-shard kill leaves a snapshot
+  chaos_cfg.worker_command = [&exe, crash_after](const campaign::ShardLaunch& l) {
+    auto cmd = campaign::default_worker_command(l, exe);
+    if (l.attempt == 0 && crash_after > 0) {
+      cmd.push_back("--chaos-crash-after");
+      cmd.push_back(std::to_string(crash_after));
+    }
+    return cmd;
+  };
+  size_t chaos_attempts = 0;
+  uint64_t chaos_reused = 0;
+  util::Timer chaos_timer;
+  const auto chaos_merged = run_all_stimuli(chaos_cfg, "chaos", &chaos_attempts, &chaos_reused);
+  const double chaos_seconds = chaos_timer.seconds();
+  const bool chaos_completed = chaos_merged.has_value();
+  const bool chaos_identical = chaos_merged && chaos_merged->serialize() == ref_bytes;
+  const bool chaos_resumed = chaos_reused > 0;
+  std::printf("kill-and-recover: every first attempt SIGKILLed after %zu records; %zu total\n"
+              "attempts, %llu pairs resumed from partial snapshots, completed=%s,\n"
+              "merged %s vs. reference, %.2fs\n",
+              crash_after, chaos_attempts, static_cast<unsigned long long>(chaos_reused),
+              chaos_completed ? "yes" : "NO", chaos_identical ? "bit-identical" : "DIVERGED",
+              chaos_seconds);
+
+  const bool ok = all_completed && identity_ok && chaos_completed && chaos_identical &&
+                  chaos_resumed;
+
+  if (!cli.get("json").empty()) {
+    bench::JsonObject report;
+    report.field("benchmark", cli.get("benchmark"))
+        .field("num_faults", faults.size())
+        .field("num_stimuli", stimuli.size())
+        .field("reference_seconds", ref_seconds)
+        .field("all_completed", all_completed)
+        .field("identity_ok", identity_ok)
+        .field("chaos_attempts", chaos_attempts)
+        .field("chaos_pairs_reused", static_cast<size_t>(chaos_reused))
+        .field("chaos_completed", chaos_completed)
+        .field("chaos_identical", chaos_identical)
+        .field("chaos_resumed", chaos_resumed)
+        .field("ok", ok);
+    bench::write_json_report(cli.get("json"), report);
+  }
+
+  if (!ok) {
+    std::fprintf(stderr, "bench_orchestrator: INVARIANT FAILED (see table above)\n");
+    return 1;
+  }
+  std::printf("\nall invariants hold: merged shard dictionaries are byte-identical to the\n"
+              "single-process reference, and SIGKILLed workers resume from their snapshots.\n");
+  return 0;
+}

@@ -1,15 +1,22 @@
 // Coverage-database workbench: build, merge, query, minimize and report on
 // persistent fault dictionaries (src/coverage, DESIGN.md §13).
 //
-//   coverage_tool build    --dict d.snfd [--benchmark nmnist] [--stimuli 8]
-//                          [--stimulus-file stim.bin] [--fault-sample 2000]
-//   coverage_tool merge    --out merged.snfd --inputs a.snfd,b.snfd
-//   coverage_tool query    --dict d.snfd [--fault 17] [--stimulus 2]
-//   coverage_tool minimize --dict d.snfd [--out schedule.snfd] [--json r.json]
-//   coverage_tool report   --dict d.snfd [--json r.json]
+//   coverage_tool build       --dict d.snfd [--benchmark nmnist] [--stimuli 8]
+//                             [--stimulus-file stim.bin] [--fault-sample 2000]
+//   coverage_tool orchestrate --dict d.snfd --shards 4 [--work-dir DIR]
+//                             [build flags] [--chaos-crash-after N]
+//   coverage_tool run-shard   --job j.bin --work-dir DIR --shard I --num-shards N
+//   coverage_tool merge       --out merged.snfd --inputs a.snfd,b.snfd
+//   coverage_tool query       --dict d.snfd [--fault 17] [--stimulus 2]
+//   coverage_tool minimize    --dict d.snfd [--out schedule.snfd] [--json r.json]
+//   coverage_tool report      --dict d.snfd [--json r.json]
 //
 // `build` is incremental: pairs the dictionary already holds are served as
 // lookups (zero simulations on a warm re-run), only missing pairs simulate.
+// `orchestrate` is `build` fanned out across worker processes (one per
+// fault-universe shard, DESIGN.md §15) with crash recovery: the resulting
+// dictionary file is byte-identical to what a single-process `build` of the
+// same inputs writes. `run-shard` is the worker entry point it re-execs.
 // `minimize` runs the lazy-greedy minimum-time set cover and can export the
 // schedule as a self-contained, schedule_ordered dictionary that
 // examples/infield_test --dict replays.
@@ -19,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/orchestrator.hpp"
+#include "campaign/shard_worker.hpp"
 #include "core/test_stimulus.hpp"
 #include "coverage/incremental.hpp"
 #include "coverage/minimize.hpp"
@@ -28,6 +37,7 @@
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/subprocess.hpp"
 #include "zoo/model_zoo.hpp"
 
 using namespace snntest;
@@ -36,7 +46,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: coverage_tool <build|merge|query|minimize|report> [--flags]\n"
+               "usage: coverage_tool <build|orchestrate|run-shard|merge|query|minimize|report>"
+               " [--flags]\n"
                "       coverage_tool <subcommand> --help for per-subcommand flags\n");
   return 1;
 }
@@ -225,6 +236,172 @@ int cmd_build(int argc, char** argv) {
   return 0;
 }
 
+int cmd_run_shard(int argc, char** argv) {
+  util::CliParser cli({{"job", ""},
+                       {"work-dir", "."},
+                       {"shard", "0"},
+                       {"num-shards", "1"},
+                       {"flush-every", "16"},
+                       {"chaos-crash-after", "0"},
+                       {"chaos-hang-after", "0"}},
+                      "Shard worker (internal: launched by `orchestrate`). Runs one fault-\n"
+                      "universe shard of the job file and commits shard_<i>.snfd atomically.");
+  if (!cli.parse(argc, argv)) return 0;
+  campaign::ShardWorkerOptions opts;
+  opts.job_path = cli.get("job");
+  opts.work_dir = cli.get("work-dir");
+  opts.shard_index = cli.get_size("shard");
+  opts.num_shards = cli.get_size("num-shards");
+  opts.flush_every = cli.get_size("flush-every");
+  opts.crash_after = cli.get_size("chaos-crash-after");
+  opts.hang_after = cli.get_size("chaos-hang-after");
+  return campaign::run_shard_worker(opts);
+}
+
+int cmd_orchestrate(int argc, char** argv) {
+  util::CliParser cli({{"dict", "coverage.snfd"},
+                       {"benchmark", "nmnist"},
+                       {"train-budget", "1.0"},
+                       {"stimuli", "8"},
+                       {"stimulus-file", ""},
+                       {"fault-sample", "2000"},
+                       {"threads", "0"},
+                       {"lane-width", "8"},
+                       {"threshold", "0"},
+                       {"detect-only", "0"},
+                       {"shards", "2"},
+                       {"work-dir", "orchestrate.work"},
+                       {"max-retries", "2"},
+                       {"heartbeat-timeout", "60"},
+                       {"flush-every", "16"},
+                       {"chaos-crash-after", "0"},
+                       {"chaos-hang-after", "0"},
+                       {"trace-out", ""},
+                       {"metrics-out", ""}},
+                      "Sharded multi-process `build`: the same dictionary, produced by\n"
+                      "N crash-isolated worker processes per stimulus (DESIGN.md §15).\n"
+                      "--chaos-crash-after/--chaos-hang-after sabotage every shard's FIRST\n"
+                      "attempt (recovery drill); retries run clean.");
+  if (!cli.parse(argc, argv)) return 0;
+  obs::configure(cli.get("trace-out"), cli.get("metrics-out"));
+
+  const std::string exe = util::current_executable_path();
+  if (exe.empty()) {
+    std::fprintf(stderr, "error: cannot resolve own executable path for worker re-exec\n");
+    return 1;
+  }
+
+  const auto id = zoo::parse_benchmark(cli.get("benchmark"));
+  zoo::ZooOptions zoo_opts;
+  zoo_opts.train_budget = cli.get_double("train-budget");
+  auto bundle = zoo::load_or_train(id, zoo_opts);
+  auto& net = bundle.network;
+
+  auto universe = fault::enumerate_faults(net);
+  util::Rng sample_rng(99);
+  const size_t sample_size = cli.get_size("fault-sample");
+  auto faults = sample_size != 0 && universe.size() > sample_size
+                    ? fault::sample_faults(universe, sample_size, sample_rng)
+                    : universe;
+  std::printf("model %s; fault universe %zu, simulating %zu across %zu shard processes\n",
+              net.name().c_str(), universe.size(), faults.size(), cli.get_size("shards"));
+
+  campaign::EngineConfig engine;
+  engine.num_threads = cli.get_size("threads");
+  engine.lane_width = cli.get_size("lane-width");
+  engine.detection_threshold = cli.get_double("threshold");
+  engine.detect_only = cli.get_bool("detect-only");
+
+  const std::string dict_path = cli.get("dict");
+  coverage::FaultDictionary dict =
+      coverage::make_dictionary(net, faults, engine.detection_threshold, engine.detect_only);
+  if (std::filesystem::exists(dict_path)) {
+    if (auto existing = coverage::FaultDictionary::load(dict_path)) {
+      if (existing->compatible_with(dict)) {
+        dict = std::move(*existing);
+        std::printf("extending %s: %zu stimuli, %zu records already present\n", dict_path.c_str(),
+                    dict.num_stimuli(), dict.num_records());
+      } else {
+        std::printf("existing %s is for a different model/universe/settings; starting fresh\n",
+                    dict_path.c_str());
+      }
+    }
+  }
+
+  struct Source {
+    std::string name;
+    tensor::Tensor input;
+  };
+  std::vector<Source> sources;
+  const size_t num_samples = cli.get_size("stimuli");
+  for (size_t i = 0; i < num_samples; ++i) {
+    const auto sample = bundle.test->get(i);
+    sources.push_back({"sample" + std::to_string(i), sample.input});
+  }
+  const std::string stim_path = cli.get("stimulus-file");
+  if (!stim_path.empty()) {
+    const auto stored = core::TestStimulus::load(stim_path);
+    for (size_t j = 0; j < stored.num_chunks(); ++j) {
+      sources.push_back({"chunk" + std::to_string(j), stored.chunk(j)});
+    }
+  }
+
+  campaign::OrchestratorConfig ocfg;
+  ocfg.num_shards = cli.get_size("shards");
+  ocfg.max_retries = cli.get_size("max-retries");
+  ocfg.heartbeat_timeout_seconds = cli.get_double("heartbeat-timeout");
+  ocfg.flush_every = cli.get_size("flush-every");
+  const size_t crash_after = cli.get_size("chaos-crash-after");
+  const size_t hang_after = cli.get_size("chaos-hang-after");
+  ocfg.worker_command = [&](const campaign::ShardLaunch& launch) {
+    auto cmd = campaign::default_worker_command(launch, exe);
+    if (launch.attempt == 0 && crash_after > 0) {
+      cmd.push_back("--chaos-crash-after");
+      cmd.push_back(std::to_string(crash_after));
+    }
+    if (launch.attempt == 0 && hang_after > 0) {
+      cmd.push_back("--chaos-hang-after");
+      cmd.push_back(std::to_string(hang_after));
+    }
+    return cmd;
+  };
+
+  util::TextTable table({"stimulus", "frames", "attempts", "reused", "simulated"});
+  for (const Source& src : sources) {
+    campaign::ShardJob job;
+    job.net = net;
+    job.stimulus = src.input;
+    job.faults = faults;
+    job.engine = engine;
+    job.stimulus_name = src.name;
+    ocfg.work_dir = cli.get("work-dir") + "/" + src.name;
+
+    const auto run = campaign::run_sharded_campaign(job, ocfg);
+    if (!run.completed) {
+      std::fprintf(stderr, "error: stimulus %s: shard abandoned after retry exhaustion"
+                           " (see %s/shard_*.log)\n",
+                   src.name.c_str(), ocfg.work_dir.c_str());
+      return 1;
+    }
+    uint64_t reused = 0, recorded = 0;
+    for (const auto& shard : run.shards) {
+      reused += shard.stats.pairs_reused;
+      recorded += shard.stats.pairs_recorded;
+    }
+    dict.merge(run.merged);
+    table.add_row({src.name, std::to_string(src.input.shape().dim(0)),
+                   std::to_string(run.total_attempts()), std::to_string(reused),
+                   std::to_string(recorded)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  dict.save(dict_path);
+  std::printf("dictionary %s: %zu stimuli, %zu records, %zu/%llu faults detectable\n",
+              dict_path.c_str(), dict.num_stimuli(), dict.num_records(), dict.detectable_count(),
+              static_cast<unsigned long long>(dict.num_faults));
+  return 0;
+}
+
 int cmd_merge(int argc, char** argv) {
   util::CliParser cli({{"out", "merged.snfd"}, {"inputs", ""}},
                       "Merge dictionaries (comma-separated --inputs) into --out.");
@@ -377,6 +554,8 @@ int main(int argc, char** argv) {
 
   try {
     if (cmd == "build") return cmd_build(sub_argc, sub_argv);
+    if (cmd == "orchestrate") return cmd_orchestrate(sub_argc, sub_argv);
+    if (cmd == "run-shard") return cmd_run_shard(sub_argc, sub_argv);
     if (cmd == "merge") return cmd_merge(sub_argc, sub_argv);
     if (cmd == "query") return cmd_query(sub_argc, sub_argv);
     if (cmd == "minimize") return cmd_minimize(sub_argc, sub_argv);

@@ -16,8 +16,10 @@
 //
 // Run:  ./build/examples/infield_test [--benchmark shd] [--stimulus FILE]
 //       [--dict schedule.snfd] [--fault-layer 0] [--fault-neuron 7]
+//       [--json replay.json]
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "core/test_generator.hpp"
@@ -27,6 +29,7 @@
 #include "snn/spike_train.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "zoo/model_zoo.hpp"
 
 using namespace snntest;
@@ -114,6 +117,14 @@ int run_schedule_mode(const util::CliParser& cli, snn::Network& net) {
   util::TextTable table(
       {"step", "stimulus", "frames", "cum. frames", "planned coverage", "L1 diff", "verdict"});
   int detected_step = -1;
+  struct StepResult {
+    std::string stimulus;
+    uint64_t frames = 0;
+    uint64_t cumulative_frames = 0;
+    double diff = 0.0;
+    bool flagged = false;
+  };
+  std::vector<StepResult> replay;
   for (size_t i = 0; i < schedule.steps.size(); ++i) {
     const auto& step = schedule.steps[i];
     const auto& entry = dict.stimulus(step.stimulus);
@@ -121,6 +132,7 @@ int run_schedule_mode(const util::CliParser& cli, snn::Network& net) {
     const double diff = snn::output_distance(golden[i], response);
     const bool flagged = diff > dict.detection_threshold;
     if (flagged && detected_step < 0) detected_step = static_cast<int>(i);
+    replay.push_back({entry.name, step.frames, step.cumulative_frames, diff, flagged});
     table.add_row({std::to_string(i), entry.name, std::to_string(step.frames),
                    std::to_string(step.cumulative_frames),
                    util::fmt_pct(schedule.detectable_faults == 0
@@ -131,6 +143,30 @@ int run_schedule_mode(const util::CliParser& cli, snn::Network& net) {
   }
   injector.remove();
   std::printf("%s\n", table.render().c_str());
+
+  if (!cli.get("json").empty()) {
+    std::ofstream out(cli.get("json"));
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write JSON to %s\n", cli.get("json").c_str());
+    } else {
+      char buf[40];
+      out << "{\"schema\":\"snntest-infield-replay-v1\",\"fault\":\""
+          << util::json_escape(latent.to_string()) << "\",\"detected\":"
+          << (detected_step >= 0 ? "true" : "false") << ",\"detected_step\":" << detected_step
+          << ",\"scheduled_frames\":" << schedule.scheduled_frames
+          << ",\"full_replay_frames\":" << schedule.all_stimuli_frames << ",\"steps\":[";
+      for (size_t i = 0; i < replay.size(); ++i) {
+        const StepResult& r = replay[i];
+        if (i) out << ",";
+        std::snprintf(buf, sizeof(buf), "%.17g", r.diff);
+        out << "{\"stimulus\":\"" << util::json_escape(r.stimulus) << "\",\"frames\":" << r.frames
+            << ",\"cumulative_frames\":" << r.cumulative_frames << ",\"l1_diff\":" << buf
+            << ",\"flagged\":" << (r.flagged ? "true" : "false") << "}";
+      }
+      out << "]}\n";
+      std::printf("JSON: %s\n", cli.get("json").c_str());
+    }
+  }
 
   if (detected_step >= 0) {
     std::printf("latent fault (%s) flagged at step %d after %llu frames"
@@ -214,6 +250,7 @@ int main(int argc, char** argv) {
   util::CliParser cli({{"benchmark", "shd"},
                        {"stimulus", ""},
                        {"dict", ""},
+                       {"json", ""},
                        {"checks", "10"},
                        {"fault-layer", "0"},
                        {"fault-neuron", "7"}},

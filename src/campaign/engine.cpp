@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -259,6 +260,7 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   detail::SimCounters counters;
   counters.completed.store(outcome.stats.faults_resumed + outcome.stats.pairs_reused);
   std::atomic<bool> cancelled{false};
+  std::mutex sink_mutex;  // serializes EngineConfig::result_sink calls
 
   // Per-fault telemetry (sim-time and prefix-depth histograms, one span per
   // fault) is resolved once here and gated per fault on a single branch, so
@@ -305,6 +307,10 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
       const size_t j = batch[b];
       have[j] = 1;
       if (writer) writer->record(j, outcome.results[j]);
+      if (config.result_sink) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        config.result_sink(j, outcome.results[j]);
+      }
       const size_t done = counters.completed.fetch_add(1, std::memory_order_relaxed) + 1;
       if (config.progress) config.progress(done, faults.size());
     }

@@ -92,6 +92,14 @@ struct EngineConfig {
   /// thread only, never concurrently. Reused pairs are not re-recorded to
   /// the checkpoint (the cache already persists them).
   std::function<bool(size_t fault_index, fault::DetectionResult& result)> result_cache;
+  /// Streaming completion hook: called exactly once per fault *simulated in
+  /// this run* (checkpoint-resumed and cache-reused pairs are not replayed
+  /// through it), as soon as that fault's DetectionResult is final. Calls
+  /// are serialized by an internal mutex but originate from worker threads.
+  /// The sharded campaign worker (campaign/shard_worker.hpp) uses this to
+  /// persist completed pairs incrementally, so a SIGKILL loses at most the
+  /// results accepted since its last flush.
+  std::function<void(size_t fault_index, const fault::DetectionResult& result)> result_sink;
   /// Progress callback (completed, total); called from worker threads.
   std::function<void(size_t, size_t)> progress;
   /// Cooperative cancellation, polled between faults. Returning true makes

@@ -10,6 +10,7 @@
 #include "util/hash.hpp"
 #include "util/logging.hpp"
 #include "util/serialize.hpp"
+#include "util/subprocess.hpp"
 
 namespace snntest::coverage {
 namespace {
@@ -198,10 +199,27 @@ size_t FaultDictionary::detectable_count() const {
   return n;
 }
 
+std::string FaultDictionary::serialize() const {
+  std::ostringstream os;
+  write_to(os);
+  return os.str();
+}
+
 void FaultDictionary::save(const std::string& path) const {
   OBS_SPAN("coverage/dict_save");
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("FaultDictionary::save: cannot open " + path);
+  write_to(out);
+  out.flush();
+  if (!out) throw std::runtime_error("FaultDictionary::save: write failed for " + path);
+}
+
+void FaultDictionary::save_atomic(const std::string& path) const {
+  OBS_SPAN("coverage/dict_save_atomic");
+  util::atomic_write_file(path, serialize());
+}
+
+void FaultDictionary::write_to(std::ostream& out) const {
   util::write_magic(out, kDictionaryMagic, kDictionaryVersion);
 
   {
@@ -241,8 +259,6 @@ void FaultDictionary::save(const std::string& path) const {
       util::write_u32(out, util::crc32(payload.data(), payload.size()));
     }
   }
-  out.flush();
-  if (!out) throw std::runtime_error("FaultDictionary::save: write failed for " + path);
 }
 
 std::optional<FaultDictionary> FaultDictionary::load(const std::string& path, LoadStats* stats) {

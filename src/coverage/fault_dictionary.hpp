@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -112,6 +113,14 @@ class FaultDictionary {
 
   /// Throws std::runtime_error when the file cannot be written.
   void save(const std::string& path) const;
+  /// Crash-safe save: serialize to a sibling temp file, then rename(2) over
+  /// `path`. A reader (or a worker restarted after a kill) sees either the
+  /// previous complete dictionary or the new one, never a torn write. This
+  /// is the commit step of the shard worker protocol (DESIGN.md §15).
+  void save_atomic(const std::string& path) const;
+  /// The exact bytes save() would write — lets callers byte-compare
+  /// dictionaries (merge-identity tests) without touching the filesystem.
+  std::string serialize() const;
   /// nullopt when the file is missing or its magic/header/stimulus table is
   /// unusable (the error cases that have no partial answer). Damaged
   /// records fail soft via `stats`.
@@ -136,6 +145,8 @@ class FaultDictionary {
   MergeStats merge(const FaultDictionary& other);
 
  private:
+  void write_to(std::ostream& out) const;
+
   std::vector<StimulusEntry> stimuli_;
   /// Dense per-stimulus rows, sized num_faults on first record.
   std::vector<std::vector<char>> have_;

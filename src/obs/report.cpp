@@ -69,6 +69,12 @@ void set_report_field(const std::string& key, uint64_t value) {
   s.fields[key] = std::to_string(value);
 }
 
+void set_report_field(const std::string& key, bool value) {
+  ReportState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.fields[key] = value ? "true" : "false";
+}
+
 std::string metrics_report_json() {
   const Registry::Snapshot snap = Registry::instance().snapshot();
   std::string out = "{\"schema\":\"snntest-metrics-v1\",\"fields\":{";

@@ -23,6 +23,7 @@ namespace snntest::obs {
 void set_report_field(const std::string& key, const std::string& value);
 void set_report_field(const std::string& key, double value);
 void set_report_field(const std::string& key, uint64_t value);
+void set_report_field(const std::string& key, bool value);  // "true"/"false"
 
 /// Render the report from the current registry snapshot.
 std::string metrics_report_json();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
+#include <utility>
 
 namespace snntest::util {
 
@@ -9,24 +11,37 @@ ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
+  num_threads_ = num_threads;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
+  std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    to_join.swap(workers_);  // second concurrent stop() gets an empty list
   }
   task_available_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : to_join) w.join();
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error("ThreadPool::submit: pool is stopped");
+    }
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -36,6 +51,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -48,9 +68,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_exception_) first_exception_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -4,10 +4,21 @@
 // (Sec. III: sequential fault injection — each fault is an independent
 // inference). The pool lets the campaign saturate whatever cores exist;
 // on a single-core host it degrades gracefully to serial execution.
+//
+// Exception contract: a task that throws does NOT terminate the process.
+// The pool captures the first exception raised by any task (later ones are
+// dropped) and rethrows it from the next wait_idle() — which is what
+// parallel_for / parallel_for_dynamic call before returning, so a worker
+// exception reaches the caller of the parallel loop on its own thread.
+// Remaining tasks still run to completion first (no cancellation): the
+// barrier semantics stay intact and worker-local state is never abandoned
+// mid-item. An exception never retrieved by wait_idle() is discarded when
+// the pool stops.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -25,29 +36,43 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t size() const { return workers_.size(); }
+  size_t size() const { return num_threads_; }
 
-  /// Enqueue a task; returns immediately.
+  /// Enqueue a task; returns immediately. Throws std::runtime_error once
+  /// stop() has been called — a stopped pool never silently drops work.
   void submit(std::function<void()> task);
 
-  /// Block until all submitted tasks have finished.
+  /// Block until all submitted tasks have finished; then rethrow the first
+  /// exception any of them raised since the last wait_idle (clearing it),
+  /// if there was one.
   void wait_idle();
+
+  /// Drain the queue (already-submitted tasks run to completion), join all
+  /// workers and reject future submit()s. Idempotent; called by the
+  /// destructor. Does not rethrow pending task exceptions (destructors must
+  /// not throw) — call wait_idle() first if you care.
+  void stop();
+
+  bool stopped() const;
 
  private:
   void worker_loop();
 
+  size_t num_threads_ = 0;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_exception_;
 };
 
 /// Run `fn(i)` for i in [0, n). If `pool` is null or has one worker and the
 /// caller prefers no thread overhead, runs inline. Blocks until done.
 /// Work is distributed in contiguous chunks to keep memory access coherent.
+/// Rethrows the first exception any fn(i) raised (see ThreadPool).
 void parallel_for(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
 
 /// Number of workers `parallel_for_dynamic` will use on `pool` — size
@@ -60,7 +85,9 @@ size_t dynamic_workers(const ThreadPool* pool);
 /// handed one static range each, so a slow item cannot strand the rest of
 /// its chunk behind it while other workers sit idle. `fn(worker, i)` is
 /// called with a stable worker id in [0, dynamic_workers(pool)) usable to
-/// index worker-local state. `grain == 0` is treated as 1. Blocks until done.
+/// index worker-local state. `grain == 0` is treated as 1. Blocks until
+/// done, then rethrows the first exception any fn raised; a worker that
+/// throws stops claiming chunks but the others finish the range.
 void parallel_for_dynamic(ThreadPool* pool, size_t n, size_t grain,
                           const std::function<void(size_t, size_t)>& fn);
 

@@ -16,6 +16,7 @@
 #include "campaign/checkpoint.hpp"
 #include "campaign/engine.hpp"
 #include "campaign/golden_cache.hpp"
+#include "campaign/shard.hpp"
 #include "fault/coverage.hpp"
 #include "fault/registry.hpp"
 #include "obs/metrics.hpp"
@@ -996,6 +997,48 @@ TEST(LaneBatch, FallsBackToScalarForSingletonGroupsAndNoPrefixReuse) {
   EXPECT_EQ(plain.stats.lane_batches, 0u);
   const auto naive = naive_reference(net, input, dense_faults);
   expect_results_identical(plain.results, naive);
+}
+
+// The contract the sharded orchestrator (DESIGN.md §15) leans on: splitting
+// a campaign into contiguous shards and running each shard independently —
+// under ANY combination of shard count, lane width and thread count — yields
+// results identical to the single-process, single-threaded, lane-free run.
+// This is the in-process core of the merge-identity argument; the
+// multi-process half (serialized dictionary bytes) lives in
+// test_orchestrator.
+TEST(DeterminismMatrix, ShardingLanesAndThreadsNeverChangeResults) {
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 48, 29);
+
+  // Reference: one shard, no lanes, no threads.
+  EngineConfig ref_cfg;
+  ref_cfg.num_threads = 1;
+  ref_cfg.lane_width = 1;
+  const auto reference = run_campaign(net, input, faults, ref_cfg);
+  ASSERT_TRUE(reference.completed);
+  ASSERT_EQ(reference.results.size(), faults.size());
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (const size_t lanes : {size_t{1}, size_t{8}}) {
+      for (const size_t threads : {size_t{1}, size_t{4}}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) + " lanes=" + std::to_string(lanes) +
+                     " threads=" + std::to_string(threads));
+        EngineConfig cfg;
+        cfg.num_threads = threads;
+        cfg.lane_width = lanes;
+        std::vector<fault::DetectionResult> stitched;
+        for (const auto& range : plan_shards(faults.size(), shards)) {
+          const std::vector<fault::FaultDescriptor> slice(faults.begin() + range.begin,
+                                                          faults.begin() + range.end);
+          const auto shard_run = run_campaign(net, input, slice, cfg);
+          ASSERT_TRUE(shard_run.completed);
+          stitched.insert(stitched.end(), shard_run.results.begin(), shard_run.results.end());
+        }
+        expect_results_identical(stitched, reference.results);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -502,5 +502,161 @@ TEST(FirstDetectionFrame, FrameIffDetectedAndWithinStimulus) {
   }
 }
 
+// --- shard-merge fuzz ------------------------------------------------------
+//
+// The orchestrator's merge step consumes shard files written by worker
+// processes that may have been SIGKILLed mid-write or corrupted on disk.
+// The fuzz drives randomized overlapping / truncated / bit-flipped shard
+// files through load+merge and pins the failure contract: loads either fail
+// cleanly (nullopt) or account every written record as loaded XOR skipped,
+// merges never crash, and no damaged or conflicting record is ever
+// silently accepted into the merged matrix.
+
+/// A shard dictionary holding records for faults [begin, end) of a shared
+/// synthetic universe. The result of pair (0, f) is a fixed function of f,
+/// so any two honest shards agree on every overlapping pair.
+FaultDictionary synthetic_shard(size_t num_faults, size_t begin, size_t end, bool conflicting) {
+  FaultDictionary shard;
+  shard.model_fingerprint = 0xABCD;
+  shard.universe_fingerprint = 0x1234;
+  shard.num_faults = num_faults;
+  shard.add_stimulus(make_entry("stim0", 777, 20));
+  for (size_t f = begin; f < end; ++f) {
+    const bool hit = f % 3 == 0;
+    const double l1 = conflicting ? 99.0 : (hit ? 2.0 + static_cast<double>(f) : 0.0);
+    shard.record(0, f, make_result(hit, l1, hit ? static_cast<int64_t>(f % 7) : -1));
+  }
+  return shard;
+}
+
+TEST(ShardMergeFuzz, DamagedShardFilesFailSoftAndAccountExactly) {
+  util::Rng rng(20260809);
+  const size_t num_faults = 24;
+  size_t loads_failed = 0, records_skipped_total = 0;
+  for (size_t trial = 0; trial < 60; ++trial) {
+    FaultDictionary merged;
+    merged.model_fingerprint = 0xABCD;
+    merged.universe_fingerprint = 0x1234;
+    merged.num_faults = num_faults;
+
+    for (size_t k = 0; k < 3; ++k) {
+      // Random, deliberately overlapping range of the shared universe.
+      const size_t begin = static_cast<size_t>(rng.uniform_index(num_faults));
+      const size_t end =
+          begin + 1 + static_cast<size_t>(rng.uniform_index(num_faults - begin));
+      const FaultDictionary shard = synthetic_shard(num_faults, begin, end, false);
+      const size_t written = shard.num_records();
+      const std::string path = temp_path("fuzz_shard.snfd");
+      shard.save(path);
+
+      // Byte offset where the per-record region begins (just past the u64
+      // record count). Everything before it — magic, header, stimulus
+      // table, count — is the file's identity; damage there may lose the
+      // whole file or the count, so the exact per-record accounting
+      // contract only binds for damage at or past this offset.
+      const size_t records_at = synthetic_shard(num_faults, begin, begin, false).serialize().size();
+
+      // Mutation: 0 = pristine, 1 = truncated tail (the kill-mid-write
+      // artifact), 2 = one flipped byte anywhere in the file.
+      std::string bytes = slurp(path);
+      const uint64_t mutation = rng.uniform_index(3);
+      size_t damage_at = bytes.size();  // pristine: "damaged" past the end
+      if (mutation == 1) {
+        damage_at = static_cast<size_t>(rng.uniform_index(bytes.size()));
+        bytes.resize(damage_at);
+        spit(path, bytes);
+      } else if (mutation == 2) {
+        damage_at = static_cast<size_t>(rng.uniform_index(bytes.size()));
+        bytes[damage_at] = static_cast<char>(bytes[damage_at] ^ (1 << rng.uniform_index(8)));
+        spit(path, bytes);
+      }
+
+      FaultDictionary::LoadStats stats;
+      const auto loaded = FaultDictionary::load(path, &stats);
+      std::remove(path.c_str());
+      if (!loaded) {
+        ++loads_failed;  // mangled magic/header/stimulus table: clean refusal
+        continue;
+      }
+      if (damage_at >= records_at) {
+        // Exact accounting: every record the shard wrote is either loaded
+        // or counted skipped — nothing vanishes without a trace.
+        EXPECT_EQ(stats.records_loaded + stats.records_skipped, written)
+            << "trial " << trial << " shard " << k << " mutation " << mutation;
+      }
+      EXPECT_EQ(loaded->num_records(), stats.records_loaded);
+      records_skipped_total += stats.records_skipped;
+
+      ASSERT_TRUE(loaded->compatible_with(merged));
+      const auto merge_stats = merged.merge(*loaded);
+      // Honest shards agree on every overlapping pair, and a CRC-guarded
+      // load admits no damaged record — so a conflict here would mean the
+      // fuzz smuggled a corrupted result past the checksum.
+      EXPECT_EQ(merge_stats.conflicts_skipped, 0u)
+          << "trial " << trial << " shard " << k << " mutation " << mutation;
+    }
+
+    // Every surviving record must hold exactly the value its writer
+    // recorded (no silent acceptance of mutated payloads).
+    for (size_t f = 0; f < num_faults; ++f) {
+      if (!merged.has(0, f)) continue;
+      const bool hit = f % 3 == 0;
+      const auto expected =
+          make_result(hit, hit ? 2.0 + static_cast<double>(f) : 0.0,
+                      hit ? static_cast<int64_t>(f % 7) : -1);
+      EXPECT_TRUE(results_identical(*merged.lookup(0, f), expected)) << "fault " << f;
+    }
+  }
+  // The mutation mix must actually exercise both failure paths: whole-file
+  // refusals (header damage) and per-record skips (record damage).
+  EXPECT_GT(loads_failed, 0u);
+  EXPECT_GT(records_skipped_total, 0u);
+}
+
+TEST(ShardMergeFuzz, ConflictingShardIsSurfacedPerOverlappingPair) {
+  const size_t num_faults = 12;
+  FaultDictionary merged = synthetic_shard(num_faults, 0, 8, false);
+  // A dishonest shard disagreeing on every overlapping pair (it reports
+  // l1 = 99.0 everywhere): each of the 4 overlap pairs must be counted as
+  // a conflict, kept-first, and never silently absorbed.
+  const FaultDictionary liar = synthetic_shard(num_faults, 4, 12, true);
+  const auto stats = merged.merge(liar);
+  EXPECT_EQ(stats.conflicts_skipped, 4u);  // faults 4..7, the overlap
+  EXPECT_EQ(stats.records_added, 4u);      // faults 8..11, the non-overlapping tail
+  for (size_t f = 0; f < 8; ++f) {
+    const bool hit = f % 3 == 0;
+    EXPECT_EQ(merged.lookup(0, f)->output_l1, hit ? 2.0 + static_cast<double>(f) : 0.0)
+        << "conflict did not keep the existing record for fault " << f;
+  }
+}
+
+TEST(ShardMergeFuzz, SaveAtomicNeverExposesATornFile) {
+  // save_atomic commits by rename: after any number of overwrites the file
+  // on disk is always one complete, loadable dictionary with the newest
+  // contents (the shard worker's partial-snapshot protocol relies on this).
+  const std::string path = temp_path("atomic_roundtrip.snfd");
+  for (size_t n = 1; n <= 5; ++n) {
+    const FaultDictionary shard = synthetic_shard(20, 0, 4 * n, false);
+    shard.save_atomic(path);
+    FaultDictionary::LoadStats stats;
+    const auto loaded = FaultDictionary::load(path, &stats);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(stats.records_skipped, 0u);
+    EXPECT_EQ(loaded->num_records(), 4 * n);
+    expect_dicts_equal(shard, *loaded);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardMergeFuzz, SerializeMatchesSavedFileBytes) {
+  const FaultDictionary shard = synthetic_shard(16, 2, 14, false);
+  const std::string path = temp_path("serialize_bytes.snfd");
+  shard.save(path);
+  EXPECT_EQ(shard.serialize(), slurp(path));
+  shard.save_atomic(path);
+  EXPECT_EQ(shard.serialize(), slurp(path));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace snntest::coverage

@@ -469,5 +469,81 @@ TEST(ThreadPool, ParallelForDynamicZeroGrainAndEmptyRange) {
   EXPECT_EQ(count.load(), 10);
 }
 
+// --- exception contract (the shard worker runs campaigns on this pool, so
+// a swallowed or process-killing task exception would corrupt a shard) ----
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 3) throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // No cancellation: every submitted task still ran to completion.
+  EXPECT_EQ(ran.load(), 20);
+  // The exception was cleared: the pool stays usable and a clean batch
+  // makes the next wait_idle return normally.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&after] { after.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(&pool, 100,
+                            [](size_t i) {
+                              if (i == 42) throw std::invalid_argument("bad index");
+                            }),
+               std::invalid_argument);
+  // And the pool survives for the next loop.
+  std::atomic<int> count{0};
+  parallel_for(&pool, 50, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForDynamicPropagatesBodyException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for_dynamic(&pool, 100, /*grain=*/4,
+                                    [](size_t, size_t i) {
+                                      if (i == 7) throw std::out_of_range("bad chunk");
+                                    }),
+               std::out_of_range);
+}
+
+TEST(ThreadPool, SerialFallbackPropagatesBodyException) {
+  // With no pool the loops run inline — exceptions must surface unchanged,
+  // not be routed through any pool-side capture machinery.
+  EXPECT_THROW(parallel_for(nullptr, 10,
+                            [](size_t i) {
+                              if (i == 5) throw std::runtime_error("serial");
+                            }),
+               std::runtime_error);
+  EXPECT_THROW(parallel_for_dynamic(nullptr, 10, 2,
+                                    [](size_t, size_t i) {
+                                      if (i == 5) throw std::runtime_error("serial");
+                                    }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, StopDrainsQueuedTasksAndRejectsNewWork) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.stop();
+  // stop() drains: already-submitted work is never silently dropped.
+  EXPECT_EQ(ran.load(), 50);
+  EXPECT_TRUE(pool.stopped());
+  // A stopped pool rejects new work loudly rather than losing it.
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  // Idempotent: a second stop (and the destructor's) is a no-op.
+  EXPECT_NO_THROW(pool.stop());
+}
+
 }  // namespace
 }  // namespace snntest::util
