@@ -22,6 +22,7 @@
 #include "bench_common.hpp"
 
 #include "campaign/engine.hpp"
+#include "obs/metrics.hpp"
 #include "snn/dense_layer.hpp"
 #include "snn/spike_train.hpp"
 #include "tensor/simd.hpp"
@@ -238,9 +239,37 @@ int main(int argc, char** argv) {
               all_identical ? "yes" : "NO");
   std::printf("CSV: %s/campaign_engine.csv\n", bench::out_dir().c_str());
 
+  // Per-fault sim-time percentiles from the obs histogram (interpolated from
+  // bucket counts, obs::histogram_percentile): one telemetry-on run of the
+  // mixed bucket, AFTER all timing rows so the instrumented pass cannot
+  // perturb them. Telemetry never feeds back into results (§11).
+  const bool telemetry_was_on = obs::telemetry_enabled();
+  obs::set_telemetry_enabled(true);
+  campaign::run_campaign(net, stimulus, mixed, {});
+  obs::set_telemetry_enabled(telemetry_was_on);
+  const auto metrics = obs::Registry::instance().snapshot();
+  double sim_p50 = 0.0, sim_p95 = 0.0, sim_p99 = 0.0;
+  uint64_t sim_count = 0;
+  if (const auto it = metrics.histograms.find("campaign/fault_sim_seconds");
+      it != metrics.histograms.end() && it->second.count > 0) {
+    sim_p50 = it->second.percentile(0.50);
+    sim_p95 = it->second.percentile(0.95);
+    sim_p99 = it->second.percentile(0.99);
+    sim_count = it->second.count;
+  }
+  std::printf("per-fault sim time (instrumented mixed-bucket run, %llu faults): "
+              "p50 %.3gs, p95 %.3gs, p99 %.3gs\n",
+              static_cast<unsigned long long>(sim_count), sim_p50, sim_p95, sim_p99);
+
   if (!json_path.empty()) {
     bench::JsonObject report;
     report.field("benchmark", "campaign_engine")
+        .object("fault_sim_seconds_percentiles",
+                bench::JsonObject()
+                    .field("count", static_cast<size_t>(sim_count))
+                    .field("p50", sim_p50)
+                    .field("p95", sim_p95)
+                    .field("p99", sim_p99))
         .object("config", bench::JsonObject()
                               .field("layers", net.num_layers())
                               .field("timesteps", size_t{48})

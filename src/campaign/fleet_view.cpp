@@ -1,0 +1,287 @@
+#include "campaign/fleet_view.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "campaign/shard.hpp"
+#include "util/json.hpp"
+
+namespace snntest::campaign {
+namespace {
+
+bool file_exists(const std::string& path) { return std::ifstream(path).good(); }
+
+/// Shards still running rank by time-to-finish, unknown throughput worst.
+double time_to_finish(const ShardView& s) {
+  if (s.completed) return 0.0;
+  const uint64_t remaining =
+      s.status.faults_total > s.status.faults_done ? s.status.faults_total - s.status.faults_done : 0;
+  if (s.throughput <= 0.0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(remaining) / s.throughput;
+}
+
+void merge_snapshot(obs::Registry::Snapshot& into, const obs::Registry::Snapshot& from,
+                    size_t* bounds_mismatched) {
+  for (const auto& [name, value] : from.counters) into.counters[name] += value;
+  // Gauges are last-write-wins per process; summing or averaging them across
+  // shards would fabricate a value no process ever reported, so they stay
+  // per-shard only.
+  for (const auto& [name, h] : from.histograms) {
+    auto it = into.histograms.find(name);
+    if (it == into.histograms.end()) {
+      into.histograms[name] = h;
+      continue;
+    }
+    obs::Registry::HistogramSnapshot& acc = it->second;
+    if (acc.bounds != h.bounds || acc.buckets.size() != h.buckets.size()) {
+      ++*bounds_mismatched;
+      continue;
+    }
+    for (size_t b = 0; b < h.buckets.size(); ++b) acc.buckets[b] += h.buckets[b];
+    acc.count += h.count;
+    acc.sum += h.sum;
+  }
+}
+
+size_t discover_num_shards(const std::string& work_dir) {
+  // Prefer what a snapshot says; otherwise count consecutive shard files.
+  for (size_t i = 0; file_exists(shard_paths(work_dir, i).status) ||
+                     file_exists(shard_paths(work_dir, i).final) ||
+                     file_exists(shard_paths(work_dir, i).heartbeat);
+       ++i) {
+    if (auto status = load_shard_status(shard_paths(work_dir, i).status)) {
+      if (status->num_shards > 0) return status->num_shards;
+    }
+  }
+  size_t count = 0;
+  while (file_exists(shard_paths(work_dir, count).status) ||
+         file_exists(shard_paths(work_dir, count).final) ||
+         file_exists(shard_paths(work_dir, count).heartbeat)) {
+    ++count;
+  }
+  return count;
+}
+
+util::JsonValue json_number(double v) {
+  util::JsonValue out;
+  out.kind = util::JsonValue::kNumber;
+  out.number = v;
+  return out;
+}
+
+util::JsonValue json_uint(uint64_t v) { return json_number(static_cast<double>(v)); }
+
+}  // namespace
+
+double shard_throughput(const std::vector<CoverageSample>& samples) {
+  if (samples.size() < 2) return 0.0;
+  // Trailing window: the last ~8 samples, so an early sprint followed by a
+  // stall reads as the stall it is.
+  const size_t window = std::min<size_t>(samples.size(), 8);
+  const CoverageSample& first = samples[samples.size() - window];
+  const CoverageSample& last = samples.back();
+  const double dt = last.t_seconds - first.t_seconds;
+  if (dt <= 0.0 || last.faults_done < first.faults_done) return 0.0;
+  return static_cast<double>(last.faults_done - first.faults_done) / dt;
+}
+
+FleetView build_fleet_view(const std::string& work_dir, size_t num_shards,
+                           const std::vector<size_t>* expected_faults) {
+  FleetView view;
+  if (num_shards == 0) num_shards = discover_num_shards(work_dir);
+  view.num_shards = num_shards;
+  view.shards.reserve(num_shards);
+
+  for (size_t i = 0; i < num_shards; ++i) {
+    const ShardPaths paths = shard_paths(work_dir, i);
+    ShardView s;
+    s.shard_index = i;
+    if (auto status = load_shard_status(paths.status)) {
+      s.have_status = true;
+      s.status = std::move(*status);
+    } else if (file_exists(paths.status)) {
+      ++view.snapshots_corrupt;
+    } else {
+      ++view.snapshots_missing;
+    }
+    s.completed = (s.have_status && s.status.completed) || file_exists(paths.final);
+    if (!s.have_status && expected_faults != nullptr && i < expected_faults->size()) {
+      s.status.faults_total = (*expected_faults)[i];
+      if (s.completed) {
+        s.status.faults_done = s.status.faults_total;
+      }
+    }
+    if (s.completed && s.status.faults_done < s.status.faults_total) {
+      // A committed shard is fully done even when its last snapshot predates
+      // the commit.
+      s.status.faults_done = s.status.faults_total;
+    }
+    s.throughput = s.completed ? 0.0 : shard_throughput(s.status.samples);
+    const double ttf = time_to_finish(s);
+    s.eta_seconds = std::isfinite(ttf) ? ttf : 0.0;
+
+    view.faults_total += s.status.faults_total;
+    view.faults_done += s.status.faults_done;
+    view.detected += s.status.detected;
+    view.pairs_reused += s.status.pairs_reused;
+    view.pairs_recorded += s.status.pairs_recorded;
+    if (s.completed) ++view.shards_completed;
+    if (!s.completed) view.throughput += s.throughput;
+    view.elapsed_seconds = std::max(view.elapsed_seconds, s.status.elapsed_seconds);
+    if (s.have_status) {
+      merge_snapshot(view.merged_metrics, s.status.metrics, &view.histograms_bounds_mismatched);
+    }
+    view.shards.push_back(std::move(s));
+  }
+
+  view.completed = num_shards > 0 && view.shards_completed == num_shards;
+  if (!view.completed) {
+    // The fleet is done when its slowest member is: ETA is the max of the
+    // per-shard times-to-finish, not total-remaining / total-throughput.
+    double eta = 0.0;
+    bool unknown = false;
+    for (const ShardView& s : view.shards) {
+      if (s.completed) continue;
+      const double ttf = time_to_finish(s);
+      if (!std::isfinite(ttf)) {
+        unknown = true;
+      } else {
+        eta = std::max(eta, ttf);
+      }
+    }
+    view.eta_seconds = unknown && eta == 0.0 ? 0.0 : eta;
+    for (const ShardView& s : view.shards) {
+      if (!s.completed) view.stragglers.push_back(s.shard_index);
+    }
+    std::stable_sort(view.stragglers.begin(), view.stragglers.end(),
+                     [&view](size_t a, size_t b) {
+                       return time_to_finish(view.shards[a]) > time_to_finish(view.shards[b]);
+                     });
+  }
+  return view;
+}
+
+std::string render_fleet(const FleetView& view) {
+  std::ostringstream out;
+  char line[256];
+  const double coverage =
+      view.faults_done == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(view.detected) / static_cast<double>(view.faults_done);
+  const double progress =
+      view.faults_total == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(view.faults_done) / static_cast<double>(view.faults_total);
+  std::snprintf(line, sizeof(line),
+                "fleet: %zu/%zu shards committed, %llu/%llu faults (%.1f%%), coverage %.1f%%\n",
+                view.shards_completed, view.num_shards,
+                static_cast<unsigned long long>(view.faults_done),
+                static_cast<unsigned long long>(view.faults_total), progress, coverage);
+  out << line;
+  if (view.completed) {
+    std::snprintf(line, sizeof(line), "campaign complete (last shard finished at %.1fs)\n",
+                  view.elapsed_seconds);
+  } else if (view.throughput > 0.0 && view.eta_seconds > 0.0) {
+    std::snprintf(line, sizeof(line), "throughput %.1f faults/s, ETA %.1fs\n", view.throughput,
+                  view.eta_seconds);
+  } else {
+    std::snprintf(line, sizeof(line), "throughput %.1f faults/s, ETA unknown\n", view.throughput);
+  }
+  out << line;
+  if (view.snapshots_missing != 0 || view.snapshots_corrupt != 0) {
+    std::snprintf(line, sizeof(line), "status snapshots: %zu missing, %zu corrupt (skipped)\n",
+                  view.snapshots_missing, view.snapshots_corrupt);
+    out << line;
+  }
+  out << "shard   done/total  detected   faults/s      eta  state\n";
+  for (const ShardView& s : view.shards) {
+    const char* state = s.completed ? "committed" : (s.have_status ? "running" : "no status");
+    std::snprintf(line, sizeof(line), "%5zu  %6llu/%-6llu %8llu %10.1f %8.1f  %s\n", s.shard_index,
+                  static_cast<unsigned long long>(s.status.faults_done),
+                  static_cast<unsigned long long>(s.status.faults_total),
+                  static_cast<unsigned long long>(s.status.detected), s.throughput, s.eta_seconds,
+                  state);
+    out << line;
+  }
+  if (!view.stragglers.empty()) {
+    out << "stragglers (slowest-to-finish first):";
+    for (size_t i = 0; i < view.stragglers.size() && i < 4; ++i) {
+      out << " shard_" << view.stragglers[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string fleet_status_json(const FleetView& view) {
+  using util::JsonValue;
+  JsonValue root;
+  root.kind = JsonValue::kObject;
+  JsonValue schema;
+  schema.kind = JsonValue::kString;
+  schema.str = "snntest-fleet-v1";
+  root.object["schema"] = schema;
+  root.object["num_shards"] = json_uint(view.num_shards);
+  root.object["faults_total"] = json_uint(view.faults_total);
+  root.object["faults_done"] = json_uint(view.faults_done);
+  root.object["detected"] = json_uint(view.detected);
+  root.object["pairs_reused"] = json_uint(view.pairs_reused);
+  root.object["pairs_recorded"] = json_uint(view.pairs_recorded);
+  root.object["shards_completed"] = json_uint(view.shards_completed);
+  root.object["snapshots_missing"] = json_uint(view.snapshots_missing);
+  root.object["snapshots_corrupt"] = json_uint(view.snapshots_corrupt);
+  JsonValue completed;
+  completed.kind = JsonValue::kBool;
+  completed.boolean = view.completed;
+  root.object["completed"] = completed;
+  root.object["throughput_faults_per_second"] = json_number(view.throughput);
+  root.object["eta_seconds"] = json_number(view.eta_seconds);
+  root.object["elapsed_seconds"] = json_number(view.elapsed_seconds);
+
+  JsonValue shards;
+  shards.kind = JsonValue::kArray;
+  for (const ShardView& s : view.shards) {
+    JsonValue shard;
+    shard.kind = JsonValue::kObject;
+    shard.object["shard_index"] = json_uint(s.shard_index);
+    JsonValue have;
+    have.kind = JsonValue::kBool;
+    have.boolean = s.have_status;
+    shard.object["have_status"] = have;
+    JsonValue done;
+    done.kind = JsonValue::kBool;
+    done.boolean = s.completed;
+    shard.object["completed"] = done;
+    shard.object["heartbeat"] = json_uint(s.status.heartbeat);
+    shard.object["faults_total"] = json_uint(s.status.faults_total);
+    shard.object["faults_done"] = json_uint(s.status.faults_done);
+    shard.object["detected"] = json_uint(s.status.detected);
+    shard.object["pairs_reused"] = json_uint(s.status.pairs_reused);
+    shard.object["pairs_recorded"] = json_uint(s.status.pairs_recorded);
+    shard.object["elapsed_seconds"] = json_number(s.status.elapsed_seconds);
+    shard.object["throughput_faults_per_second"] = json_number(s.throughput);
+    shard.object["eta_seconds"] = json_number(s.eta_seconds);
+    shards.array.push_back(std::move(shard));
+  }
+  root.object["shards"] = std::move(shards);
+
+  JsonValue stragglers;
+  stragglers.kind = JsonValue::kArray;
+  for (size_t idx : view.stragglers) stragglers.array.push_back(json_uint(idx));
+  root.object["stragglers"] = std::move(stragglers);
+
+  JsonValue counters;
+  counters.kind = JsonValue::kObject;
+  for (const auto& [name, value] : view.merged_metrics.counters) {
+    counters.object[name] = json_uint(value);
+  }
+  root.object["merged_counters"] = std::move(counters);
+  root.object["histograms_bounds_mismatched"] = json_uint(view.histograms_bounds_mismatched);
+  return util::to_json(root);
+}
+
+}  // namespace snntest::campaign

@@ -1,0 +1,89 @@
+// FleetView: fold per-shard SNST status snapshots into one campaign-wide
+// picture (DESIGN.md §16).
+//
+// The aggregation is a pure read of the campaign work directory — it runs
+// identically inside the supervising orchestrator (which republishes it as
+// fleet_status.json on an interval) and inside a completely separate
+// `coverage_tool status` process watching a live or finished campaign. No
+// side channel exists: whatever the files say is the fleet state.
+//
+// Merge semantics:
+//  * counters sum across shards; histograms sum bucket-wise when bounds
+//    match exactly (mismatches are counted, not guessed at); gauges are
+//    last-write-wins per process so they do NOT merge — per-shard values
+//    stay visible in the per-shard views instead;
+//  * throughput is estimated per shard from the trailing window of its
+//    coverage curve, so a shard that sprinted early and stalled ranks as the
+//    straggler it is;
+//  * the ETA divides remaining faults by the summed throughput of the
+//    still-running shards — the fleet finishes when its slowest member does,
+//    but a committed shard contributes no throughput and no remaining work;
+//  * every read fails soft: a missing snapshot is counted in
+//    snapshots_missing, an unparsable one in snapshots_corrupt, and a
+//    committed shard file (.snfd) marks the shard complete even when its
+//    status snapshot is gone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "campaign/status.hpp"
+
+namespace snntest::campaign {
+
+/// One shard as the fleet sees it.
+struct ShardView {
+  size_t shard_index = 0;
+  bool have_status = false;  ///< a loadable SNST snapshot was found
+  bool completed = false;    ///< snapshot says so, or the .snfd exists
+  ShardStatus status;        ///< defaults when !have_status
+  double throughput = 0.0;   ///< faults/s over the trailing sample window
+  double eta_seconds = 0.0;  ///< remaining/throughput; 0 when done or unknown
+};
+
+struct FleetView {
+  size_t num_shards = 0;
+  uint64_t faults_total = 0;
+  uint64_t faults_done = 0;
+  uint64_t detected = 0;
+  uint64_t pairs_reused = 0;
+  uint64_t pairs_recorded = 0;
+  size_t shards_completed = 0;
+  size_t snapshots_missing = 0;  ///< no status file (worker not started yet?)
+  size_t snapshots_corrupt = 0;  ///< torn/truncated/stale status file skipped
+  bool completed = false;        ///< every shard committed
+  double throughput = 0.0;       ///< summed faults/s of the running shards
+  double eta_seconds = 0.0;      ///< 0 when completed or throughput unknown
+  double elapsed_seconds = 0.0;  ///< max over shard-reported elapsed times
+  std::vector<ShardView> shards;
+  /// Incomplete shards, slowest-to-finish first (remaining/throughput;
+  /// shards with unknown throughput rank ahead of everything).
+  std::vector<size_t> stragglers;
+  /// Counters summed, histograms bucket-summed where bounds agree.
+  obs::Registry::Snapshot merged_metrics;
+  size_t histograms_bounds_mismatched = 0;
+};
+
+/// Faults per shard, in shard order — the trailing-window slope of one
+/// shard's coverage curve (0 when fewer than two samples).
+double shard_throughput(const std::vector<CoverageSample>& samples);
+
+/// Read every shard's status/committed files under `work_dir` and fold them.
+/// num_shards == 0 auto-discovers the fleet size: the first loadable
+/// snapshot's num_shards, else the count of consecutive shard_<i> files.
+/// `expected_faults` (faults per shard, shard order) backfills faults_total
+/// for shards whose snapshot is missing; pass the plan_shards sizes when you
+/// have them.
+FleetView build_fleet_view(const std::string& work_dir, size_t num_shards,
+                           const std::vector<size_t>* expected_faults = nullptr);
+
+/// Human-readable terminal rendering: coverage %, faults/s, ETA, and a
+/// per-shard progress table.
+std::string render_fleet(const FleetView& view);
+
+/// Machine-readable rendering, schema "snntest-fleet-v1". The orchestrator
+/// rewrites this atomically as fleet_status.json while a campaign runs.
+std::string fleet_status_json(const FleetView& view);
+
+}  // namespace snntest::campaign

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/subprocess.hpp"
 #include "util/timer.hpp"
@@ -67,12 +68,164 @@ struct ShardState {
   ShardOutcome outcome;
 };
 
+/// How one attempt ended, for the flight report's attempt history.
+std::string attempt_outcome_string(const util::ProcessStatus* ps, bool was_hung, bool committed) {
+  if (committed) return "committed";
+  if (was_hung) return "hung (killed)";
+  if (ps != nullptr && ps->signaled) {
+    return "crashed (signal " + std::to_string(ps->term_signal) + ")";
+  }
+  if (ps != nullptr && ps->exited) {
+    return "exit " + std::to_string(ps->exit_code) + " (no commit)";
+  }
+  return "failed";
+}
+
+util::JsonValue jnum(double v) {
+  util::JsonValue out;
+  out.kind = util::JsonValue::kNumber;
+  out.number = v;
+  return out;
+}
+
+util::JsonValue juint(uint64_t v) { return jnum(static_cast<double>(v)); }
+
+util::JsonValue jstr(const std::string& s) {
+  util::JsonValue out;
+  out.kind = util::JsonValue::kString;
+  out.str = s;
+  return out;
+}
+
+util::JsonValue jbool(bool b) {
+  util::JsonValue out;
+  out.kind = util::JsonValue::kBool;
+  out.boolean = b;
+  return out;
+}
+
 }  // namespace
 
 size_t OrchestratorResult::total_attempts() const {
   size_t n = 0;
   for (const ShardOutcome& s : shards) n += s.attempts;
   return n;
+}
+
+std::string flight_report_json(const OrchestratorResult& result) {
+  using util::JsonValue;
+  JsonValue root;
+  root.kind = JsonValue::kObject;
+  root.object["schema"] = jstr("snntest-flight-v1");
+  root.object["completed"] = jbool(result.completed);
+  root.object["elapsed_seconds"] = jnum(result.elapsed_seconds);
+  root.object["num_shards"] = juint(result.shards.size());
+  root.object["total_attempts"] = juint(result.total_attempts());
+  root.object["faults_total"] = juint(result.fleet.faults_total);
+  root.object["faults_done"] = juint(result.fleet.faults_done);
+  root.object["detected"] = juint(result.fleet.detected);
+
+  JsonValue merge;
+  merge.kind = JsonValue::kObject;
+  merge.object["records_added"] = juint(result.merge_stats.records_added);
+  merge.object["duplicates_agreeing"] = juint(result.merge_stats.duplicates_agreeing);
+  merge.object["conflicts_skipped"] = juint(result.merge_stats.conflicts_skipped);
+  merge.object["stimuli_added"] = juint(result.merge_stats.stimuli_added);
+  root.object["merge_stats"] = std::move(merge);
+
+  // Time to X% of the fault universe processed, interpolated from nothing —
+  // the first supervisor sample at or past the threshold. null when the
+  // campaign never got there.
+  JsonValue milestones;
+  milestones.kind = JsonValue::kObject;
+  const double total = static_cast<double>(result.fleet.faults_total);
+  for (double frac : {0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "t_%g", frac);
+    JsonValue when;  // defaults to kNull
+    if (total > 0.0) {
+      for (const CoverageSample& s : result.campaign_curve) {
+        if (static_cast<double>(s.faults_done) + 1e-9 >= frac * total) {
+          when = jnum(s.t_seconds);
+          break;
+        }
+      }
+    }
+    milestones.object[key] = when;
+  }
+  root.object["milestones"] = std::move(milestones);
+
+  JsonValue curve;
+  curve.kind = JsonValue::kArray;
+  for (const CoverageSample& s : result.campaign_curve) {
+    JsonValue point;
+    point.kind = JsonValue::kObject;
+    point.object["t_seconds"] = jnum(s.t_seconds);
+    point.object["faults_done"] = juint(s.faults_done);
+    point.object["detected"] = juint(s.detected);
+    curve.array.push_back(std::move(point));
+  }
+  root.object["campaign_curve"] = std::move(curve);
+
+  JsonValue shards;
+  shards.kind = JsonValue::kArray;
+  for (const ShardOutcome& s : result.shards) {
+    JsonValue shard;
+    shard.kind = JsonValue::kObject;
+    shard.object["shard_index"] = juint(s.shard_index);
+    shard.object["attempts"] = juint(s.attempts);
+    shard.object["hung_kills"] = juint(s.hung_kills);
+    shard.object["failed_attempts"] = juint(s.failed_attempts);
+    shard.object["completed"] = jbool(s.completed);
+    shard.object["reused_existing"] = jbool(s.reused_existing);
+    shard.object["faults"] = juint(s.stats.faults);
+    shard.object["pairs_reused"] = juint(s.stats.pairs_reused);
+    shard.object["pairs_recorded"] = juint(s.stats.pairs_recorded);
+    shard.object["elapsed_seconds"] = jnum(s.stats.elapsed_seconds);
+    JsonValue history;
+    history.kind = JsonValue::kArray;
+    for (const ShardAttempt& a : s.history) {
+      JsonValue attempt;
+      attempt.kind = JsonValue::kObject;
+      attempt.object["attempt"] = juint(a.attempt);
+      attempt.object["outcome"] = jstr(a.outcome);
+      attempt.object["started_seconds"] = jnum(a.started_seconds);
+      attempt.object["ended_seconds"] = jnum(a.ended_seconds);
+      history.array.push_back(std::move(attempt));
+    }
+    shard.object["history"] = std::move(history);
+    shards.array.push_back(std::move(shard));
+  }
+  root.object["shards"] = std::move(shards);
+
+  JsonValue counters;
+  counters.kind = JsonValue::kObject;
+  for (const auto& [name, value] : result.fleet.merged_metrics.counters) {
+    counters.object[name] = juint(value);
+  }
+  root.object["merged_counters"] = std::move(counters);
+
+  JsonValue histograms;
+  histograms.kind = JsonValue::kObject;
+  for (const auto& [name, h] : result.fleet.merged_metrics.histograms) {
+    JsonValue hist;
+    hist.kind = JsonValue::kObject;
+    hist.object["count"] = juint(h.count);
+    hist.object["sum"] = jnum(h.sum);
+    hist.object["p50"] = jnum(h.percentile(0.50));
+    hist.object["p95"] = jnum(h.percentile(0.95));
+    hist.object["p99"] = jnum(h.percentile(0.99));
+    histograms.object[name] = std::move(hist);
+  }
+  root.object["merged_histograms"] = std::move(histograms);
+
+  JsonValue trace;
+  trace.kind = JsonValue::kObject;
+  trace.object["inputs_merged"] = juint(result.trace_merge.inputs_merged);
+  trace.object["inputs_skipped"] = juint(result.trace_merge.inputs_skipped);
+  trace.object["events"] = juint(result.trace_merge.events);
+  root.object["trace_merge"] = std::move(trace);
+  return util::to_json(root);
 }
 
 std::vector<std::string> default_worker_command(const ShardLaunch& launch,
@@ -104,7 +257,15 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
   util::Timer timer;
   ensure_directory(config.work_dir);
   const std::string job_path = config.work_dir + "/job.bin";
-  save_job(job, job_path);
+  if (config.collect_traces && !job.emit_traces) {
+    // The trace opt-in travels in the job file so every worker attempt picks
+    // it up without changing the worker argv contract.
+    ShardJob traced = job;
+    traced.emit_traces = true;
+    save_job(traced, job_path);
+  } else {
+    save_job(job, job_path);
+  }
 
   const coverage::FaultDictionary expected = coverage::make_dictionary(
       job.net, job.faults, job.engine.detection_threshold, job.engine.detect_only);
@@ -147,6 +308,10 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
     util::SpawnOptions opts;
     opts.log_path = shard_paths(config.work_dir, i).log;
     st.pid = util::spawn_process(argv, opts);
+    ShardAttempt record;
+    record.attempt = st.attempts;
+    record.started_seconds = timer.seconds();
+    st.outcome.history.push_back(std::move(record));
     ++st.attempts;
     st.outcome.attempts = st.attempts;
     st.phase = ShardState::Phase::kRunning;
@@ -157,10 +322,16 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
 
   // One attempt ended (exit observed or watchdog kill): commit, retry, or
   // abandon. Returns false when the shard is out of retries.
-  const auto attempt_ended = [&](size_t i, bool was_hung) -> bool {
+  const auto attempt_ended = [&](size_t i, const util::ProcessStatus* ps, bool was_hung) -> bool {
     ShardState& st = shards[i];
     const ShardPaths paths = shard_paths(config.work_dir, i);
-    if (!was_hung && shard_committed(paths, expected)) {
+    const bool committed = !was_hung && shard_committed(paths, expected);
+    if (!st.outcome.history.empty()) {
+      ShardAttempt& record = st.outcome.history.back();
+      record.ended_seconds = timer.seconds();
+      record.outcome = attempt_outcome_string(ps, was_hung, committed);
+    }
+    if (committed) {
       st.phase = ShardState::Phase::kDone;
       st.outcome.completed = true;
       load_worker_stats(paths.stats, &st.outcome.stats);
@@ -185,6 +356,35 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
 
   const auto heartbeat_timeout = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(config.heartbeat_timeout_seconds));
+
+  // Fleet observability: fold the shard status snapshots on an interval,
+  // republish as fleet_status.json (atomic rename) and keep the campaign
+  // coverage curve the flight report's milestones are computed from. Pure
+  // reads of shard files — supervision decisions never consult the view.
+  const bool need_fleet = config.write_fleet_status || config.write_flight_report;
+  std::vector<size_t> expected_totals;
+  expected_totals.reserve(num_shards);
+  for (const ShardRange& r : plan_shards(job.faults.size(), num_shards)) {
+    expected_totals.push_back(r.size());
+  }
+  std::vector<CoverageSample> campaign_curve;
+  const std::string fleet_status_path = config.work_dir + "/fleet_status.json";
+  const auto status_interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config.status_interval_seconds));
+  Clock::time_point last_status_refresh{};  // epoch: first refresh fires immediately
+  const auto refresh_fleet = [&]() -> FleetView {
+    FleetView view = build_fleet_view(config.work_dir, num_shards, &expected_totals);
+    campaign_curve.push_back({timer.seconds(), view.faults_done, view.detected});
+    if (config.write_fleet_status) {
+      try {
+        util::atomic_write_file(fleet_status_path, fleet_status_json(view) + "\n");
+      } catch (const std::exception& e) {
+        SNNTEST_LOG_WARN("orchestrator: cannot write %s: %s", fleet_status_path.c_str(), e.what());
+      }
+    }
+    return view;
+  };
+
   bool abandoned = false;
   while (incomplete > 0 && !abandoned) {
     for (size_t i = 0; i < num_shards && !abandoned; ++i) {
@@ -200,7 +400,7 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
           const util::ProcessStatus ps = util::poll_process(st.pid);
           if (!ps.running) {
             st.pid = -1;
-            abandoned = !attempt_ended(i, /*was_hung=*/false);
+            abandoned = !attempt_ended(i, &ps, /*was_hung=*/false);
             if (st.phase == ShardState::Phase::kDone) --incomplete;
             break;
           }
@@ -213,7 +413,7 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
             util::kill_process(st.pid);
             util::wait_process(st.pid);  // reap; also bars a post-kill commit race
             st.pid = -1;
-            abandoned = !attempt_ended(i, /*was_hung=*/true);
+            abandoned = !attempt_ended(i, nullptr, /*was_hung=*/true);
           }
           break;
         }
@@ -221,6 +421,10 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
         case ShardState::Phase::kAbandoned:
           break;
       }
+    }
+    if (need_fleet && Clock::now() - last_status_refresh >= status_interval) {
+      last_status_refresh = Clock::now();
+      refresh_fleet();
     }
     if (incomplete > 0 && !abandoned) {
       std::this_thread::sleep_for(std::chrono::duration<double>(config.poll_interval_seconds));
@@ -235,6 +439,10 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
         util::wait_process(st.pid);
         st.pid = -1;
         ++st.outcome.failed_attempts;
+        if (!st.outcome.history.empty()) {
+          st.outcome.history.back().ended_seconds = timer.seconds();
+          st.outcome.history.back().outcome = "killed (campaign abandoned)";
+        }
       }
     }
   }
@@ -263,7 +471,36 @@ OrchestratorResult run_sharded_campaign(const ShardJob& job, const OrchestratorC
     }
   }
 
+  // Final observability pass — runs even for abandoned campaigns, so a
+  // failed run still leaves a fleet status, flight report and merged trace
+  // to debug from.
+  result.fleet = refresh_fleet();
+  result.campaign_curve = std::move(campaign_curve);
+
+  if (config.collect_traces) {
+    OBS_SPAN("campaign/orchestrate_trace_merge");
+    const std::string supervisor_trace = config.work_dir + "/supervisor.trace.json";
+    obs::write_chrome_trace(supervisor_trace);
+    std::vector<obs::TraceMergeInput> inputs;
+    inputs.push_back({supervisor_trace, "supervisor"});
+    for (size_t i = 0; i < num_shards; ++i) {
+      inputs.push_back({shard_paths(config.work_dir, i).trace, "shard " + std::to_string(i)});
+    }
+    obs::write_merged_chrome_trace(config.work_dir + "/trace_merged.json", inputs,
+                                   &result.trace_merge);
+  }
+
   result.elapsed_seconds = timer.seconds();
+
+  if (config.write_flight_report) {
+    const std::string report_path = config.work_dir + "/flight_report.json";
+    try {
+      util::atomic_write_file(report_path, flight_report_json(result) + "\n");
+    } catch (const std::exception& e) {
+      SNNTEST_LOG_WARN("orchestrator: cannot write %s: %s", report_path.c_str(), e.what());
+    }
+  }
+
   obs::set_report_field("orchestrator.num_shards", static_cast<uint64_t>(num_shards));
   obs::set_report_field("orchestrator.total_attempts",
                         static_cast<uint64_t>(result.total_attempts()));

@@ -38,8 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "campaign/fleet_view.hpp"
 #include "campaign/shard.hpp"
 #include "coverage/fault_dictionary.hpp"
+#include "obs/trace_merge.hpp"
 
 namespace snntest::campaign {
 
@@ -77,6 +79,35 @@ struct OrchestratorConfig {
   /// wiring re-execs the current binary (default_worker_command); tests
   /// inject chaos flags for attempt 0 here.
   std::function<std::vector<std::string>(const ShardLaunch&)> worker_command;
+
+  // --- Fleet observability (DESIGN.md §16). All of it reads shard files and
+  // writes sidecar JSON; none of it feeds back into the campaign, so these
+  // switches cannot change the merged dictionary bytes.
+
+  /// Rewrite <work_dir>/fleet_status.json (atomic rename) on the status
+  /// interval while supervising, and once more at the end.
+  bool write_fleet_status = true;
+  /// Write <work_dir>/flight_report.json when the campaign ends (either
+  /// way): per-shard attempt history, merged metrics with percentiles,
+  /// coverage milestones, trace-merge stats.
+  bool write_flight_report = true;
+  /// Minimum seconds between fleet-status refreshes in the poll loop.
+  double status_interval_seconds = 0.5;
+  /// Set emit_traces in the job file (workers dump shard_<i>.trace.json on
+  /// commit) and merge worker traces + the supervisor's own trace into
+  /// <work_dir>/trace_merged.json, pid-mapped per process, loadable in
+  /// chrome://tracing or Perfetto.
+  bool collect_traces = false;
+};
+
+/// One worker launch as the supervisor saw it end.
+struct ShardAttempt {
+  size_t attempt = 0;  ///< 0-based launch number
+  /// "committed", "crashed (signal N)", "exit N (no commit)",
+  /// "hung (killed)" or "killed (campaign abandoned)".
+  std::string outcome;
+  double started_seconds = 0.0;  ///< orchestrator clock, campaign-relative
+  double ended_seconds = 0.0;
 };
 
 /// Per-shard supervision summary.
@@ -88,6 +119,7 @@ struct ShardOutcome {
   bool completed = false;
   bool reused_existing = false;  ///< final file predated this run
   ShardWorkerStats stats;        ///< from the committing attempt (if any)
+  std::vector<ShardAttempt> history;  ///< every launch, in order
 };
 
 struct OrchestratorResult {
@@ -98,9 +130,23 @@ struct OrchestratorResult {
   coverage::FaultDictionary::MergeStats merge_stats;
   std::vector<ShardOutcome> shards;
   double elapsed_seconds = 0.0;
+  /// Final fold of the shard status snapshots (observability; empty-ish when
+  /// workers never wrote status files).
+  FleetView fleet;
+  /// Campaign-wide coverage-vs-time curve sampled by the supervisor on the
+  /// status interval (orchestrator clock).
+  std::vector<CoverageSample> campaign_curve;
+  /// Trace-merge outcome when config.collect_traces was set.
+  obs::TraceMergeStats trace_merge;
 
   size_t total_attempts() const;
 };
+
+/// Render the end-of-campaign flight report, schema "snntest-flight-v1":
+/// completion, per-shard attempt history with kill reasons, merged metrics
+/// (counters + histograms with p50/p95/p99), time-to-X%-coverage milestones
+/// from the campaign curve, and merge/trace stats.
+std::string flight_report_json(const OrchestratorResult& result);
 
 /// The standard worker argv: `exe run-shard --job <job> --work-dir <dir>
 /// --shard <i> --num-shards <n> --flush-every <k>`. Tools whose `run-shard`

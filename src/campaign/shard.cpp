@@ -12,7 +12,9 @@ namespace snntest::campaign {
 namespace {
 
 constexpr uint32_t kJobMagic = 0x424A4E53;  // "SNJB"
-constexpr uint32_t kJobVersion = 1;
+// v2 appends the emit_traces flag; v1 files still load (emit_traces=false).
+constexpr uint32_t kJobVersion = 2;
+constexpr uint32_t kJobVersionMin = 1;
 
 void write_fault(std::ostream& os, const fault::FaultDescriptor& f) {
   util::write_u32(os, static_cast<uint32_t>(f.kind));
@@ -68,6 +70,8 @@ ShardPaths shard_paths(const std::string& work_dir, size_t shard_index) {
   p.heartbeat = stem + ".hb";
   p.stats = stem + ".stats";
   p.log = stem + ".log";
+  p.status = stem + ".status.snst";
+  p.trace = stem + ".trace.json";
   return p;
 }
 
@@ -97,13 +101,20 @@ void save_job(const ShardJob& job, const std::string& path) {
   util::write_u32(os, job.engine.convergence_pruning ? 1u : 0u);
   util::write_u32(os, job.engine.detect_only ? 1u : 0u);
   util::write_u32(os, static_cast<uint32_t>(job.engine.kernel_mode));
+  util::write_u32(os, job.emit_traces ? 1u : 0u);  // v2
   util::atomic_write_file(path, os.str());
 }
 
 ShardJob load_job(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_job: cannot open " + path);
-  util::check_magic(is, kJobMagic, kJobVersion);
+  const uint32_t magic = util::read_u32(is);
+  if (magic != kJobMagic) throw std::runtime_error("load_job: bad magic in " + path);
+  const uint32_t version = util::read_u32(is);
+  if (version < kJobVersionMin || version > kJobVersion) {
+    throw std::runtime_error("load_job: unsupported job version " + std::to_string(version) +
+                             " in " + path);
+  }
 
   ShardJob job;
   job.net = snn::load_network(is);
@@ -129,6 +140,7 @@ ShardJob load_job(const std::string& path) {
   job.engine.convergence_pruning = util::read_u32(is) != 0;
   job.engine.detect_only = util::read_u32(is) != 0;
   job.engine.kernel_mode = static_cast<snn::KernelMode>(util::read_u32(is));
+  if (version >= 2) job.emit_traces = util::read_u32(is) != 0;
   return job;
 }
 

@@ -14,7 +14,9 @@
 //    shard_<i>.snfd (committed result, written only by atomic rename),
 //    shard_<i>.partial.snfd (crash-recovery snapshot, also atomic),
 //    shard_<i>.hb (heartbeat counter), shard_<i>.stats (worker stats),
-//    shard_<i>.log (worker stdout/stderr).
+//    shard_<i>.log (worker stdout/stderr), shard_<i>.status.snst (live
+//    status snapshot, campaign/status.hpp), shard_<i>.trace.json (the
+//    worker's Chrome trace dump when the job enables traces).
 //  * ShardJob — the campaign inputs serialized once by the orchestrator
 //    (job.bin) and read by every worker attempt: network, stimulus, fault
 //    universe, engine settings. Workers derive their own shard range from
@@ -52,6 +54,8 @@ struct ShardPaths {
   std::string heartbeat;  ///< u64 counter, rewritten while the worker is alive
   std::string stats;      ///< key-value worker stats (attempt that committed)
   std::string log;        ///< worker stdout+stderr
+  std::string status;     ///< SNST live status snapshot (atomic rename only)
+  std::string trace;      ///< worker Chrome trace (written when emit_traces)
 };
 
 ShardPaths shard_paths(const std::string& work_dir, size_t shard_index);
@@ -66,6 +70,12 @@ struct ShardJob {
                         // threshold, detect_only, kernel_mode, grain are)
   std::string stimulus_name;
   bool store_stimulus_data = true;
+  /// Observability opt-in: the worker enables telemetry and dumps its Chrome
+  /// trace ring to ShardPaths::trace on commit. Rides in the job file (SNJB
+  /// v2) rather than worker argv so the worker command stays stable.
+  /// Telemetry never feeds back into the computation (§11), so flipping this
+  /// cannot change the dictionary bytes.
+  bool emit_traces = false;
 };
 
 /// Serialize / load a job file. save_job commits via atomic rename so a

@@ -1,0 +1,170 @@
+#include "campaign/status.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/serialize.hpp"
+#include "util/subprocess.hpp"
+
+namespace snntest::campaign {
+
+namespace {
+
+void write_snapshot(std::ostream& os, const obs::Registry::Snapshot& snap) {
+  util::write_u64(os, snap.counters.size());
+  for (const auto& [name, value] : snap.counters) {
+    util::write_string(os, name);
+    util::write_u64(os, value);
+  }
+  util::write_u64(os, snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
+    util::write_string(os, name);
+    util::write_f64(os, value);
+  }
+  util::write_u64(os, snap.histograms.size());
+  for (const auto& [name, h] : snap.histograms) {
+    util::write_string(os, name);
+    util::write_u64(os, h.bounds.size());
+    for (double b : h.bounds) util::write_f64(os, b);
+    util::write_u64(os, h.buckets.size());
+    for (uint64_t b : h.buckets) util::write_u64(os, b);
+    util::write_u64(os, h.count);
+    util::write_f64(os, h.sum);
+  }
+}
+
+obs::Registry::Snapshot read_snapshot(std::istream& is) {
+  obs::Registry::Snapshot snap;
+  const uint64_t num_counters = util::read_u64(is);
+  for (uint64_t i = 0; i < num_counters; ++i) {
+    std::string name = util::read_string(is);
+    snap.counters[std::move(name)] = util::read_u64(is);
+  }
+  const uint64_t num_gauges = util::read_u64(is);
+  for (uint64_t i = 0; i < num_gauges; ++i) {
+    std::string name = util::read_string(is);
+    snap.gauges[std::move(name)] = util::read_f64(is);
+  }
+  const uint64_t num_histograms = util::read_u64(is);
+  for (uint64_t i = 0; i < num_histograms; ++i) {
+    std::string name = util::read_string(is);
+    obs::Registry::HistogramSnapshot h;
+    const uint64_t num_bounds = util::read_u64(is);
+    h.bounds.reserve(num_bounds);
+    for (uint64_t b = 0; b < num_bounds; ++b) h.bounds.push_back(util::read_f64(is));
+    const uint64_t num_buckets = util::read_u64(is);
+    h.buckets.reserve(num_buckets);
+    for (uint64_t b = 0; b < num_buckets; ++b) h.buckets.push_back(util::read_u64(is));
+    h.count = util::read_u64(is);
+    h.sum = util::read_f64(is);
+    snap.histograms[std::move(name)] = std::move(h);
+  }
+  return snap;
+}
+
+std::string serialize_payload(const ShardStatus& status) {
+  std::ostringstream os(std::ios::binary);
+  util::write_u64(os, status.shard_index);
+  util::write_u64(os, status.num_shards);
+  util::write_u64(os, status.heartbeat);
+  util::write_u64(os, status.faults_total);
+  util::write_u64(os, status.faults_done);
+  util::write_u64(os, status.detected);
+  util::write_u64(os, status.pairs_reused);
+  util::write_u64(os, status.pairs_recorded);
+  util::write_u32(os, status.completed ? 1u : 0u);
+  util::write_f64(os, status.elapsed_seconds);
+  util::write_u64(os, status.samples.size());
+  for (const CoverageSample& s : status.samples) {
+    util::write_f64(os, s.t_seconds);
+    util::write_u64(os, s.faults_done);
+    util::write_u64(os, s.detected);
+  }
+  write_snapshot(os, status.metrics);
+  return os.str();
+}
+
+ShardStatus parse_payload(const std::string& payload) {
+  std::istringstream is(payload, std::ios::binary);
+  ShardStatus status;
+  status.shard_index = util::read_u64(is);
+  status.num_shards = util::read_u64(is);
+  status.heartbeat = util::read_u64(is);
+  status.faults_total = util::read_u64(is);
+  status.faults_done = util::read_u64(is);
+  status.detected = util::read_u64(is);
+  status.pairs_reused = util::read_u64(is);
+  status.pairs_recorded = util::read_u64(is);
+  status.completed = util::read_u32(is) != 0;
+  status.elapsed_seconds = util::read_f64(is);
+  const uint64_t num_samples = util::read_u64(is);
+  status.samples.reserve(num_samples);
+  for (uint64_t i = 0; i < num_samples; ++i) {
+    CoverageSample s;
+    s.t_seconds = util::read_f64(is);
+    s.faults_done = util::read_u64(is);
+    s.detected = util::read_u64(is);
+    status.samples.push_back(s);
+  }
+  status.metrics = read_snapshot(is);
+  return status;
+}
+
+}  // namespace
+
+void decimate_samples(std::vector<CoverageSample>& samples, size_t max_samples) {
+  if (max_samples < 2 || samples.size() <= max_samples) return;
+  std::vector<CoverageSample> kept;
+  kept.reserve(samples.size() / 2 + 1);
+  for (size_t i = 0; i < samples.size(); i += 2) kept.push_back(samples[i]);
+  if (kept.back().t_seconds != samples.back().t_seconds ||
+      kept.back().faults_done != samples.back().faults_done) {
+    kept.push_back(samples.back());
+  }
+  samples = std::move(kept);
+}
+
+std::string serialize_shard_status(const ShardStatus& status) {
+  const std::string payload = serialize_payload(status);
+  std::ostringstream os(std::ios::binary);
+  util::write_magic(os, kStatusMagic, kStatusVersion);
+  util::write_u64(os, payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  util::write_u32(os, util::crc32(payload.data(), payload.size()));
+  return os.str();
+}
+
+void save_shard_status_atomic(const ShardStatus& status, const std::string& path) {
+  util::atomic_write_file(path, serialize_shard_status(status));
+}
+
+std::optional<ShardStatus> load_shard_status(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf(std::ios::binary);
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  // Header: magic u32 + version u32 + payload length u64, then payload + CRC.
+  constexpr size_t kHeaderBytes = 4 + 4 + 8;
+  if (bytes.size() < kHeaderBytes + 4) return std::nullopt;
+  try {
+    std::istringstream is(bytes, std::ios::binary);
+    util::check_magic(is, kStatusMagic, kStatusVersion);
+    const uint64_t payload_len = util::read_u64(is);
+    if (bytes.size() != kHeaderBytes + payload_len + 4) return std::nullopt;
+    const std::string payload = bytes.substr(kHeaderBytes, payload_len);
+    std::istringstream crc_is(bytes.substr(kHeaderBytes + payload_len, 4), std::ios::binary);
+    if (util::read_u32(crc_is) != util::crc32(payload.data(), payload.size())) {
+      return std::nullopt;
+    }
+    return parse_payload(payload);
+  } catch (const std::exception&) {
+    // Torn, truncated or stale-version snapshot: the reader carries on with
+    // what the other shards report.
+    return std::nullopt;
+  }
+}
+
+}  // namespace snntest::campaign

@@ -1,0 +1,82 @@
+// SNST shard status snapshots: the worker-side half of fleet observability
+// (DESIGN.md §16).
+//
+// PR 8's heartbeat file told the supervisor exactly one thing: "the worker
+// made progress since you last looked". The status snapshot upgrades that
+// channel into a full progress report the worker rewrites atomically on its
+// partial-flush cadence — heartbeat counter, faults done/total, detected
+// count, the coverage-vs-time curve of this attempt, and a snapshot of the
+// worker's live obs metrics registry. The supervisor (and `coverage_tool
+// status` from any other process) folds the per-shard files into a fleet
+// view (campaign/fleet_view.hpp).
+//
+// The protocol inherits the shard-file discipline:
+//  * writes commit only via util::atomic_write_file — a reader sees the
+//    previous complete snapshot or the new one, never a torn write;
+//  * reads fail soft — a missing, truncated, or corrupt file (CRC-guarded
+//    like the SNFD records) loads as nullopt and the reader counts it; a
+//    status file can never wedge the supervisor;
+//  * telemetry never feeds back — snapshots describe the computation, no
+//    engine decision reads one (the §11 determinism contract, enforced by
+//    the observability-on/off byte-identity tests in test_orchestrator).
+//
+// On-disk (little-endian): magic 'SNST' + version, u64 payload length,
+// payload, CRC-32 of the payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace snntest::campaign {
+
+inline constexpr uint32_t kStatusMagic = 0x54534E53;  // "SNST"
+inline constexpr uint32_t kStatusVersion = 1;
+
+/// One point of a coverage-vs-time curve: after `t_seconds` of the writer's
+/// run, `faults_done` pairs were simulated or reused, `detected` of them
+/// detected.
+struct CoverageSample {
+  double t_seconds = 0.0;
+  uint64_t faults_done = 0;
+  uint64_t detected = 0;
+};
+
+/// Everything one worker attempt knows about its own progress.
+struct ShardStatus {
+  uint64_t shard_index = 0;
+  uint64_t num_shards = 1;
+  uint64_t heartbeat = 0;       ///< the shard_<i>.hb counter at write time
+  uint64_t faults_total = 0;    ///< shard range size
+  uint64_t faults_done = 0;     ///< resumed + freshly simulated pairs
+  uint64_t detected = 0;        ///< detected among faults_done
+  uint64_t pairs_reused = 0;    ///< served from the partial snapshot
+  uint64_t pairs_recorded = 0;  ///< simulated fresh by this attempt
+  bool completed = false;       ///< final dictionary committed
+  double elapsed_seconds = 0.0;            ///< since this attempt started
+  std::vector<CoverageSample> samples;     ///< this attempt's coverage curve
+  obs::Registry::Snapshot metrics;         ///< worker's live obs registry
+};
+
+/// Keep a coverage curve bounded: once `samples` exceeds `max_samples`,
+/// drop every other point (the last point always survives). Amortized O(1)
+/// per append, so a million-fault shard cannot grow its status file without
+/// bound.
+void decimate_samples(std::vector<CoverageSample>& samples, size_t max_samples = 512);
+
+/// Serialize exactly the bytes save_shard_status_atomic commits.
+std::string serialize_shard_status(const ShardStatus& status);
+
+/// Commit a snapshot via atomic rename (util::atomic_write_file). Throws
+/// std::runtime_error when the write fails.
+void save_shard_status_atomic(const ShardStatus& status, const std::string& path);
+
+/// nullopt when the file is missing, short, version-mismatched, CRC-damaged
+/// or otherwise unparsable — every failure is soft; callers count and move
+/// on.
+std::optional<ShardStatus> load_shard_status(const std::string& path);
+
+}  // namespace snntest::campaign

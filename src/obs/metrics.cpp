@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 namespace snntest::obs {
 namespace detail {
@@ -38,6 +39,35 @@ void Counter::reset_values() {
 }
 
 // --- Histogram -------------------------------------------------------------
+
+double histogram_percentile(const std::vector<double>& bounds,
+                            const std::vector<uint64_t>& buckets, double q) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  if (bounds.empty() || buckets.size() != bounds.size() + 1) return kNan;
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return kNan;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The rank of the q-th observation (1-based): ceil semantics via the
+  // `cumulative >= target` walk below, matching the usual nearest-rank
+  // definition before the in-bucket interpolation refines it.
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[b]);
+    if (next >= target) {
+      if (b == bounds.size()) return bounds.back();  // overflow: no upper edge
+      const double upper = bounds[b];
+      const double lower = b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
+      const double fraction = (target - cumulative) / static_cast<double>(buckets[b]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());

@@ -79,6 +79,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Interpolated quantile estimate from fixed-bucket counts: walks the
+/// cumulative counts to the bucket holding the q-th observation and
+/// interpolates linearly inside it (bucket 0 interpolates from 0, or from
+/// bounds[0] itself when the first edge is negative; the overflow bucket
+/// has no upper edge and clamps to bounds.back()). `buckets` must have
+/// bounds.size() + 1 entries. Returns NaN on an empty histogram or a
+/// malformed bounds/buckets pair; q is clamped to [0, 1].
+double histogram_percentile(const std::vector<double>& bounds,
+                            const std::vector<uint64_t>& buckets, double q);
+
 /// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
 /// first bounds.size() buckets, plus one overflow bucket. Bucket b counts
 /// observations v with bounds[b-1] < v <= bounds[b].
@@ -92,6 +102,8 @@ class Histogram {
   /// Aggregated per-bucket counts, bounds().size() + 1 entries.
   std::vector<uint64_t> bucket_counts() const;
   const std::vector<double>& bounds() const { return bounds_; }
+  /// histogram_percentile over the current aggregated bucket counts.
+  double percentile(double q) const { return histogram_percentile(bounds_, bucket_counts(), q); }
   void reset_values();
 
   static std::vector<double> linear_bounds(double lo, double hi, size_t n);
@@ -126,6 +138,7 @@ class Registry {
     std::vector<uint64_t> buckets;
     uint64_t count = 0;
     double sum = 0.0;
+    double percentile(double q) const { return histogram_percentile(bounds, buckets, q); }
   };
   struct Snapshot {
     std::map<std::string, uint64_t> counters;

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -81,8 +82,13 @@ std::string metrics_report_json() {
   {
     ReportState& s = state();
     std::lock_guard<std::mutex> lock(s.mutex);
+    // Environment provenance every report carries: filled at render time so
+    // it can never be forgotten, but an explicit set_report_field wins.
+    std::map<std::string, std::string> fields = s.fields;
+    fields.emplace("hardware_threads",
+                   std::to_string(std::thread::hardware_concurrency()));
     bool first = true;
-    for (const auto& [key, rendered] : s.fields) {
+    for (const auto& [key, rendered] : fields) {
       if (!first) out += ",";
       first = false;
       out += "\"" + util::json_escape(key) + "\":" + rendered;

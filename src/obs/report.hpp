@@ -25,7 +25,12 @@ void set_report_field(const std::string& key, double value);
 void set_report_field(const std::string& key, uint64_t value);
 void set_report_field(const std::string& key, bool value);  // "true"/"false"
 
-/// Render the report from the current registry snapshot.
+/// Render the report from the current registry snapshot. Environment
+/// provenance fields are filled in at render time when not explicitly set:
+/// "hardware_threads" (std::thread::hardware_concurrency). "simd_backend"
+/// is set by the tensor SIMD dispatch when it resolves, and
+/// "campaign_lane_width_effective" by the campaign engine — together the
+/// report records the build/runtime environment a run actually used.
 std::string metrics_report_json();
 
 /// Write metrics_report_json() to `path`; false (with a warning) on error.

@@ -1,0 +1,148 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace snntest::obs {
+namespace {
+
+struct ParsedInput {
+  size_t pid = 0;
+  std::string label;
+  std::vector<util::JsonValue> events;
+  int64_t epoch_unix_us = -1;  // -1: input carries no epoch, leave ts as-is
+};
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+std::string merge_chrome_traces(const std::vector<TraceMergeInput>& inputs,
+                                TraceMergeStats* stats) {
+  TraceMergeStats local;
+  std::vector<ParsedInput> parsed;
+  parsed.reserve(inputs.size());
+  int64_t min_epoch = -1;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    std::string text;
+    if (!read_file(inputs[i].path, text)) {
+      SNNTEST_LOG_INFO("trace merge: skipping %s (unreadable)", inputs[i].path.c_str());
+      ++local.inputs_skipped;
+      continue;
+    }
+    std::string error;
+    auto root = util::try_parse_json(text, &error);
+    const util::JsonValue* events =
+        root && root->kind == util::JsonValue::kObject ? root->find("traceEvents") : nullptr;
+    if (events == nullptr || events->kind != util::JsonValue::kArray) {
+      SNNTEST_LOG_WARN("trace merge: skipping %s (not a Chrome trace: %s)",
+                       inputs[i].path.c_str(), error.empty() ? "no traceEvents" : error.c_str());
+      ++local.inputs_skipped;
+      continue;
+    }
+    ParsedInput pi;
+    pi.pid = i + 1;
+    pi.label = inputs[i].label;
+    pi.events = events->array;
+    if (const util::JsonValue* other = root->find("otherData")) {
+      if (const util::JsonValue* epoch = other->find("trace_epoch_unix_us")) {
+        if (epoch->kind == util::JsonValue::kNumber) {
+          pi.epoch_unix_us = static_cast<int64_t>(epoch->number);
+          if (min_epoch < 0 || pi.epoch_unix_us < min_epoch) min_epoch = pi.epoch_unix_us;
+        }
+      }
+    }
+    ++local.inputs_merged;
+    parsed.push_back(std::move(pi));
+  }
+
+  // Rewrite every payload event: remap pid, shift ts onto the common
+  // timeline (offset from the earliest epoch present). Source-side
+  // process_name metadata is dropped in favor of the caller's labels.
+  struct Row {
+    double ts = 0.0;
+    std::string json;
+  };
+  std::vector<Row> rows;
+  std::string metadata;
+  for (ParsedInput& pi : parsed) {
+    const double shift = pi.epoch_unix_us >= 0 && min_epoch >= 0
+                             ? static_cast<double>(pi.epoch_unix_us - min_epoch)
+                             : 0.0;
+    util::JsonValue name_event;
+    name_event.kind = util::JsonValue::kObject;
+    name_event.object["ph"] = {util::JsonValue::kString, false, 0.0, "M", {}, {}};
+    name_event.object["pid"] = {util::JsonValue::kNumber, false, static_cast<double>(pi.pid)};
+    name_event.object["tid"] = {util::JsonValue::kNumber, false, 0.0};
+    name_event.object["name"] = {util::JsonValue::kString, false, 0.0, "process_name", {}, {}};
+    util::JsonValue args;
+    args.kind = util::JsonValue::kObject;
+    args.object["name"] = {util::JsonValue::kString, false, 0.0, pi.label, {}, {}};
+    name_event.object["args"] = std::move(args);
+    if (!metadata.empty()) metadata += ',';
+    metadata += util::to_json(name_event);
+
+    for (util::JsonValue& event : pi.events) {
+      if (event.kind != util::JsonValue::kObject) continue;
+      const util::JsonValue* ph = event.find("ph");
+      if (ph != nullptr && ph->str == "M" && event.find("name") != nullptr &&
+          event.at("name").str == "process_name") {
+        continue;
+      }
+      event.object["pid"] = {util::JsonValue::kNumber, false, static_cast<double>(pi.pid)};
+      Row row;
+      auto ts = event.object.find("ts");
+      if (ts != event.object.end() && ts->second.kind == util::JsonValue::kNumber) {
+        ts->second.number += shift;
+        row.ts = ts->second.number;
+      }
+      row.json = util::to_json(event);
+      rows.push_back(std::move(row));
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.ts < b.ts; });
+  local.events = rows.size();
+
+  std::string out = "{\"traceEvents\":[";
+  out += metadata;
+  for (const Row& row : rows) {
+    if (!out.empty() && out.back() != '[') out += ',';
+    out += row.json;
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"inputs_merged\":";
+  out += std::to_string(local.inputs_merged);
+  out += ",\"inputs_skipped\":";
+  out += std::to_string(local.inputs_skipped);
+  out += ",\"events\":";
+  out += std::to_string(local.events);
+  out += "}}";
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+bool write_merged_chrome_trace(const std::string& path,
+                               const std::vector<TraceMergeInput>& inputs,
+                               TraceMergeStats* stats) {
+  std::ofstream out(path);
+  if (!out) {
+    SNNTEST_LOG_WARN("cannot write merged Chrome trace to %s", path.c_str());
+    return false;
+  }
+  out << merge_chrome_traces(inputs, stats) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace snntest::obs

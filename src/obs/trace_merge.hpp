@@ -1,0 +1,51 @@
+// Cross-process Chrome-trace merging (DESIGN.md §16).
+//
+// Every process in a sharded campaign exports its own Chrome trace
+// (obs/trace.hpp): the supervisor and each worker write independent files
+// whose ts values count from their own process epoch. merge_chrome_traces
+// folds those files into one timeline loadable in chrome://tracing or
+// Perfetto:
+//
+//  * pid mapping — input i becomes pid i+1 in the merged trace, with a
+//    process_name metadata event carrying the caller's label ("supervisor",
+//    "shard 3"), so every process gets its own track group;
+//  * time alignment — each input's otherData.trace_epoch_unix_us anchors
+//    its steady-clock ts values to wall time; events are shifted by the
+//    input's epoch offset from the earliest epoch present, putting all
+//    processes on one common timeline. Inputs without an epoch (foreign or
+//    pre-§16 traces) keep their ts values unshifted;
+//  * fail-soft inputs — a missing, truncated, or invalid file (a worker
+//    SIGKILLed before its exit dump) skips that input and counts it in
+//    TraceMergeStats; the merge never throws on bad input data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace snntest::obs {
+
+struct TraceMergeInput {
+  std::string path;   ///< Chrome trace-event JSON file
+  std::string label;  ///< process_name shown in the merged timeline
+};
+
+struct TraceMergeStats {
+  size_t inputs_merged = 0;
+  size_t inputs_skipped = 0;  ///< missing / unreadable / invalid JSON inputs
+  size_t events = 0;          ///< payload events in the merged trace
+};
+
+/// Merge the input traces into one Chrome trace-event JSON document
+/// (events sorted by aligned ts). Always returns a valid document, even
+/// when every input is skipped.
+std::string merge_chrome_traces(const std::vector<TraceMergeInput>& inputs,
+                                TraceMergeStats* stats = nullptr);
+
+/// merge_chrome_traces written to `path`; false (with a warning) on I/O
+/// error.
+bool write_merged_chrome_trace(const std::string& path,
+                               const std::vector<TraceMergeInput>& inputs,
+                               TraceMergeStats* stats = nullptr);
+
+}  // namespace snntest::obs

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/report.hpp"
 #include "tensor/simd_tables.hpp"
 #include "util/logging.hpp"
 
@@ -85,6 +86,14 @@ Dispatch& dispatch() {
   // Magic static: the SNNTEST_SIMD override is resolved exactly once, on the
   // first kernel call (or backend query), before any threads race on it.
   static Dispatch d(startup_backend());
+  // Environment provenance: the run report records the backend the dispatch
+  // actually selected, even for runs that never reach a campaign.
+  static const bool reported = [] {
+    obs::set_report_field("simd_backend",
+                          std::string(backend_name(d.backend.load(std::memory_order_relaxed))));
+    return true;
+  }();
+  (void)reported;
   return d;
 }
 
@@ -131,6 +140,7 @@ bool force_backend(Backend backend) {
   Dispatch& d = dispatch();
   d.table.store(table_for(backend), std::memory_order_relaxed);
   d.backend.store(backend, std::memory_order_relaxed);
+  obs::set_report_field("simd_backend", std::string(backend_name(backend)));
   return true;
 }
 

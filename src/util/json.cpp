@@ -1,6 +1,9 @@
 #include "util/json.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <stdexcept>
 
 namespace snntest::util {
 
@@ -26,6 +29,269 @@ std::string json_escape(const std::string& s) {
         }
     }
   }
+  return out;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  auto it = object.find(key);
+  if (it == object.end()) throw std::runtime_error("missing key: " + key);
+  return it->second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error(std::string(what) + " at offset " + std::to_string(pos_));
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) fail("unexpected character");
+    ++pos_;
+  }
+  bool consume(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"':
+        v.kind = JsonValue::kString;
+        v.str = string();
+        return v;
+      case 't':
+        if (!consume("true")) fail("bad literal");
+        v.kind = JsonValue::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume("false")) fail("bad literal");
+        v.kind = JsonValue::kBool;
+        return v;
+      case 'n':
+        if (!consume("null")) fail("bad literal");
+        return v;
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control char in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u digit");
+          }
+          // Non-ASCII flattens to '?': the emitters in this tree only
+          // produce ASCII, so presence is all consumers ever check.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    JsonValue v;
+    v.kind = JsonValue::kNumber;
+    try {
+      v.number = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      fail("bad number");
+    }
+    return v;
+  }
+};
+
+void append_json(const JsonValue& v, std::string& out) {
+  switch (v.kind) {
+    case JsonValue::kNull:
+      out += "null";
+      break;
+    case JsonValue::kBool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::kNumber: {
+      if (!std::isfinite(v.number)) {
+        out += "null";
+        break;
+      }
+      char buf[40];
+      // Integral values within int64 range render exactly (microsecond
+      // timestamps must survive a parse/serialize round trip unchanged).
+      if (v.number == std::floor(v.number) && std::fabs(v.number) < 9.2e18) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v.number));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      }
+      out += buf;
+      break;
+    }
+    case JsonValue::kString:
+      out += '"';
+      out += json_escape(v.str);
+      out += '"';
+      break;
+    case JsonValue::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.array) {
+        if (!first) out += ',';
+        first = false;
+        append_json(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.object) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        append_json(value, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
+std::optional<JsonValue> try_parse_json(const std::string& text, std::string* error) {
+  try {
+    return JsonParser(text).parse();
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+std::string to_json(const JsonValue& v) {
+  std::string out;
+  append_json(v, out);
   return out;
 }
 

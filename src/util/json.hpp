@@ -1,11 +1,17 @@
-// Shared JSON string escaping.
+// Shared JSON primitives: string escaping and a minimal strict parser.
 //
 // One escaper for every JSON emitter in the tree (bench `--json` reports,
 // the obs run-report writer, the Chrome-trace exporter) so a crafted model
-// name or path can never produce invalid JSON in any of them.
+// name or path can never produce invalid JSON in any of them — and one
+// parser for every consumer (trace merging, the test suites' report
+// validation), so the documents the tree emits are navigated the same way
+// everywhere with no third-party dependency.
 #pragma once
 
+#include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace snntest::util {
 
@@ -13,5 +19,39 @@ namespace snntest::util {
 /// and every control character below 0x20 (\b \f \n \r \t get their short
 /// forms, the rest become \u00XX). Does NOT add the surrounding quotes.
 std::string json_escape(const std::string& s);
+
+/// One parsed JSON value. Exactly one of the payload members is meaningful,
+/// selected by `kind`; the others keep their defaults.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  /// Object member access; throws std::runtime_error when `kind` is not an
+  /// object holding `key`.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+  /// Non-throwing member lookup: nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Strict parse of one complete JSON document (no trailing characters).
+/// Throws std::runtime_error with the byte offset on malformed input.
+/// Numbers are doubles; \u escapes decode ASCII and flatten anything above
+/// 0x7F to '?' (the emitters in this tree never produce non-ASCII).
+JsonValue parse_json(const std::string& text);
+
+/// Fail-soft variant: nullopt on malformed input, with the parse error
+/// copied to *error when given. Used by readers that must survive torn or
+/// foreign files (trace merging).
+std::optional<JsonValue> try_parse_json(const std::string& text, std::string* error = nullptr);
+
+/// Compact serialization (object keys in map order). Integral numbers that
+/// fit an int64 render without a decimal point so microsecond timestamps
+/// round-trip; other numbers use %.17g; non-finite numbers render as null.
+std::string to_json(const JsonValue& v);
 
 }  // namespace snntest::util

@@ -1,16 +1,21 @@
 // Telemetry subsystem tests (DESIGN.md §11): registry aggregation under
-// concurrent increments, histogram bucket semantics, span rings + Chrome
-// trace-event export (parsed back with a minimal JSON parser), run-report
-// JSON, disabled-path overhead, and the determinism contract — the testgen
-// stimulus and campaign results must be byte-identical with telemetry on
-// vs. off.
+// concurrent increments, histogram bucket semantics + percentile estimates,
+// span rings + Chrome trace-event export, cross-process trace merging,
+// run-report JSON with environment provenance, disabled-path overhead, and
+// the determinism contract — the testgen stimulus and campaign results must
+// be byte-identical with telemetry on vs. off. JSON emitted by the
+// subsystem is parsed back with util::parse_json.
 #include <gtest/gtest.h>
 
-#include <cctype>
+#include <atomic>
+#include <cmath>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/engine.hpp"
@@ -19,202 +24,19 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "snn/dense_layer.hpp"
 #include "snn/spike_train.hpp"
+#include "tensor/simd.hpp"
+#include "util/json.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace snntest {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal strict JSON parser — enough to validate and navigate the files the
-// subsystem emits, with no third-party dependency.
-struct JsonValue {
-  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue& at(const std::string& key) const {
-    auto it = object.find(key);
-    if (it == object.end()) throw std::runtime_error("missing key: " + key);
-    return it->second;
-  }
-  bool has(const std::string& key) const { return object.count(key) != 0; }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != s_.size()) throw std::runtime_error("trailing characters");
-    return v;
-  }
-
- private:
-  const std::string& s_;
-  size_t pos_ = 0;
-
-  [[noreturn]] void fail(const char* what) {
-    throw std::runtime_error(std::string(what) + " at offset " + std::to_string(pos_));
-  }
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-  }
-  char peek() {
-    if (pos_ >= s_.size()) fail("unexpected end");
-    return s_[pos_];
-  }
-  void expect(char c) {
-    if (pos_ >= s_.size() || s_[pos_] != c) fail("unexpected character");
-    ++pos_;
-  }
-  bool consume(const char* lit) {
-    const size_t n = std::strlen(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    JsonValue v;
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"':
-        v.kind = JsonValue::kString;
-        v.str = string();
-        return v;
-      case 't':
-        if (!consume("true")) fail("bad literal");
-        v.kind = JsonValue::kBool;
-        v.boolean = true;
-        return v;
-      case 'f':
-        if (!consume("false")) fail("bad literal");
-        v.kind = JsonValue::kBool;
-        return v;
-      case 'n':
-        if (!consume("null")) fail("bad literal");
-        return v;
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.kind = JsonValue::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object[std::move(key)] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.kind = JsonValue::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      char c = s_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) fail("raw control char in string");
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("dangling escape");
-      char e = s_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) fail("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u digit");
-          }
-          if (code < 0x80) out.push_back(static_cast<char>(code));
-          else out.push_back('?');  // non-ASCII: presence is all the tests check
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue number() {
-    const size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    JsonValue v;
-    v.kind = JsonValue::kNumber;
-    try {
-      v.number = std::stod(s_.substr(start, pos_ - start));
-    } catch (...) {
-      fail("bad number");
-    }
-    return v;
-  }
-};
+using util::JsonValue;
+using util::parse_json;
 
 // Restores the telemetry flag and clears metric/trace state around a test.
 struct TelemetryGuard {
@@ -346,7 +168,7 @@ TEST(ObsTrace, NestedSpansExportValidChromeTrace) {
   }
   obs::record_span("test/\"quoted\"\nname", 1, 2);  // exercises escaping
   const std::string json = obs::chrome_trace_json();
-  const JsonValue root = JsonParser(json).parse();
+  const JsonValue root = parse_json(json);
   ASSERT_TRUE(root.has("traceEvents"));
   const auto& events = root.at("traceEvents").array;
   size_t outer = 0, inner = 0, quoted = 0;
@@ -410,7 +232,7 @@ TEST(ObsTrace, SpansFromPoolThreadsSurviveInExport) {
     });
   }
   // The pool is destroyed: rings must outlive their threads.
-  const JsonValue root = JsonParser(obs::chrome_trace_json()).parse();
+  const JsonValue root = parse_json(obs::chrome_trace_json());
   size_t count = 0;
   for (const auto& ev : root.at("traceEvents").array) {
     if (ev.at("ph").str == "X" && ev.at("name").str == "test/pool_span") ++count;
@@ -429,7 +251,7 @@ TEST(ObsReport, MetricsReportIsValidJsonWithSchema) {
   reg.histogram("test/report_hist", {1.0, 2.0}).observe(1.5);
   obs::set_report_field("test_field", std::string("needs \"escaping\"\n"));
   obs::set_report_field("test_number", 3.25);
-  const JsonValue root = JsonParser(obs::metrics_report_json()).parse();
+  const JsonValue root = parse_json(obs::metrics_report_json());
   EXPECT_EQ(root.at("schema").str, "snntest-metrics-v1");
   EXPECT_EQ(root.at("fields").at("test_field").str, "needs \"escaping\"\n");
   EXPECT_DOUBLE_EQ(root.at("fields").at("test_number").number, 3.25);
@@ -459,9 +281,228 @@ TEST(ObsReport, WritesFilesToDisk) {
     size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
     std::fclose(f);
-    EXPECT_NO_THROW(JsonParser(content).parse()) << path;
+    EXPECT_NO_THROW(parse_json(content)) << path;
     std::remove(path.c_str());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Percentile estimation (interpolated from fixed-bucket counts)
+
+TEST(ObsHistogram, PercentilesInterpolateKnownDistribution) {
+  // 1..10 observed once each into unit-wide buckets: the estimator recovers
+  // the exact quantiles of the uniform distribution.
+  obs::Histogram h(obs::Histogram::linear_bounds(1.0, 10.0, 10));
+  for (int v = 1; v <= 10; ++v) h.observe(static_cast<double>(v));
+  EXPECT_NEAR(h.percentile(0.50), 5.0, 1e-12);
+  EXPECT_NEAR(h.percentile(0.95), 9.5, 1e-12);
+  EXPECT_NEAR(h.percentile(0.10), 1.0, 1e-12);
+  EXPECT_NEAR(h.percentile(1.00), 10.0, 1e-12);
+  // q clamps instead of extrapolating.
+  EXPECT_NEAR(h.percentile(-0.5), h.percentile(0.0), 1e-12);
+  EXPECT_NEAR(h.percentile(7.0), 10.0, 1e-12);
+}
+
+TEST(ObsHistogram, PercentileHandlesSkewOverflowAndEmpty) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  EXPECT_TRUE(std::isnan(h.percentile(0.5)));  // empty histogram
+  for (int i = 0; i < 99; ++i) h.observe(0.5);
+  h.observe(100.0);  // one overflow observation
+  // 99% of the mass sits in bucket 0, so the median interpolates inside it.
+  const double p50 = h.percentile(0.50);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+  // The overflow bucket has no upper edge: estimates clamp to bounds.back().
+  EXPECT_NEAR(h.percentile(0.999), 4.0, 1e-12);
+  // Snapshot percentiles agree with the live histogram.
+  obs::Registry::HistogramSnapshot snap;
+  snap.bounds = h.bounds();
+  snap.buckets = h.bucket_counts();
+  snap.count = h.count();
+  EXPECT_NEAR(snap.percentile(0.5), p50, 1e-12);
+}
+
+TEST(ObsHistogram, PercentileRejectsMalformedInput) {
+  EXPECT_TRUE(std::isnan(obs::histogram_percentile({}, {1}, 0.5)));
+  EXPECT_TRUE(std::isnan(obs::histogram_percentile({1.0}, {1}, 0.5)));  // missing overflow
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent registry snapshotting (exercised under the TSan preset too):
+// snapshots taken while writers hammer the metrics must be internally
+// consistent enough to publish — counts monotonic, and exact once writers
+// stop. (A histogram's buckets/count/sum are three separate relaxed adds, so
+// mid-flight bucket-sum == count is deliberately NOT asserted.)
+
+TEST(ObsRegistry, SnapshotWhileWritersRunIsMonotonicAndExactAtQuiescence) {
+  TelemetryGuard guard;
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& c = reg.counter("test/concurrent_snap_counter");
+  obs::Histogram& h =
+      reg.histogram("test/concurrent_snap_hist", obs::Histogram::linear_bounds(0.1, 1.0, 10));
+  constexpr size_t kWriters = 4;
+  constexpr size_t kPerWriter = 25000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      while (!go.load()) {
+      }
+      for (size_t i = 0; i < kPerWriter; ++i) {
+        c.add(1);
+        h.observe(0.35);
+      }
+    });
+  }
+  go.store(true);
+  uint64_t last_count = 0;
+  for (int s = 0; s < 200; ++s) {
+    const auto snap = reg.snapshot();
+    const uint64_t count = snap.counters.at("test/concurrent_snap_counter");
+    EXPECT_GE(count, last_count) << "snapshot went backwards";
+    EXPECT_LE(count, kWriters * kPerWriter);
+    last_count = count;
+  }
+  for (auto& t : writers) t.join();
+  const auto final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.counters.at("test/concurrent_snap_counter"), kWriters * kPerWriter);
+  const auto& hist = final_snap.histograms.at("test/concurrent_snap_hist");
+  EXPECT_EQ(hist.count, kWriters * kPerWriter);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : hist.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kWriters * kPerWriter);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process trace merging
+
+TEST(ObsTraceMerge, MergesPidMapsAndAlignsEpochs) {
+  const std::string dir = ::testing::TempDir();
+  const std::string a_path = dir + "snntest_merge_a.json";
+  const std::string b_path = dir + "snntest_merge_b.json";
+  // Two hand-crafted worker traces whose steady clocks started at different
+  // wall times: epoch alignment must shift B's events +1000us relative to A.
+  std::ofstream(a_path) << R"({"traceEvents":[)"
+                        << R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"
+                        << R"("args":{"name":"stale"}},)"
+                        << R"({"name":"a_span","ph":"X","pid":1,"tid":1,"ts":10,"dur":5}],)"
+                        << R"("otherData":{"trace_epoch_unix_us":5000}})";
+  std::ofstream(b_path) << R"({"traceEvents":[)"
+                        << R"({"name":"b_span","ph":"X","pid":1,"tid":1,"ts":20,"dur":5}],)"
+                        << R"("otherData":{"trace_epoch_unix_us":6000}})";
+  obs::TraceMergeStats stats;
+  const std::string merged =
+      obs::merge_chrome_traces({{a_path, "shard A"}, {b_path, "shard B"}}, &stats);
+  EXPECT_EQ(stats.inputs_merged, 2u);
+  EXPECT_EQ(stats.inputs_skipped, 0u);
+  const JsonValue root = parse_json(merged);
+  double a_ts = -1, b_ts = -1, a_pid = -1, b_pid = -1;
+  std::map<double, std::string> process_names;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").str == "M") {
+      EXPECT_EQ(ev.at("name").str, "process_name");
+      process_names[ev.at("pid").number] = ev.at("args").at("name").str;
+      continue;
+    }
+    if (ev.at("name").str == "a_span") {
+      a_ts = ev.at("ts").number;
+      a_pid = ev.at("pid").number;
+    } else if (ev.at("name").str == "b_span") {
+      b_ts = ev.at("ts").number;
+      b_pid = ev.at("pid").number;
+    }
+  }
+  // Input i maps to pid i+1; the source trace's own process_name metadata is
+  // replaced by the caller-supplied labels.
+  EXPECT_EQ(a_pid, 1.0);
+  EXPECT_EQ(b_pid, 2.0);
+  EXPECT_EQ(process_names.at(1.0), "shard A");
+  EXPECT_EQ(process_names.at(2.0), "shard B");
+  // A's epoch is earliest (5000); B's events shift by the 1000us delta.
+  EXPECT_DOUBLE_EQ(a_ts, 10.0);
+  EXPECT_DOUBLE_EQ(b_ts, 20.0 + 1000.0);
+  std::remove(a_path.c_str());
+  std::remove(b_path.c_str());
+}
+
+TEST(ObsTraceMerge, FailsSoftOnMissingAndGarbageInputs) {
+  const std::string dir = ::testing::TempDir();
+  const std::string good_path = dir + "snntest_merge_good.json";
+  const std::string garbage_path = dir + "snntest_merge_garbage.json";
+  std::ofstream(good_path) << R"({"traceEvents":[)"
+                           << R"({"name":"ok","ph":"X","pid":1,"tid":1,"ts":1,"dur":1}]})";
+  std::ofstream(garbage_path) << "{\"traceEvents\": this is not json";
+  obs::TraceMergeStats stats;
+  const std::string merged = obs::merge_chrome_traces({{good_path, "good"},
+                                                       {dir + "snntest_merge_absent.json", "gone"},
+                                                       {garbage_path, "garbage"}},
+                                                      &stats);
+  EXPECT_EQ(stats.inputs_merged, 1u);
+  EXPECT_EQ(stats.inputs_skipped, 2u);
+  EXPECT_EQ(stats.events, 1u);
+  const JsonValue root = parse_json(merged);  // still a valid trace
+  size_t payload = 0;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").str == "X") ++payload;
+  }
+  EXPECT_EQ(payload, 1u);
+  std::remove(good_path.c_str());
+  std::remove(garbage_path.c_str());
+}
+
+TEST(ObsTraceMerge, RoundTripsRealWorkerTraces) {
+  TelemetryGuard guard;
+  obs::set_telemetry_enabled(true);
+  {
+    OBS_SPAN("test/merge_roundtrip");
+  }
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "snntest_merge_real.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  obs::TraceMergeStats stats;
+  const std::string out = dir + "snntest_merge_real_out.json";
+  ASSERT_TRUE(obs::write_merged_chrome_trace(out, {{path, "worker"}}, &stats));
+  EXPECT_EQ(stats.inputs_merged, 1u);
+  EXPECT_GE(stats.events, 1u);
+  std::ifstream in(out);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const JsonValue root = parse_json(buf.str());
+  bool found = false;
+  for (const auto& ev : root.at("traceEvents").array) {
+    if (ev.at("ph").str == "X" && ev.at("name").str == "test/merge_roundtrip") found = true;
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+  std::remove(out.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Environment provenance in the run report
+
+TEST(ObsReport, ReportCarriesHardwareAndSimdProvenance) {
+  TelemetryGuard guard;
+  tensor::simd::lane_ops();  // force dispatch resolution (sets simd_backend)
+  const JsonValue root = parse_json(obs::metrics_report_json());
+  const auto& fields = root.at("fields");
+  ASSERT_TRUE(fields.has("hardware_threads"));
+  // Rendered as a bare JSON number at report time.
+  EXPECT_DOUBLE_EQ(fields.at("hardware_threads").number,
+                   static_cast<double>(std::thread::hardware_concurrency()));
+  ASSERT_TRUE(fields.has("simd_backend"));
+  EXPECT_EQ(fields.at("simd_backend").str,
+            tensor::simd::backend_name(tensor::simd::active_backend()));
+}
+
+TEST(ObsReport, ExplicitFieldOverridesRenderTimeProvenance) {
+  TelemetryGuard guard;
+  obs::set_report_field("hardware_threads", std::string("overridden"));
+  const JsonValue root = parse_json(obs::metrics_report_json());
+  EXPECT_EQ(root.at("fields").at("hardware_threads").str, "overridden");
+  // Restore the render-time default for other tests (last write wins); the
+  // uint64 overload renders the same bare number the default does.
+  obs::set_report_field("hardware_threads",
+                        static_cast<uint64_t>(std::thread::hardware_concurrency()));
 }
 
 // ---------------------------------------------------------------------------
