@@ -10,6 +10,7 @@
 //   coverage_tool merge       --out merged.snfd --inputs a.snfd,b.snfd
 //   coverage_tool query       --dict d.snfd [--fault 17] [--stimulus 2]
 //   coverage_tool minimize    --dict d.snfd [--out schedule.snfd] [--json r.json]
+//   coverage_tool replay      --dict schedule.snfd [--frontier 1] [--json r.json]
 //   coverage_tool report      --dict d.snfd [--json r.json]
 //
 // `build` is incremental: pairs the dictionary already holds are served as
@@ -20,7 +21,11 @@
 // same inputs writes. `run-shard` is the worker entry point it re-execs.
 // `minimize` runs the lazy-greedy minimum-time set cover and can export the
 // schedule as a self-contained, schedule_ordered dictionary that
-// examples/infield_test --dict replays. `status` reads the SNST status
+// examples/infield_test --dict (or `replay` below) replays. `replay`
+// executes such a schedule in file order against the live model, dropping
+// every fault an earlier stimulus already detected — the minimum-time
+// in-field loop; --frontier runs each step through the divergence-frontier
+// engine (DESIGN.md §17). `status` reads the SNST status
 // snapshots of a live or finished sharded campaign from ANOTHER process and
 // renders coverage %, faults/s, per-shard progress and the ETA (DESIGN.md
 // §16); --watch refreshes until the fleet commits.
@@ -54,7 +59,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: coverage_tool <build|orchestrate|run-shard|status|merge|query|minimize"
-               "|report> [--flags]\n"
+               "|replay|report> [--flags]\n"
                "       coverage_tool <subcommand> --help for per-subcommand flags\n");
   return 1;
 }
@@ -151,6 +156,9 @@ int cmd_build(int argc, char** argv) {
                        {"lane-width", "8"},
                        {"threshold", "0"},
                        {"detect-only", "0"},
+                       {"frontier", "0"},
+                       {"frontier-threshold", "0.5"},
+                       {"golden-cache-budget", "0"},
                        {"trace-out", ""},
                        {"metrics-out", ""}},
                       "Build or incrementally extend a fault dictionary.");
@@ -177,6 +185,9 @@ int cmd_build(int argc, char** argv) {
   engine.lane_width = cli.get_size("lane-width");
   engine.detection_threshold = cli.get_double("threshold");
   engine.detect_only = cli.get_bool("detect-only");
+  engine.frontier = cli.get_bool("frontier");
+  engine.frontier_threshold = cli.get_double("frontier-threshold");
+  engine.golden_cache_budget_bytes = cli.get_size("golden-cache-budget");
 
   const std::string dict_path = cli.get("dict");
   coverage::FaultDictionary dict =
@@ -599,6 +610,103 @@ int cmd_minimize(int argc, char** argv) {
   return schedule.complete() ? 0 : 2;
 }
 
+int cmd_replay(int argc, char** argv) {
+  util::CliParser cli({{"dict", "schedule.snfd"},
+                       {"benchmark", "nmnist"},
+                       {"train-budget", "1.0"},
+                       {"fault-sample", "2000"},
+                       {"threads", "0"},
+                       {"lane-width", "8"},
+                       {"threshold", "0"},
+                       {"detect-only", "0"},
+                       {"frontier", "0"},
+                       {"frontier-threshold", "0.5"},
+                       {"golden-cache-budget", "0"},
+                       {"json", ""},
+                       {"trace-out", ""},
+                       {"metrics-out", ""}},
+                      "Execute a minimized schedule (minimize --out) in file order against\n"
+                      "the live model, dropping every fault an earlier stimulus already\n"
+                      "detected — the minimum-time in-field test loop. --frontier 1 runs\n"
+                      "each step through the divergence-frontier engine; results and\n"
+                      "coverage decisions are bit-identical either way.");
+  if (!cli.parse(argc, argv)) return 0;
+  obs::configure(cli.get("trace-out"), cli.get("metrics-out"));
+
+  const auto id = zoo::parse_benchmark(cli.get("benchmark"));
+  zoo::ZooOptions zoo_opts;
+  zoo_opts.train_budget = cli.get_double("train-budget");
+  auto bundle = zoo::load_or_train(id, zoo_opts);
+  auto& net = bundle.network;
+
+  // The fault universe must be reconstructed exactly as `build` sampled it;
+  // replay_schedule verifies the fingerprints and refuses a mismatch.
+  auto universe = fault::enumerate_faults(net);
+  util::Rng sample_rng(99);
+  const size_t sample_size = cli.get_size("fault-sample");
+  auto faults = sample_size != 0 && universe.size() > sample_size
+                    ? fault::sample_faults(universe, sample_size, sample_rng)
+                    : universe;
+
+  const coverage::FaultDictionary schedule = load_or_die(cli.get("dict"));
+  coverage::ScheduleReplayConfig config;
+  config.engine.num_threads = cli.get_size("threads");
+  config.engine.lane_width = cli.get_size("lane-width");
+  config.engine.detection_threshold = cli.get_double("threshold");
+  config.engine.detect_only = cli.get_bool("detect-only");
+  config.engine.frontier = cli.get_bool("frontier");
+  config.engine.frontier_threshold = cli.get_double("frontier-threshold");
+  config.engine.golden_cache_budget_bytes = cli.get_size("golden-cache-budget");
+
+  const auto replay = coverage::replay_schedule(net, schedule, faults, config);
+
+  util::TextTable table({"#", "stimulus", "frames", "simulated", "dropped", "new", "coverage",
+                         "cum. frames"});
+  for (const auto& step : replay.steps) {
+    table.add_row({std::to_string(step.stimulus), schedule.stimulus(step.stimulus).name,
+                   std::to_string(step.frames), std::to_string(step.faults_simulated),
+                   std::to_string(step.faults_dropped), std::to_string(step.newly_detected),
+                   util::fmt_pct(faults.empty() ? 0.0
+                                                : static_cast<double>(step.cumulative_detected) /
+                                                      static_cast<double>(faults.size())),
+                   std::to_string(step.cumulative_frames)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  size_t simulated = 0, dropped = 0;
+  for (const auto& step : replay.steps) {
+    simulated += step.faults_simulated;
+    dropped += step.faults_dropped;
+  }
+  std::printf("replayed %zu stimuli (%llu frames): %zu/%zu faults detected;"
+              " %zu fault simulations run, %zu dropped as already-detected\n",
+              replay.steps.size(), static_cast<unsigned long long>(replay.total_frames),
+              replay.total_detected, faults.size(), simulated, dropped);
+
+  if (!cli.get("json").empty()) {
+    std::ofstream out(cli.get("json"));
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write JSON to %s\n", cli.get("json").c_str());
+    } else {
+      out << "{\"num_faults\":" << faults.size() << ",\"total_detected\":" << replay.total_detected
+          << ",\"total_frames\":" << replay.total_frames << ",\"simulated\":" << simulated
+          << ",\"dropped\":" << dropped << ",\"frontier\":"
+          << (config.engine.frontier ? "true" : "false") << ",\"steps\":[";
+      for (size_t i = 0; i < replay.steps.size(); ++i) {
+        const auto& step = replay.steps[i];
+        if (i) out << ",";
+        out << "{\"stimulus\":\"" << util::json_escape(schedule.stimulus(step.stimulus).name)
+            << "\",\"frames\":" << step.frames << ",\"simulated\":" << step.faults_simulated
+            << ",\"dropped\":" << step.faults_dropped << ",\"new\":" << step.newly_detected
+            << ",\"cumulative_detected\":" << step.cumulative_detected
+            << ",\"cumulative_frames\":" << step.cumulative_frames << "}";
+      }
+      out << "]}\n";
+      std::printf("JSON: %s\n", cli.get("json").c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_report(int argc, char** argv) {
   util::CliParser cli({{"dict", "coverage.snfd"}, {"json", ""}},
                       "Dictionary summary: identity, stimuli, matrix completeness.");
@@ -659,6 +767,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmd_merge(sub_argc, sub_argv);
     if (cmd == "query") return cmd_query(sub_argc, sub_argv);
     if (cmd == "minimize") return cmd_minimize(sub_argc, sub_argv);
+    if (cmd == "replay") return cmd_replay(sub_argc, sub_argv);
     if (cmd == "report") return cmd_report(sub_argc, sub_argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

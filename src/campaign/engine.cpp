@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "campaign/checkpoint.hpp"
+#include "campaign/frontier_sim.hpp"
 #include "campaign/golden_cache.hpp"
 #include "campaign/lane_sim.hpp"
 #include "campaign/sim_internal.hpp"
@@ -43,6 +44,8 @@ struct WorkerContext {
   tensor::Tensor bufs[2];
   /// Lane-batched path scratch, likewise reused across batches.
   LaneSimContext lane;
+  /// Divergence-frontier path scratch, likewise reused across batches.
+  FrontierSimContext frontier;
 
   WorkerContext(const snn::Network& reference, const std::vector<fault::LayerWeightStats>& stats,
                 snn::KernelMode mode)
@@ -175,8 +178,45 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
     return outcome;
   }
 
-  const GoldenCache cache = build_golden_cache(net, stimulus, config.kernel_mode);
+  GoldenCacheOptions cache_options;
+  cache_options.mode = config.kernel_mode;
+  cache_options.state_traces = config.frontier && config.prefix_reuse;
+  cache_options.budget_bytes = config.golden_cache_budget_bytes;
+  if (cache_options.state_traces) {
+    // The frontier walk only reads state traces of layers at or downstream
+    // of its fault layer; record from the campaign's shallowest fault down.
+    size_t min_layer = SIZE_MAX;
+    for (const auto& f : faults) min_layer = std::min(min_layer, fault_layer(f));
+    cache_options.state_traces_from_layer = min_layer;
+  }
+  const GoldenCache cache = build_golden_cache(net, stimulus, cache_options);
   const size_t L = cache.num_layers();
+  outcome.stats.golden_cache_bytes = cache.total_bytes;
+  outcome.stats.golden_cache_layer_bytes = cache.layer_bytes;
+  outcome.stats.golden_cache_state_traces = cache.has_state_traces;
+
+  // Frontier simulation needs the golden prefix (the walk starts from it),
+  // the golden LIF state traces (dirty-neuron seeding/retirement), and
+  // frontier-capable layers. Anything missing falls back to the
+  // dense/sparse/lane kernels — results are bit-identical either way, so
+  // this is a performance downgrade worth one warning, not an error.
+  bool frontier_ok = false;
+  if (config.frontier) {
+    bool layers_ok = true;
+    for (size_t l = 0; l < L; ++l) layers_ok = layers_ok && net.layer(l).frontier_supported();
+    frontier_ok = config.prefix_reuse && cache.has_state_traces && layers_ok;
+    if (!frontier_ok) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        SNNTEST_LOG_WARN("run_campaign: frontier simulation requested but unavailable "
+                         "(prefix_reuse=%d, state_traces=%d, layers_supported=%d); "
+                         "running dense/lane kernels instead",
+                         config.prefix_reuse ? 1 : 0, cache.has_state_traces ? 1 : 0,
+                         layers_ok ? 1 : 0);
+      }
+    }
+  }
+  outcome.stats.frontier_active = frontier_ok;
 
   // --- checkpoint resume ---------------------------------------------------
   CheckpointHeader header;
@@ -262,6 +302,25 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   std::atomic<bool> cancelled{false};
   std::mutex sink_mutex;  // serializes EngineConfig::result_sink calls
 
+  // Adaptive frontier routing (EngineConfig::frontier_adaptive): per fault
+  // layer, tally the frontier walk's recomputed neuron-updates against the
+  // dense equivalent over the first probe batches; once a layer's observed
+  // recompute fraction exceeds the profitability cutoff, its later batches
+  // run the dense/lane kernels instead (bit-identical, just cheaper there).
+  // The cutoffs come from bench_campaign_engine's frontier sweep: a scalar
+  // batch beats one dense frame walk while the cone stays under about half
+  // the layer, whereas a lane batch competes with SIMD-across-lanes kernels
+  // and only wins clearly sparse cones.
+  struct FrontierLayerPolicy {
+    std::atomic<size_t> batches{0};
+    std::atomic<size_t> updates{0};
+    std::atomic<size_t> updates_dense{0};
+  };
+  constexpr size_t kFrontierProbeBatches = 1;
+  constexpr double kFrontierScalarCutoff = 0.45;
+  constexpr double kFrontierLaneCutoff = 0.10;
+  std::vector<FrontierLayerPolicy> frontier_policy(frontier_ok ? L : 0);
+
   // Per-fault telemetry (sim-time and prefix-depth histograms, one span per
   // fault) is resolved once here and gated per fault on a single branch, so
   // the disabled path adds nothing measurable to the worker loop. None of
@@ -282,7 +341,30 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
     const WorkItem item = items[i];
     const size_t* batch = order.data() + item.begin;
     auto run_item = [&] {
-      if (item.count > 1) {
+      bool use_frontier = frontier_ok;
+      if (use_frontier && config.frontier_adaptive) {
+        FrontierLayerPolicy& p = frontier_policy[fault_layer(faults[batch[0]])];
+        if (p.batches.load(std::memory_order_relaxed) >= kFrontierProbeBatches) {
+          const auto dense = static_cast<double>(p.updates_dense.load(std::memory_order_relaxed));
+          const double frac =
+              dense > 0.0 ? static_cast<double>(p.updates.load(std::memory_order_relaxed)) / dense
+                          : 0.0;
+          use_frontier =
+              frac < (item.count > 1 ? kFrontierLaneCutoff : kFrontierScalarCutoff);
+        }
+      }
+      if (use_frontier) {
+        simulate_fault_frontier(workers[w]->net, stimulus, cache, config, cache.stats, faults,
+                                batch, item.count, outcome.results, counters,
+                                workers[w]->frontier);
+        if (config.frontier_adaptive) {
+          FrontierLayerPolicy& p = frontier_policy[fault_layer(faults[batch[0]])];
+          p.updates.fetch_add(workers[w]->frontier.last_updates, std::memory_order_relaxed);
+          p.updates_dense.fetch_add(workers[w]->frontier.last_updates_dense,
+                                    std::memory_order_relaxed);
+          p.batches.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (item.count > 1) {
         simulate_fault_batch(net, stimulus, cache, config, cache.stats, faults, batch,
                              item.count, outcome.results, counters, workers[w]->lane);
       } else {
@@ -330,6 +412,10 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
   outcome.stats.lane_batches = counters.lane_batches.load();
   outcome.stats.lane_batched_faults = counters.lane_batched_faults.load();
   outcome.stats.lanes_retired_early = counters.lanes_retired_early.load();
+  outcome.stats.frontier_faults = counters.frontier_faults.load();
+  outcome.stats.frontier_neuron_updates = counters.frontier_neuron_updates.load();
+  outcome.stats.frontier_neuron_updates_dense = counters.frontier_neuron_updates_dense.load();
+  outcome.stats.frontier_fallback_frames = counters.frontier_fallback_frames.load();
   outcome.stats.elapsed_seconds = timer.seconds();
 
   // Campaign-total metrics (coarse, unconditional). "Golden-cache hits" are
@@ -355,6 +441,25 @@ CampaignResult run_campaign(const snn::Network& net, const tensor::Tensor& stimu
       reg.gauge("campaign/lane_occupancy")
           .set(static_cast<double>(s.lane_batched_faults) /
                static_cast<double>(s.lane_batches * lane_width));
+    }
+    reg.counter("campaign/frontier_faults").add(s.frontier_faults);
+    reg.counter("campaign/frontier_fallback_frames").add(s.frontier_fallback_frames);
+    reg.counter("campaign/frontier_neuron_updates").add(s.frontier_neuron_updates);
+    if (s.frontier_neuron_updates_dense > 0) {
+      reg.gauge("campaign/frontier_recompute_fraction")
+          .set(static_cast<double>(s.frontier_neuron_updates) /
+               static_cast<double>(s.frontier_neuron_updates_dense));
+    }
+    obs::set_report_field("campaign_frontier", s.frontier_active);
+    obs::set_report_field("campaign_golden_cache_bytes",
+                          static_cast<uint64_t>(s.golden_cache_bytes));
+    {
+      std::string per_layer;
+      for (size_t l = 0; l < s.golden_cache_layer_bytes.size(); ++l) {
+        if (l > 0) per_layer += ',';
+        per_layer += std::to_string(s.golden_cache_layer_bytes[l]);
+      }
+      obs::set_report_field("campaign_golden_cache_layer_bytes", per_layer);
     }
     char fp[24];
     std::snprintf(fp, sizeof(fp), "%016llx",

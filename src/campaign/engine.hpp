@@ -77,6 +77,34 @@ struct EngineConfig {
   /// All modes produce bit-identical spike trains (snn::KernelMode); the
   /// default kAuto exploits event sparsity per frame and never loses.
   snn::KernelMode kernel_mode = snn::KernelMode::kAuto;
+  /// Divergence-frontier simulation (DESIGN.md §17): downstream of the
+  /// fault layer, recompute per frame only the neurons reachable from the
+  /// set of diverged spikes/state (copying golden values for the rest), in
+  /// the exact dense accumulation order — results stay bit-identical at
+  /// every lane width. Requires prefix_reuse, golden state traces (see
+  /// golden_cache_budget_bytes) and frontier-capable layers; when any
+  /// prerequisite is missing the engine logs a one-time warning and runs
+  /// the dense/sparse/lane kernels instead. Off by default.
+  bool frontier = false;
+  /// Dirty-fraction fallback: when more than this fraction of a layer's
+  /// neurons is dirty in a frame, that frame runs the full dense frame
+  /// kernel (counted in EngineStats::frontier_fallback_frames). 0 forces
+  /// the dense kernel every frame (useful to bound frontier overhead);
+  /// values >= 1 never fall back.
+  double frontier_threshold = 0.5;
+  /// Adaptive frontier routing: after a few probe batches per fault layer,
+  /// the engine keeps routing a layer's batches through the frontier walk
+  /// only while its observed recompute fraction says the walk beats the
+  /// dense/lane kernels (sparse cones win; heavily divergent layers lose to
+  /// SIMD lane batching). Results are bit-identical either way. Force off
+  /// to route every batch through the frontier walk unconditionally.
+  bool frontier_adaptive = true;
+  /// Memory budget for the golden cache, in bytes (0 = unlimited). The
+  /// per-layer spike trains are irreducible; when trains + LIF state traces
+  /// would exceed the budget the state traces are dropped (fail-soft to
+  /// prefix-only caching, disabling frontier simulation) with a one-time
+  /// warning.
+  size_t golden_cache_budget_bytes = 0;
   /// JSONL checkpoint file; empty disables checkpointing. If the file
   /// already holds a checkpoint for the same (network, stimulus, faults,
   /// settings) fingerprint, its completed results are reused; a checkpoint
@@ -141,6 +169,26 @@ struct EngineStats {
   /// trajectory at an intermediate layer, or (detect-only) decisively
   /// divergent mid-window.
   size_t lanes_retired_early = 0;
+  /// True when the run actually used divergence-frontier simulation
+  /// (EngineConfig::frontier requested AND every prerequisite held).
+  bool frontier_active = false;
+  /// Faults simulated through the frontier path.
+  size_t frontier_faults = 0;
+  /// Neuron-timestep updates the frontier path executed, vs. what dense
+  /// frame kernels would have executed for the same (lane, layer, frame)
+  /// work (active lanes × layer size per frame). The ratio is the
+  /// per-neuron work reduction; full-frame fallbacks count on both sides.
+  size_t frontier_neuron_updates = 0;
+  size_t frontier_neuron_updates_dense = 0;
+  /// Frames that exceeded EngineConfig::frontier_threshold and fell back
+  /// to the dense frame kernel.
+  size_t frontier_fallback_frames = 0;
+  /// Golden-cache footprint: total retained bytes, the per-layer
+  /// breakdown (spike train + any state traces), and whether the LIF state
+  /// traces were kept (false after a budget fail-soft).
+  size_t golden_cache_bytes = 0;
+  std::vector<size_t> golden_cache_layer_bytes;
+  bool golden_cache_state_traces = false;
   double elapsed_seconds = 0.0;
 
   double forward_savings() const {
@@ -148,6 +196,15 @@ struct EngineStats {
                ? 0.0
                : 1.0 - static_cast<double>(layer_forwards) /
                            static_cast<double>(layer_forwards_naive);
+  }
+
+  /// Fraction of per-neuron work the frontier walk skipped (0 when the
+  /// frontier path never ran).
+  double frontier_savings() const {
+    return frontier_neuron_updates_dense == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(frontier_neuron_updates) /
+                           static_cast<double>(frontier_neuron_updates_dense);
   }
 };
 

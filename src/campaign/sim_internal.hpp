@@ -102,6 +102,11 @@ struct SimCounters {
   std::atomic<size_t> lane_batches{0};
   std::atomic<size_t> lane_batched_faults{0};
   std::atomic<size_t> lanes_retired_early{0};
+  // divergence-frontier path only (campaign/frontier_sim.hpp)
+  std::atomic<size_t> frontier_faults{0};
+  std::atomic<size_t> frontier_neuron_updates{0};
+  std::atomic<size_t> frontier_neuron_updates_dense{0};
+  std::atomic<size_t> frontier_fallback_frames{0};
 };
 
 }  // namespace snntest::campaign::detail

@@ -1,5 +1,7 @@
 #include "coverage/incremental.hpp"
 
+#include <stdexcept>
+
 #include "campaign/fingerprint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +42,22 @@ IncrementalResult run_incremental_campaign(const snn::Network& net,
   IncrementalResult out;
   campaign::EngineConfig engine = config.engine;
 
+  const std::vector<char>* drop = config.drop_faults;
+  // Local record of which pairs were served as drop placeholders this run:
+  // they carry no simulation outcome and must never enter the dictionary.
+  std::vector<char> dropped(drop == nullptr ? 0 : faults.size(), 0);
+  auto try_drop = [drop, &dropped](size_t fault_index, fault::DetectionResult& result) {
+    if (drop == nullptr || fault_index >= drop->size() || !(*drop)[fault_index]) return false;
+    dropped[fault_index] = 1;
+    result = fault::DetectionResult{};
+    return true;
+  };
+  auto count_dropped = [&dropped] {
+    size_t n = 0;
+    for (char d : dropped) n += d != 0;
+    return n;
+  };
+
   if (!dictionary_matches(dict, net, faults, engine.detection_threshold, engine.detect_only)) {
     SNNTEST_LOG_WARN(
         "run_incremental_campaign: dictionary does not match the campaign inputs "
@@ -47,7 +65,10 @@ IncrementalResult run_incremental_campaign(const snn::Network& net,
         "and leaving the dictionary untouched");
     out.coverage.dictionary_rejected = true;
     obs::Registry::instance().counter("coverage/dictionaries_rejected").add(1);
+    if (drop != nullptr) engine.result_cache = try_drop;
     out.campaign = campaign::run_campaign(net, stimulus, faults, engine);
+    out.coverage.pairs_reused = out.campaign.stats.pairs_reused;
+    out.coverage.pairs_dropped = count_dropped();
     return out;
   }
 
@@ -64,21 +85,28 @@ IncrementalResult run_incremental_campaign(const snn::Network& net,
   }();
   out.coverage.stimulus_index = s;
 
-  engine.result_cache = [&dict, s](size_t fault_index, fault::DetectionResult& result) {
+  engine.result_cache = [&dict, s, &try_drop](size_t fault_index,
+                                              fault::DetectionResult& result) {
+    // A stored result wins over dropping: real data beats a placeholder.
     const fault::DetectionResult* known = dict.lookup(s, fault_index);
-    if (known == nullptr) return false;
-    result = *known;
-    return true;
+    if (known != nullptr) {
+      result = *known;
+      return true;
+    }
+    return try_drop(fault_index, result);
   };
 
   out.campaign = campaign::run_campaign(net, stimulus, faults, engine);
   out.coverage.pairs_reused = out.campaign.stats.pairs_reused;
+  out.coverage.pairs_dropped = count_dropped();
 
   // Record only completed campaigns: a cancelled run leaves
   // default-constructed placeholders that must never enter the dictionary.
+  // Dropped pairs are placeholders too, completed or not.
   if (config.record && out.campaign.completed) {
     for (size_t j = 0; j < faults.size(); ++j) {
       if (dict.has(s, j)) continue;
+      if (j < dropped.size() && dropped[j]) continue;
       dict.record(s, j, out.campaign.results[j]);
       ++out.coverage.pairs_recorded;
     }
@@ -87,6 +115,61 @@ IncrementalResult run_incremental_campaign(const snn::Network& net,
   obs::Registry& reg = obs::Registry::instance();
   reg.counter("coverage/pairs_reused").add(out.coverage.pairs_reused);
   reg.counter("coverage/pairs_recorded").add(out.coverage.pairs_recorded);
+  reg.counter("coverage/pairs_dropped").add(out.coverage.pairs_dropped);
+  return out;
+}
+
+ScheduleReplayResult replay_schedule(const snn::Network& net, const FaultDictionary& schedule,
+                                     const std::vector<fault::FaultDescriptor>& faults,
+                                     const ScheduleReplayConfig& config) {
+  OBS_SPAN("coverage/replay_schedule");
+  if (!dictionary_matches(schedule, net, faults, config.engine.detection_threshold,
+                          config.engine.detect_only)) {
+    throw std::invalid_argument(
+        "replay_schedule: schedule dictionary does not match (network, faults, detection "
+        "settings)");
+  }
+  ScheduleReplayResult out;
+  out.detected.assign(faults.size(), 0);
+  out.steps.reserve(schedule.num_stimuli());
+
+  for (size_t s = 0; s < schedule.num_stimuli(); ++s) {
+    const StimulusEntry& entry = schedule.stimulus(s);
+    if (!entry.has_data()) {
+      throw std::invalid_argument("replay_schedule: stimulus '" + entry.name +
+                                  "' has no embedded spike train (rebuild the schedule with "
+                                  "store_stimulus_data)");
+    }
+    // A fresh, matching dictionary per step: nothing to reuse, nothing
+    // recorded — every result-cache hit is a drop_faults skip, so the
+    // engine's pairs_reused is exactly the dropped-fault count.
+    FaultDictionary scratch = make_dictionary(net, faults, config.engine.detection_threshold,
+                                              config.engine.detect_only);
+    IncrementalConfig ic;
+    ic.engine = config.engine;
+    ic.stimulus_name = entry.name;
+    ic.store_stimulus_data = false;
+    ic.record = false;
+    ic.drop_faults = &out.detected;
+    const IncrementalResult step_run =
+        run_incremental_campaign(net, entry.data, faults, scratch, ic);
+
+    ScheduleReplayStep step;
+    step.stimulus = s;
+    step.faults_dropped = step_run.coverage.pairs_dropped;
+    step.faults_simulated = faults.size() - step.faults_dropped;
+    step.frames = entry.duration_frames;
+    for (size_t j = 0; j < faults.size(); ++j) {
+      if (out.detected[j] || !step_run.campaign.results[j].detected) continue;
+      out.detected[j] = 1;
+      ++step.newly_detected;
+      ++out.total_detected;
+    }
+    step.cumulative_detected = out.total_detected;
+    out.total_frames += step.frames;
+    step.cumulative_frames = out.total_frames;
+    out.steps.push_back(step);
+  }
   return out;
 }
 

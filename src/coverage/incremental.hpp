@@ -38,6 +38,15 @@ struct IncrementalConfig {
   bool store_stimulus_data = true;
   /// Record freshly simulated pairs back into the dictionary.
   bool record = true;
+  /// Optional per-fault drop mask (length = fault count; borrowed, must
+  /// outlive the call). Faults with a non-zero entry are skipped without
+  /// simulation — the schedule-replay shortcut for faults an earlier
+  /// stimulus already detected. A dropped pair gets a default-constructed
+  /// placeholder result, counts toward EngineStats::pairs_reused (it is
+  /// served through the same result-cache hook as a dictionary hit) and is
+  /// never recorded into the dictionary. A stored dictionary result wins
+  /// over dropping (real data beats a placeholder).
+  const std::vector<char>* drop_faults = nullptr;
 };
 
 struct IncrementalStats {
@@ -46,6 +55,9 @@ struct IncrementalStats {
   size_t stimulus_index = 0;
   size_t pairs_reused = 0;
   size_t pairs_recorded = 0;
+  /// Pairs skipped via IncrementalConfig::drop_faults (subset of
+  /// pairs_reused; their results are placeholders).
+  size_t pairs_dropped = 0;
   /// The dictionary did not match (model/universe/settings); the campaign
   /// ran cold and the dictionary was left untouched.
   bool dictionary_rejected = false;
@@ -80,5 +92,47 @@ IncrementalResult run_incremental_campaign(const snn::Network& net,
                                            const std::vector<fault::FaultDescriptor>& faults,
                                            FaultDictionary& dict,
                                            const IncrementalConfig& config = {});
+
+// --- minimized-schedule replay ---------------------------------------------
+
+struct ScheduleReplayConfig {
+  /// Engine configuration for each step's campaign (threads, lane width,
+  /// frontier, detection settings, ...). result_cache must be empty.
+  campaign::EngineConfig engine;
+};
+
+/// One replayed stimulus of the schedule, in execution order.
+struct ScheduleReplayStep {
+  size_t stimulus = 0;  ///< index into the schedule dictionary's table
+  /// Faults actually simulated vs. dropped because an earlier step already
+  /// detected them (the minimum-time shortcut: a fault needs one detection,
+  /// not one per stimulus).
+  size_t faults_simulated = 0;
+  size_t faults_dropped = 0;
+  size_t newly_detected = 0;
+  size_t cumulative_detected = 0;
+  uint64_t frames = 0;
+  uint64_t cumulative_frames = 0;
+};
+
+struct ScheduleReplayResult {
+  std::vector<ScheduleReplayStep> steps;
+  /// detected[f] != 0 iff some replayed stimulus detected fault f.
+  std::vector<char> detected;
+  size_t total_detected = 0;
+  uint64_t total_frames = 0;
+};
+
+/// Execute a minimized schedule (schedule_as_dictionary output, or any
+/// dictionary with embedded stimulus data) against a live network: replay
+/// the stimuli in file order, and at each step skip — via
+/// IncrementalConfig::drop_faults — every fault an earlier step already
+/// detected. This is the in-field test-execution loop: total simulated work
+/// shrinks monotonically as coverage accumulates. Throws
+/// std::invalid_argument when `schedule` does not match (net, faults,
+/// detection settings) or a scheduled stimulus has no embedded data.
+ScheduleReplayResult replay_schedule(const snn::Network& net, const FaultDictionary& schedule,
+                                     const std::vector<fault::FaultDescriptor>& faults,
+                                     const ScheduleReplayConfig& config = {});
 
 }  // namespace snntest::coverage

@@ -139,6 +139,64 @@ class Layer {
   void set_kernel_mode(KernelMode mode) { kernel_mode_ = mode; }
   KernelMode kernel_mode() const { return kernel_mode_; }
 
+  // --- divergence-frontier recompute hooks (campaign/frontier_sim) ---
+  //
+  // The frontier simulator replays single neurons from snapshotted golden
+  // state, so each hook must reproduce the EXACT float value the layer's
+  // full forward produces for that neuron (same ordered double accumulation,
+  // same cast points; DESIGN.md §17). Layers that cannot guarantee this
+  // keep the default frontier_supported() == false and the engine falls
+  // back to dense simulation.
+
+  /// True when the frontier hooks below are implemented bit-identically.
+  virtual bool frontier_supported() const { return false; }
+
+  /// Synaptic current of ONE neuron for one frame. `in_frame` is the input
+  /// frame [num_inputs]; `prev_out_frame` is this layer's own output at the
+  /// previous timestep [num_neurons] (nullptr at t == 0; only recurrent
+  /// layers read it). Must equal element `neuron` of the dense kernel's syn
+  /// frame bit-for-bit.
+  virtual float frontier_synapse(const float* in_frame, const float* prev_out_frame,
+                                 size_t neuron) const {
+    (void)in_frame;
+    (void)prev_out_frame;
+    (void)neuron;
+    throw std::logic_error("frontier_synapse: not supported by " + name());
+  }
+
+  /// Full-frame synaptic currents into `syn` [num_neurons] — the dense
+  /// fallback for frames whose frontier exceeds the recompute threshold.
+  /// Bit-identical to the frame the forward path feeds LifBank::step.
+  virtual void frontier_synapse_frame(const float* in_frame, const float* prev_out_frame,
+                                      float* syn) const {
+    (void)in_frame;
+    (void)prev_out_frame;
+    (void)syn;
+    throw std::logic_error("frontier_synapse_frame: not supported by " + name());
+  }
+
+  /// Output neurons whose synaptic current reads input element `in_index`
+  /// (appended to `out`, which the caller clears). Returns false when the
+  /// fan-out is effectively dense (every output reads every input), in
+  /// which case `out` is left untouched and the caller dirties the whole
+  /// layer.
+  virtual bool frontier_fanout(size_t in_index, std::vector<uint32_t>& out) const {
+    (void)in_index;
+    (void)out;
+    return false;
+  }
+
+  /// Output neurons whose synaptic current reads stored weight `index` of
+  /// parameter `param` (same indexing as params()). Returns false when
+  /// unknown — the caller then seeds the whole layer as dirty.
+  virtual bool frontier_weight_fanout(size_t param, size_t index,
+                                      std::vector<uint32_t>& out) const {
+    (void)param;
+    (void)index;
+    (void)out;
+    return false;
+  }
+
   /// When disabled, backward() skips accumulating parameter gradients
   /// (dL/dW) and computes only dL/d(input spikes). The input-optimization
   /// hot loop (core/input_optimizer.cpp) zeroes and discards the weight

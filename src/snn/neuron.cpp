@@ -51,42 +51,14 @@ void LifBank::step(const float* syn, float* spikes_out) {
   assert(t_ < planned_steps_ && "LifBank::step beyond planned run length");
   const size_t base = t_ * n_;
   for (size_t i = 0; i < n_; ++i) {
-    float spike = 0.0f;
-    bool integrated = false;
-    float u_pre = u_[i];
-    switch (mode_[i]) {
-      case NeuronMode::kDead:
-        // Dead neuron halts propagation: no output ever. Membrane is left
-        // untouched — the hardware cell produces no events either way.
-        break;
-      case NeuronMode::kSaturated:
-        // Saturated neuron fires non-stop even with zero input (Sec. III).
-        spike = 1.0f;
-        break;
-      case NeuronMode::kNormal: {
-        if (refrac_left_[i] > 0) {
-          // Refractory: incoming spikes are dropped, membrane stays at reset.
-          --refrac_left_[i];
-          u_[i] = defaults_.reset_potential;
-        } else {
-          integrated = true;
-          u_pre = leak_[i] * u_[i] + syn[i];
-          if (u_pre >= threshold_[i]) {
-            spike = 1.0f;
-            u_[i] = defaults_.reset_potential;
-            refrac_left_[i] = refractory_[i];
-          } else {
-            u_[i] = u_pre;
-          }
-        }
-        break;
-      }
-    }
-    spikes_out[i] = spike;
+    const LifStepResult r = lif_step_neuron(u_[i], refrac_left_[i], syn[i], mode_[i],
+                                            threshold_[i], leak_[i], refractory_[i],
+                                            defaults_.reset_potential);
+    spikes_out[i] = r.spike;
     if (recording_) {
-      trace_u_pre_[base + i] = u_pre;
-      trace_spike_[base + i] = spike > 0.5f ? 1 : 0;
-      trace_integrated_[base + i] = integrated ? 1 : 0;
+      trace_u_pre_[base + i] = r.u_pre;
+      trace_spike_[base + i] = r.spike > 0.5f ? 1 : 0;
+      trace_integrated_[base + i] = r.integrated ? 1 : 0;
     }
   }
   ++t_;

@@ -42,6 +42,57 @@ struct LifParams {
   float reset_potential = 0.0f; // membrane value after a spike
 };
 
+/// Outcome of one neuron's single-timestep LIF update (lif_step_neuron).
+struct LifStepResult {
+  float spike = 0.0f;
+  float u_pre = 0.0f;       // trace value: post-integration membrane, or the
+                            // entering membrane when no integration happened
+  bool integrated = false;  // false for dead/saturated/refractory steps
+};
+
+/// Advance ONE neuron by one timestep, mutating (u, refrac_left) in place.
+/// Single source of truth for the LIF float expressions: LifBank::step and
+/// the campaign frontier simulator both call this helper, so a neuron
+/// resimulated from a snapshotted (u, refrac_left) reproduces the dense
+/// path bit-for-bit. Must be compiled with -ffp-contract=off in every TU
+/// that uses it (see src/CMakeLists.txt).
+inline LifStepResult lif_step_neuron(float& u, int& refrac_left, float syn, NeuronMode mode,
+                                     float threshold, float leak, int refractory,
+                                     float reset_potential) {
+  LifStepResult r;
+  r.u_pre = u;
+  switch (mode) {
+    case NeuronMode::kDead:
+      // Dead neuron halts propagation: no output ever. Membrane is left
+      // untouched — the hardware cell produces no events either way.
+      break;
+    case NeuronMode::kSaturated:
+      // Saturated neuron fires non-stop even with zero input (Sec. III).
+      r.spike = 1.0f;
+      break;
+    case NeuronMode::kNormal: {
+      if (refrac_left > 0) {
+        // Refractory: incoming spikes are dropped, membrane stays at reset.
+        --refrac_left;
+        u = reset_potential;
+      } else {
+        r.integrated = true;
+        const float u_pre = leak * u + syn;
+        r.u_pre = u_pre;
+        if (u_pre >= threshold) {
+          r.spike = 1.0f;
+          u = reset_potential;
+          refrac_left = refractory;
+        } else {
+          u = u_pre;
+        }
+      }
+      break;
+    }
+  }
+  return r;
+}
+
 /// State + traces for a bank of `n` LIF neurons advanced one timestep at a
 /// time. The forward traces are retained (when recording) for BPTT.
 class LifBank {

@@ -1041,5 +1041,308 @@ TEST(DeterminismMatrix, ShardingLanesAndThreadsNeverChangeResults) {
   }
 }
 
+// ---- Divergence-frontier simulation (DESIGN.md §17) -----------------------
+
+TEST(Frontier, FuzzMatrixBitIdenticalToDense) {
+  // The frontier walk recomputes only the fault-effect cone; every
+  // configuration must reproduce the frontier-off engine's DetectionResults
+  // bit-for-bit: three architectures (dense MLP, conv+pool, recurrent) x
+  // lane widths {1, 2, 8} x kernel modes x full/detect-only x telemetry
+  // on/off.
+  struct Case {
+    std::string name;
+    snn::Network net;
+    tensor::Tensor input;
+    std::vector<fault::FaultDescriptor> faults;
+  };
+  std::vector<Case> cases;
+  {
+    auto net = make_net();
+    auto input = busy_input(14, 8, 171);
+    auto faults = all_kinds_universe(net, 48, 172);
+    cases.push_back({"dense-mlp", std::move(net), std::move(input), std::move(faults)});
+  }
+  {
+    auto net = make_conv_pool_net();
+    util::Rng rng(173);
+    auto input = snn::random_spike_train(12, net.input_size(), 0.12, rng);
+    auto faults = all_kinds_universe(net, 48, 174, /*conv_connections=*/true);
+    cases.push_back({"conv-pool-dense", std::move(net), std::move(input), std::move(faults)});
+  }
+  {
+    auto net = make_recurrent_net();
+    util::Rng rng(175);
+    auto input = snn::random_spike_train(16, net.input_size(), 0.4, rng);
+    auto faults = all_kinds_universe(net, 48, 176);
+    cases.push_back({"recurrent", std::move(net), std::move(input), std::move(faults)});
+  }
+
+  const bool telemetry_before = obs::telemetry_enabled();
+  for (auto& c : cases) {
+    ASSERT_FALSE(c.faults.empty()) << c.name;
+    EngineConfig base_cfg;
+    base_cfg.lane_width = 1;
+    const auto base = run_campaign(c.net, c.input, c.faults, base_cfg);
+    EXPECT_FALSE(base.stats.frontier_active) << c.name;
+    EXPECT_EQ(base.stats.frontier_faults, 0u) << c.name;
+    EngineConfig base_detect = base_cfg;
+    base_detect.detect_only = true;
+    const auto base_fast = run_campaign(c.net, c.input, c.faults, base_detect);
+
+    for (const size_t width : {size_t{1}, size_t{2}, size_t{8}}) {
+      for (const auto mode :
+           {snn::KernelMode::kDense, snn::KernelMode::kSparse, snn::KernelMode::kAuto}) {
+        for (const bool telemetry : {false, true}) {
+          SCOPED_TRACE(c.name + " width=" + std::to_string(width) + " mode=" +
+                       std::to_string(static_cast<int>(mode)) +
+                       (telemetry ? " telemetry" : ""));
+          obs::set_telemetry_enabled(telemetry);
+          EngineConfig cfg;
+          cfg.frontier = true;
+          // Route every batch through the frontier walk so the matrix
+          // exercises it unconditionally (the adaptive router would divert
+          // unprofitable layers to the dense/lane kernels).
+          cfg.frontier_adaptive = false;
+          cfg.lane_width = width;
+          cfg.kernel_mode = mode;
+          const auto frontier = run_campaign(c.net, c.input, c.faults, cfg);
+          EngineConfig dcfg = cfg;
+          dcfg.detect_only = true;
+          const auto frontier_fast = run_campaign(c.net, c.input, c.faults, dcfg);
+          obs::set_telemetry_enabled(telemetry_before);
+
+          EXPECT_TRUE(frontier.stats.frontier_active);
+          EXPECT_EQ(frontier.stats.frontier_faults, frontier.stats.faults_simulated);
+          EXPECT_TRUE(frontier.stats.golden_cache_state_traces);
+          EXPECT_GT(frontier.stats.frontier_neuron_updates_dense, 0u);
+          EXPECT_LE(frontier.stats.frontier_neuron_updates,
+                    frontier.stats.frontier_neuron_updates_dense);
+          expect_results_identical(frontier.results, base.results);
+          EXPECT_EQ(frontier.detected_count(), base.detected_count());
+          // Convergence decisions are exact on both paths, so pruning and
+          // forward accounting agree with the frontier-off engine.
+          EXPECT_EQ(frontier.stats.faults_pruned, base.stats.faults_pruned);
+
+          expect_results_identical(frontier_fast.results, base_fast.results);
+          EXPECT_EQ(frontier_fast.detected_count(), base_fast.detected_count());
+        }
+      }
+    }
+  }
+}
+
+TEST(Frontier, ForcedFallbackThresholdZeroStaysIdentical) {
+  // frontier_threshold = 0 forces every frame with a non-empty dirty set
+  // through the dense frame kernel — the degenerate configuration exercises
+  // the fallback path on every architecture and must stay bit-identical
+  // (and actually count its fallbacks).
+  struct Case {
+    std::string name;
+    snn::Network net;
+    tensor::Tensor input;
+    std::vector<fault::FaultDescriptor> faults;
+  };
+  std::vector<Case> cases;
+  {
+    auto net = make_net();
+    auto input = busy_input(14, 8, 181);
+    auto faults = all_kinds_universe(net, 32, 182);
+    cases.push_back({"dense-mlp", std::move(net), std::move(input), std::move(faults)});
+  }
+  {
+    auto net = make_conv_pool_net();
+    util::Rng rng(183);
+    auto input = snn::random_spike_train(10, net.input_size(), 0.12, rng);
+    auto faults = all_kinds_universe(net, 32, 184, /*conv_connections=*/true);
+    cases.push_back({"conv-pool-dense", std::move(net), std::move(input), std::move(faults)});
+  }
+  for (auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const auto base = run_campaign(c.net, c.input, c.faults, {});
+    for (const size_t width : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE("width=" + std::to_string(width));
+      EngineConfig cfg;
+      cfg.frontier = true;
+      cfg.frontier_adaptive = false;
+      cfg.frontier_threshold = 0.0;
+      cfg.lane_width = width;
+      const auto forced = run_campaign(c.net, c.input, c.faults, cfg);
+      EXPECT_TRUE(forced.stats.frontier_active);
+      EXPECT_GT(forced.stats.frontier_fallback_frames, 0u);
+      expect_results_identical(forced.results, base.results);
+
+      // And a threshold >= 1 never falls back, with identical results too.
+      EngineConfig never_cfg = cfg;
+      never_cfg.frontier_threshold = 1.0;
+      const auto never = run_campaign(c.net, c.input, c.faults, never_cfg);
+      EXPECT_EQ(never.stats.frontier_fallback_frames, 0u);
+      expect_results_identical(never.results, base.results);
+    }
+  }
+}
+
+TEST(Frontier, BudgetExhaustionFailsSoftToPrefixOnly) {
+  // A golden-cache budget too small for the LIF state traces sheds them
+  // (keeping the irreducible spike trains), which disables the frontier
+  // walk — the campaign must fall back to the dense/lane kernels with
+  // identical results, and the accounting must say what happened.
+  auto net = make_net();
+  const auto input = busy_input(14, 8, 191);
+  const auto faults = all_kinds_universe(net, 32, 192);
+  const auto base = run_campaign(net, input, faults, {});
+
+  EngineConfig roomy_cfg;
+  roomy_cfg.frontier = true;
+  const auto roomy = run_campaign(net, input, faults, roomy_cfg);
+  ASSERT_TRUE(roomy.stats.frontier_active);
+  ASSERT_TRUE(roomy.stats.golden_cache_state_traces);
+
+  EngineConfig tight_cfg;
+  tight_cfg.frontier = true;
+  // Enough for the spike trains alone, not for trains + state traces.
+  tight_cfg.golden_cache_budget_bytes = roomy.stats.golden_cache_bytes - 1;
+  const auto tight = run_campaign(net, input, faults, tight_cfg);
+  EXPECT_FALSE(tight.stats.frontier_active);
+  EXPECT_FALSE(tight.stats.golden_cache_state_traces);
+  EXPECT_EQ(tight.stats.frontier_faults, 0u);
+  EXPECT_LT(tight.stats.golden_cache_bytes, roomy.stats.golden_cache_bytes);
+  expect_results_identical(tight.results, base.results);
+
+  // A budget that does fit everything changes nothing.
+  EngineConfig fitting_cfg;
+  fitting_cfg.frontier = true;
+  fitting_cfg.golden_cache_budget_bytes = roomy.stats.golden_cache_bytes;
+  const auto fitting = run_campaign(net, input, faults, fitting_cfg);
+  EXPECT_TRUE(fitting.stats.frontier_active);
+  EXPECT_EQ(fitting.stats.golden_cache_bytes, roomy.stats.golden_cache_bytes);
+  expect_results_identical(fitting.results, base.results);
+}
+
+TEST(Frontier, GoldenCacheMemoryAccountingIsExact) {
+  // Per-layer byte accounting: spike train = T*N*4 bytes; state traces add
+  // T*N*(4+4) bytes per layer when retained — and they are retained only
+  // from the campaign's shallowest fault layer down (layers above it are
+  // never read by the frontier walk). The stats must reproduce the closed
+  // form exactly, with and without the frontier.
+  auto net = make_net();
+  const size_t T = 14;
+  const auto input = busy_input(T, 8, 195);
+  const auto faults = sampled_universe(net, 8, 196);
+  size_t min_layer = net.num_layers();
+  for (const auto& f : faults) min_layer = std::min(min_layer, fault_layer(f));
+
+  const auto plain = run_campaign(net, input, faults, {});
+  EngineConfig fcfg;
+  fcfg.frontier = true;
+  const auto frontier = run_campaign(net, input, faults, fcfg);
+
+  ASSERT_EQ(plain.stats.golden_cache_layer_bytes.size(), net.num_layers());
+  ASSERT_EQ(frontier.stats.golden_cache_layer_bytes.size(), net.num_layers());
+  size_t plain_total = 0;
+  size_t frontier_total = 0;
+  for (size_t l = 0; l < net.num_layers(); ++l) {
+    const size_t n = net.layer(l).num_neurons();
+    EXPECT_EQ(plain.stats.golden_cache_layer_bytes[l], T * n * sizeof(float)) << "layer " << l;
+    const size_t expected_state =
+        l >= min_layer ? T * n * (sizeof(float) + sizeof(int32_t)) : size_t{0};
+    EXPECT_EQ(frontier.stats.golden_cache_layer_bytes[l], T * n * sizeof(float) + expected_state)
+        << "layer " << l;
+    plain_total += plain.stats.golden_cache_layer_bytes[l];
+    frontier_total += frontier.stats.golden_cache_layer_bytes[l];
+  }
+  EXPECT_EQ(plain.stats.golden_cache_bytes, plain_total);
+  EXPECT_EQ(frontier.stats.golden_cache_bytes, frontier_total);
+  EXPECT_FALSE(plain.stats.golden_cache_state_traces);
+  EXPECT_TRUE(frontier.stats.golden_cache_state_traces);
+}
+
+TEST(Frontier, ComposesWithCheckpointResumeAndResultCache) {
+  // The frontier path must honor the rest of the engine contract: resuming
+  // a cancelled frontier campaign from its checkpoint, and serving pairs
+  // from a result cache, both join to the frontier-off truth bit-exactly.
+  auto net = make_net();
+  const auto input = busy_input();
+  const auto faults = sampled_universe(net, 64, 197);
+  const auto truth = run_campaign(net, input, faults, {});
+
+  const std::string path = temp_path("ck_frontier_resume.jsonl");
+  std::remove(path.c_str());
+  std::atomic<long> budget{4};
+  EngineConfig cfg;
+  cfg.frontier = true;
+  cfg.num_threads = 2;
+  cfg.checkpoint_path = path;
+  cfg.checkpoint_flush_every = 1;
+  cfg.cancel = [&budget] { return budget.fetch_sub(1) <= 0; };
+  const auto partial = run_campaign(net, input, faults, cfg);
+  EXPECT_FALSE(partial.completed);
+
+  EngineConfig resume_cfg;
+  resume_cfg.frontier = true;
+  resume_cfg.checkpoint_path = path;
+  const auto resumed = run_campaign(net, input, faults, resume_cfg);
+  EXPECT_TRUE(resumed.completed);
+  expect_results_identical(resumed.results, truth.results);
+  std::remove(path.c_str());
+
+  EngineConfig cache_cfg;
+  cache_cfg.frontier = true;
+  cache_cfg.frontier_adaptive = false;
+  cache_cfg.result_cache = [&truth](size_t j, fault::DetectionResult& r) {
+    if (j % 2 == 0) return false;
+    r = truth.results[j];
+    return true;
+  };
+  const auto cached = run_campaign(net, input, faults, cache_cfg);
+  EXPECT_EQ(cached.stats.pairs_reused, faults.size() / 2);
+  EXPECT_EQ(cached.stats.frontier_faults, cached.stats.faults_simulated);
+  expect_results_identical(cached.results, truth.results);
+}
+
+TEST(Frontier, AdaptiveRoutingStaysIdenticalWhileDivertingHotLayers) {
+  // The default adaptive router probes each fault layer and keeps the
+  // frontier walk only where its recompute fraction says it wins; diverted
+  // batches run the dense/lane kernels. Either route is bit-identical, so
+  // the campaign output must not change — only frontier_faults may shrink.
+  struct Case {
+    std::string name;
+    snn::Network net;
+    tensor::Tensor input;
+    std::vector<fault::FaultDescriptor> faults;
+  };
+  std::vector<Case> cases;
+  {
+    auto net = make_net();
+    auto input = busy_input(14, 8, 211);
+    auto faults = all_kinds_universe(net, 64, 212);
+    cases.push_back({"dense-mlp", std::move(net), std::move(input), std::move(faults)});
+  }
+  {
+    auto net = make_recurrent_net();
+    util::Rng rng(213);
+    auto input = snn::random_spike_train(16, net.input_size(), 0.4, rng);
+    auto faults = all_kinds_universe(net, 64, 214);
+    cases.push_back({"recurrent", std::move(net), std::move(input), std::move(faults)});
+  }
+  for (auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const auto base = run_campaign(c.net, c.input, c.faults, {});
+    for (const size_t width : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE("width=" + std::to_string(width));
+      EngineConfig cfg;
+      cfg.frontier = true;  // frontier_adaptive stays at its default (on)
+      cfg.lane_width = width;
+      const auto adaptive = run_campaign(c.net, c.input, c.faults, cfg);
+      EXPECT_TRUE(adaptive.stats.frontier_active);
+      // Probe batches always run the frontier walk; diverted batches are
+      // simulated but not frontier-counted.
+      EXPECT_GT(adaptive.stats.frontier_faults, 0u);
+      EXPECT_LE(adaptive.stats.frontier_faults, adaptive.stats.faults_simulated);
+      expect_results_identical(adaptive.results, base.results);
+      EXPECT_EQ(adaptive.detected_count(), base.detected_count());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace snntest::campaign

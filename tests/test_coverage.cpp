@@ -658,5 +658,133 @@ TEST(ShardMergeFuzz, SerializeMatchesSavedFileBytes) {
   std::remove(path.c_str());
 }
 
+// --- fault dropping and minimized-schedule replay ---------------------------
+
+TEST(Incremental, DropMaskServesPlaceholdersCountsThemAndNeverRecords) {
+  auto net = make_net();
+  const auto faults = sampled_universe(net);
+  const auto input = busy_input();
+  campaign::EngineConfig engine;
+  engine.num_threads = 2;
+  const auto cold = campaign::run_campaign(net, input, faults, engine);
+
+  std::vector<char> drop(faults.size(), 0);
+  for (size_t j = 0; j < faults.size(); j += 3) drop[j] = 1;
+  size_t drop_count = 0;
+  for (char d : drop) drop_count += d != 0;
+
+  FaultDictionary dict = make_dictionary(net, faults);
+  IncrementalConfig config;
+  config.engine = engine;
+  config.drop_faults = &drop;
+  const auto out = run_incremental_campaign(net, input, faults, dict, config);
+  EXPECT_EQ(out.coverage.pairs_dropped, drop_count);
+  // Drops are served through the result-cache hook, so the engine counts
+  // them as reused pairs.
+  EXPECT_EQ(out.campaign.stats.pairs_reused, drop_count);
+  EXPECT_EQ(out.campaign.stats.faults_simulated, faults.size() - drop_count);
+  EXPECT_EQ(out.coverage.pairs_recorded, faults.size() - drop_count);
+  for (size_t j = 0; j < faults.size(); ++j) {
+    if (drop[j]) {
+      // Placeholder result, never recorded into the dictionary.
+      EXPECT_TRUE(results_identical(out.campaign.results[j], fault::DetectionResult{})) << j;
+      EXPECT_FALSE(dict.has(0, j)) << j;
+    } else {
+      EXPECT_TRUE(results_identical(cold.results[j], out.campaign.results[j])) << j;
+      EXPECT_TRUE(dict.has(0, j)) << j;
+    }
+  }
+
+  // A stored dictionary result wins over dropping: re-running warm with an
+  // all-ones drop mask still serves the real recorded results.
+  std::vector<char> drop_all(faults.size(), 1);
+  config.drop_faults = &drop_all;
+  const auto warm = run_incremental_campaign(net, input, faults, dict, config);
+  EXPECT_EQ(warm.coverage.pairs_dropped, drop_count);  // only the unrecorded pairs drop
+  EXPECT_EQ(warm.coverage.pairs_reused, faults.size());
+  for (size_t j = 0; j < faults.size(); ++j) {
+    if (!drop[j]) {
+      EXPECT_TRUE(results_identical(cold.results[j], warm.campaign.results[j])) << j;
+    }
+  }
+}
+
+TEST(Replay, ScheduleReplayAccumulatesCoverageWithMonotoneShrinkingWork) {
+  auto net = make_net();
+  const auto faults = sampled_universe(net);
+  campaign::EngineConfig engine;
+  engine.num_threads = 2;
+
+  // Build a recorded dictionary over four stimuli (with embedded data),
+  // minimize it, and export the schedule-ordered sub-dictionary.
+  FaultDictionary dict = make_dictionary(net, faults);
+  IncrementalConfig config;
+  config.engine = engine;
+  for (uint64_t seed : {5, 6, 7, 8}) {
+    config.stimulus_name = "s" + std::to_string(seed);
+    run_incremental_campaign(net, busy_input(20, 8, seed), faults, dict, config);
+  }
+  const TestSchedule schedule = minimize_schedule(dict);
+  ASSERT_GE(schedule.steps.size(), 2u) << "test needs a multi-step schedule to be meaningful";
+  const FaultDictionary sub = schedule_as_dictionary(dict, schedule);
+
+  ScheduleReplayConfig replay_config;
+  replay_config.engine = engine;
+  const ScheduleReplayResult replay = replay_schedule(net, sub, faults, replay_config);
+
+  // The replay certifies exactly the coverage the minimizer promised.
+  EXPECT_EQ(replay.total_detected, schedule.covered_faults);
+  EXPECT_EQ(replay.total_frames, schedule.scheduled_frames);
+  ASSERT_EQ(replay.steps.size(), schedule.steps.size());
+  size_t prev_cumulative = 0;
+  for (size_t i = 0; i < replay.steps.size(); ++i) {
+    const auto& step = replay.steps[i];
+    EXPECT_EQ(step.stimulus, i);  // schedule dictionaries replay in file order
+    EXPECT_EQ(step.newly_detected, schedule.steps[i].new_faults) << i;
+    EXPECT_EQ(step.cumulative_detected, schedule.steps[i].cumulative_detected) << i;
+    EXPECT_EQ(step.cumulative_frames, schedule.steps[i].cumulative_frames) << i;
+    // The minimum-time shortcut: each step drops exactly the faults all
+    // earlier steps detected, so simulated work shrinks as coverage grows.
+    EXPECT_EQ(step.faults_dropped, prev_cumulative) << i;
+    EXPECT_EQ(step.faults_simulated, faults.size() - prev_cumulative) << i;
+    prev_cumulative = step.cumulative_detected;
+  }
+  // The detected mask matches the dictionary's ground truth.
+  const std::vector<char> truth = sub.detectable_mask();
+  ASSERT_EQ(replay.detected.size(), truth.size());
+  for (size_t j = 0; j < truth.size(); ++j) {
+    EXPECT_EQ(replay.detected[j] != 0, truth[j] != 0) << j;
+  }
+
+  // The frontier engine composes with replay: identical coverage decisions.
+  replay_config.engine.frontier = true;
+  const ScheduleReplayResult frontier = replay_schedule(net, sub, faults, replay_config);
+  EXPECT_EQ(frontier.total_detected, replay.total_detected);
+  ASSERT_EQ(frontier.detected.size(), replay.detected.size());
+  for (size_t j = 0; j < replay.detected.size(); ++j) {
+    EXPECT_EQ(frontier.detected[j], replay.detected[j]) << j;
+  }
+}
+
+TEST(Replay, MismatchedOrDataFreeScheduleThrows) {
+  auto net = make_net();
+  const auto faults = sampled_universe(net, 20);
+  FaultDictionary dict = make_dictionary(net, faults);
+  IncrementalConfig config;
+  config.engine.num_threads = 1;
+  run_incremental_campaign(net, busy_input(), faults, dict, config);
+
+  // Detection settings differ from the schedule dictionary's.
+  ScheduleReplayConfig replay_config;
+  replay_config.engine.num_threads = 1;
+  replay_config.engine.detection_threshold = 2.0;
+  EXPECT_THROW(replay_schedule(net, dict, faults, replay_config), std::invalid_argument);
+
+  // A stimulus without embedded data cannot be replayed.
+  replay_config.engine.detection_threshold = 0.0;
+  const_cast<StimulusEntry&>(dict.stimulus(0)).data = tensor::Tensor();
+  EXPECT_THROW(replay_schedule(net, dict, faults, replay_config), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace snntest::coverage
